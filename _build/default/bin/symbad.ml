@@ -1,0 +1,231 @@
+(* The symbad command-line tool: drive the design-and-verification flow
+   on the face recognition case study from a shell.
+
+     symbad flow [--frames N] [--size S] [--identities N]
+     symbad level (1|2|3) [...]         run one refinement level
+     symbad verify (deadlock|timing|symbc|rtl)
+     symbad explore [...]
+     symbad recognize --identity I --pose P
+*)
+
+open Cmdliner
+open Symbad_core
+
+let workload frames size identities =
+  {
+    Face_app.size;
+    identities;
+    frames = List.init frames (fun i -> (i * 2 mod identities, 1 + (i mod 4)));
+  }
+
+let frames_arg =
+  Arg.(value & opt int 8 & info [ "frames" ] ~docv:"N" ~doc:"Camera frames to process.")
+
+let size_arg =
+  Arg.(value & opt int 64 & info [ "size" ] ~docv:"PIXELS" ~doc:"Frame side length.")
+
+let identities_arg =
+  Arg.(value & opt int 20 & info [ "identities" ] ~docv:"N" ~doc:"Database population.")
+
+(* --- flow --- *)
+
+let run_flow frames size identities markdown =
+  let w = workload frames size identities in
+  let report = Flow.run ~workload:w () in
+  Format.printf "%a@." Flow.pp report;
+  (match markdown with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Flow.to_markdown report);
+      close_out oc;
+      Format.printf "markdown report written to %s@." path
+  | None -> ());
+  if report.Flow.all_passed then 0 else 1
+
+let flow_cmd =
+  let doc = "Run the complete four-level design and verification flow." in
+  let markdown_arg =
+    Arg.(value & opt (some string) None
+         & info [ "markdown" ] ~docv:"FILE" ~doc:"Write the report as markdown.")
+  in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(const run_flow $ frames_arg $ size_arg $ identities_arg $ markdown_arg)
+
+(* --- level --- *)
+
+let run_level level frames size identities =
+  let w = workload frames size identities in
+  let graph = Face_app.graph w in
+  let l1 = Level1.run graph in
+  (match level with
+  | 1 ->
+      Format.printf "level 1: %a@." Symbad_sim.Kernel.pp_stats
+        l1.Level1.kernel_stats;
+      Format.printf "profiling ranking:@.%a@."
+        Symbad_tlm.Annotation.Profile.pp l1.Level1.profile
+  | 2 ->
+      let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+      let r = Level2.run graph m in
+      Format.printf "mapping:@.%a" Mapping.pp m;
+      Format.printf "latency: %dns; %.0f kHz; cpu %a@.bus %a@."
+        r.Level2.latency_ns
+        (Level2.simulation_speed_khz ~bus_period_ns:10 r)
+        Symbad_tlm.Cpu.pp_stats r.Level2.cpu_stats
+        Symbad_tlm.Bus.pp_report r.Level2.bus_report
+  | 3 ->
+      let m =
+        Mapping.refine_to_fpga
+          (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+          Face_app.level3_refinement
+      in
+      let r = Level3.run graph m in
+      Format.printf "latency: %dns; %.0f kHz@.fpga %a@.bus %a@."
+        r.Level3.latency_ns
+        (Level3.simulation_speed_khz ~bus_period_ns:10 r)
+        Symbad_fpga.Fpga.pp_stats r.Level3.fpga_stats
+        Symbad_tlm.Bus.pp_report r.Level3.bus_report;
+      Format.printf "instrumented SW:@.%a@." Symbad_symbc.Ast.pp
+        r.Level3.instrumented_sw
+  | n -> Format.printf "no such level: %d (use 1, 2 or 3)@." n);
+  0
+
+let level_cmd =
+  let doc = "Run one refinement level of the case study." in
+  let level_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"LEVEL")
+  in
+  Cmd.v (Cmd.info "level" ~doc)
+    Term.(const run_level $ level_arg $ frames_arg $ size_arg $ identities_arg)
+
+(* --- verify --- *)
+
+let run_verify what frames size identities =
+  let w = workload frames size identities in
+  let graph = Face_app.graph w in
+  (match what with
+  | "deadlock" ->
+      Format.printf "%a@." Symbad_lpv.Deadlock.pp_verdict
+        (Lpv_bridge.check_deadlock graph)
+  | "timing" ->
+      let l1 = Level1.run graph in
+      let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+      let verdict, met =
+        Lpv_bridge.check_deadline ~deadline_ns:40_000_000
+          ~timing:Lpv_bridge.default_timing ~mapping:m
+          ~profile:l1.Level1.profile graph
+      in
+      Format.printf "%a; 40ms deadline met: %b@." Symbad_lpv.Timing.pp_verdict
+        verdict met
+  | "symbc" ->
+      let l1 = Level1.run graph in
+      let m =
+        Mapping.refine_to_fpga
+          (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+          Face_app.level3_refinement
+      in
+      let r = Level3.run graph m in
+      Format.printf "%a@." Symbad_symbc.Check.pp_verdict
+        (Symbad_symbc.Check.check r.Level3.config_info r.Level3.instrumented_sw)
+  | "rtl" -> Format.printf "%a@." Level4.pp (Level4.run ())
+  | other ->
+      Format.printf "unknown check %S (deadlock|timing|symbc|rtl)@." other);
+  0
+
+let verify_cmd =
+  let doc = "Run one verification technology of the flow." in
+  let what_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECK")
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run_verify $ what_arg $ frames_arg $ size_arg $ identities_arg)
+
+(* --- explore --- *)
+
+let run_explore frames size identities max_hw =
+  let w = workload frames size identities in
+  let graph = Face_app.graph w in
+  let l1 = Level1.run graph in
+  let grades =
+    Explore.sweep_hw_sets ~task_area:Level3.default_task_area
+      ~profile:l1.Level1.profile ~pinned_sw:Face_app.pinned_sw ~max_hw graph
+  in
+  List.iter (fun g -> Format.printf "%a@." Explore.pp_grade g) grades;
+  Format.printf "pareto:@.";
+  List.iter (fun g -> Format.printf "  %a@." Explore.pp_grade g)
+    (Explore.pareto grades);
+  0
+
+let explore_cmd =
+  let doc = "Architecture exploration: sweep HW/SW partitions." in
+  let max_hw_arg =
+    Arg.(value & opt int 6 & info [ "max-hw" ] ~docv:"N" ~doc:"Largest HW set.")
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run_explore $ frames_arg $ size_arg $ identities_arg $ max_hw_arg)
+
+(* --- recognize --- *)
+
+let run_recognize identity pose size identities =
+  let db = Symbad_image.Pipeline.enroll ~size ~identities () in
+  let raw = Symbad_image.Pipeline.camera ~size ~identity ~pose () in
+  let verdict = Symbad_image.Pipeline.recognize db raw in
+  Format.printf "%a@." Symbad_image.Winner.pp verdict;
+  0
+
+let recognize_cmd =
+  let doc = "Recognise one synthetic camera frame against the database." in
+  let identity_arg =
+    Arg.(value & opt int 0 & info [ "identity" ] ~docv:"I" ~doc:"Subject identity.")
+  in
+  let pose_arg =
+    Arg.(value & opt int 1 & info [ "pose" ] ~docv:"P" ~doc:"Pose (0 = frontal).")
+  in
+  Cmd.v (Cmd.info "recognize" ~doc)
+    Term.(const run_recognize $ identity_arg $ pose_arg $ size_arg $ identities_arg)
+
+(* --- wrapper (automated interface synthesis) --- *)
+
+let run_wrapper data_width depth dump_vcd =
+  let spec = Wrapper_gen.make_spec ~data_width ~depth () in
+  let nl, props, reports = Wrapper_gen.synthesize_and_verify spec in
+  Format.printf "synthesised %s: %d registers, area %d@."
+    (Symbad_hdl.Netlist.name nl)
+    (List.length (Symbad_hdl.Netlist.registers nl))
+    (Symbad_hdl.Netlist.area nl);
+  Format.printf "%d generated checkers:@." (List.length props);
+  List.iter (fun r -> Format.printf "  %a@." Symbad_mc.Engine.pp_report r)
+    reports;
+  if dump_vcd then begin
+    let bv w v = Symbad_hdl.Bitvec.make ~width:w v in
+    let stim =
+      List.init 8 (fun i ->
+          [ ("req", bv 1 (if i < 4 then 1 else 0));
+            ("data", bv data_width (i * 17));
+            ("take", bv 1 (i mod 2)) ])
+    in
+    print_string (Symbad_hdl.Vcd.of_simulation nl stim)
+  end;
+  if Symbad_mc.Engine.all_proved reports then 0 else 1
+
+let wrapper_cmd =
+  let doc = "Synthesise an RTL/TL interface wrapper and verify it against its generated checkers." in
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "data-width" ] ~docv:"BITS" ~doc:"Payload width.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 2 & info [ "depth" ] ~docv:"SLOTS" ~doc:"Buffer slots (1 or 2).")
+  in
+  let vcd_arg =
+    Arg.(value & flag & info [ "vcd" ] ~doc:"Dump a sample waveform to stdout.")
+  in
+  Cmd.v (Cmd.info "wrapper" ~doc)
+    Term.(const run_wrapper $ width_arg $ depth_arg $ vcd_arg)
+
+let () =
+  let doc = "Symbad: design and verification flow for reconfigurable SoCs." in
+  let info = Cmd.info "symbad" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ flow_cmd; level_cmd; verify_cmd; explore_cmd; recognize_cmd;
+            wrapper_cmd ]))

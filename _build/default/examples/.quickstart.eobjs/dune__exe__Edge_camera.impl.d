@@ -1,0 +1,1 @@
+examples/edge_camera.ml: Array Format Level1 Level3 List Mapping Symbad_core Symbad_fpga Symbad_image Symbad_sim Symbad_symbc Task_graph Token

@@ -1,0 +1,1 @@
+examples/exploration.ml: Explore Face_app Format Level1 Level3 List Mapping Symbad_core Symbad_tlm

@@ -1,0 +1,1 @@
+examples/face_recognition.ml: Array Face_app Flow Format Level1 Level3 List Mapping Symbad_core Symbad_image Symbad_symbc Sys Task_graph

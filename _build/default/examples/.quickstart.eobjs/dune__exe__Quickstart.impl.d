@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Level1 Level2 Lpv_bridge Mapping Symbad_core Symbad_lpv Symbad_sim Symbad_tlm Task_graph Token

@@ -1,0 +1,1 @@
+examples/verification_tour.ml: Format List String Symbad_atpg Symbad_core Symbad_hdl Symbad_lpv Symbad_mc Symbad_symbc

@@ -1,0 +1,1 @@
+lib/atpg/coverage.ml: Fmt Hashtbl List Option Printf

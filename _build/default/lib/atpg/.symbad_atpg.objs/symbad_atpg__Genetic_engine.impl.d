@@ -1,0 +1,1 @@
+lib/atpg/genetic_engine.ml: Array Coverage Hashtbl List Model Symbad_image

@@ -1,0 +1,1 @@
+lib/atpg/genetic_engine.mli: Model

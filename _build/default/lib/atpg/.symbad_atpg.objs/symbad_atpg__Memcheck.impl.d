@@ -1,0 +1,1 @@
+lib/atpg/memcheck.ml: Array Fmt List Printf

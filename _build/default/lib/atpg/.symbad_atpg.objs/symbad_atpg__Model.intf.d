@@ -1,0 +1,1 @@
+lib/atpg/model.mli: Coverage

@@ -1,0 +1,1 @@
+lib/atpg/models.ml: Array Coverage List Model Printf Scanf

@@ -1,0 +1,1 @@
+lib/atpg/models.mli: Model

@@ -1,0 +1,1 @@
+lib/atpg/random_engine.ml: Array List Model Symbad_image

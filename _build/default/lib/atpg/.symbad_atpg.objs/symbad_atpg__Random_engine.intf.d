@@ -1,0 +1,1 @@
+lib/atpg/random_engine.mli: Model

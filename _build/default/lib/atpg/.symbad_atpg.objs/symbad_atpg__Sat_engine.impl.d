@@ -1,0 +1,1 @@
+lib/atpg/sat_engine.ml: Array Fmt List Symbad_hdl Symbad_sat

@@ -1,0 +1,1 @@
+lib/atpg/sat_engine.mli: Format Symbad_hdl

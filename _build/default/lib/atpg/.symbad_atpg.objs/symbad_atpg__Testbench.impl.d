@@ -1,0 +1,1 @@
+lib/atpg/testbench.ml: Coverage Fmt Genetic_engine List Model Random_engine

@@ -1,0 +1,1 @@
+lib/atpg/testbench.mli: Coverage Format Model

@@ -1,0 +1,102 @@
+(* Genetic test-pattern generation (the simulation-based engine of
+   Laerte++).
+
+   The generator maintains a population of input vectors; fitness of a
+   vector is the number of still-uncovered points it hits, so selection
+   pressure always points at the coverage frontier.  Every vector that
+   makes progress is committed to the test suite and the frontier
+   shrinks.  Tournament selection, uniform crossover, per-gene
+   mutation. *)
+
+module Rng = Symbad_image.Rng
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_permille : int;  (* per-gene mutation probability, 1/1000ths *)
+  tournament : int;
+  seed : int;
+}
+
+let default_params =
+  { population = 32; generations = 60; mutation_permille = 80; tournament = 3;
+    seed = 1 }
+
+let new_points_of model covered test =
+  let c = Coverage.create () in
+  ignore (Model.run ~cover:c model test);
+  let fresh = ref [] in
+  List.iter
+    (fun p -> if Coverage.is_hit c p && not (Hashtbl.mem covered p) then
+        fresh := p :: !fresh)
+    model.Model.universe;
+  !fresh
+
+let generate ?(params = default_params) model =
+  let rng = Rng.create params.seed in
+  let widths = Array.of_list (List.map snd model.Model.inputs) in
+  let random_vector () = Array.map (fun w -> Rng.int rng (1 lsl w)) widths in
+  (* boundary-value immigrants: extreme operand values (0, max, 1) hit
+     the rare control-flow corners uniform sampling almost never finds *)
+  let boundary_vector () =
+    Array.map
+      (fun w ->
+        match Rng.int rng 4 with
+        | 0 -> 0
+        | 1 -> (1 lsl w) - 1
+        | 2 -> 1
+        | _ -> Rng.int rng (1 lsl w))
+      widths
+  in
+  let mutate v =
+    Array.mapi
+      (fun i x ->
+        if Rng.int rng 1000 < params.mutation_permille then
+          (* half the mutations are single-bit flips, half fresh draws:
+             bit flips walk the neighbourhood, draws escape plateaus *)
+          if Rng.bool rng then x lxor (1 lsl Rng.int rng widths.(i))
+          else Rng.int rng (1 lsl widths.(i))
+        else x)
+      v
+  in
+  let crossover a b =
+    Array.mapi (fun i x -> if Rng.bool rng then x else b.(i)) a
+  in
+  let covered : (Coverage.point, unit) Hashtbl.t = Hashtbl.create 64 in
+  let suite = ref [] in
+  let commit test fresh =
+    suite := test :: !suite;
+    List.iter (fun p -> Hashtbl.replace covered p ()) fresh
+  in
+  let population = ref (List.init params.population (fun _ -> random_vector ())) in
+  let total = List.length model.Model.universe in
+  let generation = ref 0 in
+  while !generation < params.generations && Hashtbl.length covered < total do
+    incr generation;
+    (* evaluate: fitness = number of new points; commit progress *)
+    let scored =
+      List.map
+        (fun v ->
+          let fresh = new_points_of model covered v in
+          if fresh <> [] then commit v fresh;
+          (v, List.length fresh))
+        !population
+    in
+    let pick () =
+      (* tournament selection over the scored population *)
+      let arr = Array.of_list scored in
+      let best = ref arr.(Rng.int rng (Array.length arr)) in
+      for _ = 2 to params.tournament do
+        let cand = arr.(Rng.int rng (Array.length arr)) in
+        if snd cand > snd !best then best := cand
+      done;
+      fst !best
+    in
+    population :=
+      List.init params.population (fun i ->
+          (* immigrants keep diversity; one of them probes boundaries *)
+          if i = 0 then boundary_vector ()
+          else if i = 1 then random_vector ()
+          else mutate (crossover (pick ()) (pick ())))
+  done;
+  List.rev !suite

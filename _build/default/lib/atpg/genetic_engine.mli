@@ -1,0 +1,21 @@
+(** Genetic test-pattern generation (the simulation-based engine of
+    Laerte++).
+
+    Fitness of a vector is the number of still-uncovered points it hits;
+    every vector that makes progress is committed to the suite.
+    Tournament selection, uniform crossover, per-gene mutation, plus
+    boundary-value immigrants for the rare control-flow corners. *)
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_permille : int;  (** per-gene mutation probability, 1/1000 *)
+  tournament : int;
+  seed : int;
+}
+
+val default_params : params
+
+val generate : ?params:params -> Model.t -> Model.test list
+(** The committed suite, in discovery order (only coverage-increasing
+    vectors are kept). *)

@@ -1,0 +1,51 @@
+(* The device-under-verification abstraction for high-level ATPG: a
+   deterministic behavioural model with declared inputs, a coverage-point
+   universe, and a high-level fault list.  [run] executes the model,
+   optionally recording coverage and optionally under an injected fault;
+   a test detects a fault when outputs differ from the fault-free run. *)
+
+type fault = { fid : string }
+
+type t = {
+  name : string;
+  inputs : (string * int) list;  (* input name, bit width *)
+  universe : Coverage.point list;
+  faults : fault list;
+  run : ?cover:Coverage.t -> ?fault:fault -> int array -> int array;
+      (* input values (per [inputs] order, masked to width) -> outputs *)
+}
+
+type test = int array
+
+let input_count m = List.length m.inputs
+
+let mask_inputs m (test : test) =
+  let widths = Array.of_list (List.map snd m.inputs) in
+  if Array.length test <> Array.length widths then
+    invalid_arg ("Model.mask_inputs: arity for " ^ m.name);
+  Array.mapi (fun i v -> v land ((1 lsl widths.(i)) - 1)) test
+
+let run ?cover ?fault m test = m.run ?cover ?fault (mask_inputs m test)
+
+(* Coverage accumulated by a test suite. *)
+let coverage m tests =
+  let c = Coverage.create () in
+  List.iter (fun t -> ignore (run ~cover:c m t)) tests;
+  c
+
+let coverage_report m tests =
+  Coverage.report ~universe:m.universe (coverage m tests)
+
+(* Fault simulation: which faults does the suite detect? *)
+let detected_faults m tests =
+  List.filter
+    (fun fault ->
+      List.exists (fun t -> run m t <> run ~fault m t) tests)
+    m.faults
+
+let fault_coverage m tests =
+  match m.faults with
+  | [] -> 1.
+  | faults ->
+      float_of_int (List.length (detected_faults m tests))
+      /. float_of_int (List.length faults)

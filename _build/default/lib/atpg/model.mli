@@ -1,0 +1,33 @@
+(** The device-under-verification abstraction for high-level ATPG: a
+    deterministic behavioural model with declared inputs, a
+    coverage-point universe, and a high-level fault list. *)
+
+type fault = { fid : string }
+
+type t = {
+  name : string;
+  inputs : (string * int) list;  (** input name, bit width *)
+  universe : Coverage.point list;
+  faults : fault list;
+  run : ?cover:Coverage.t -> ?fault:fault -> int array -> int array;
+      (** input values (per [inputs] order, masked) -> outputs *)
+}
+
+type test = int array
+
+val input_count : t -> int
+
+val mask_inputs : t -> test -> test
+(** Mask each value to its declared width; raises on arity mismatch. *)
+
+val run : ?cover:Coverage.t -> ?fault:fault -> t -> test -> int array
+
+val coverage : t -> test list -> Coverage.t
+(** Coverage accumulated over a suite. *)
+
+val coverage_report : t -> test list -> Coverage.report
+
+val detected_faults : t -> test list -> fault list
+(** A test detects a fault when outputs differ from the fault-free run. *)
+
+val fault_coverage : t -> test list -> float

@@ -1,0 +1,193 @@
+(* Instrumented behavioural models of the case-study hot spots, as a
+   Laerte++ user would write them: every statement, branch arm, condition
+   value and output bit is a declared coverage point, and each model
+   carries a high-level fault list (output bits stuck, plus semantic
+   faults such as an uninitialised accumulator — the memory-init error
+   class the paper reports finding at level 1). *)
+
+let fault fid = { Model.fid }
+
+let stuck_output_faults ~width =
+  List.concat_map
+    (fun i -> [ fault (Printf.sprintf "out[%d]/sa0" i);
+                fault (Printf.sprintf "out[%d]/sa1" i) ])
+    (List.init width (fun i -> i))
+
+(* Apply "out[i]/saV" faults to an output word. *)
+let apply_output_fault ?fault:f ~width value =
+  match f with
+  | None -> value
+  | Some { Model.fid } -> (
+      try
+        Scanf.sscanf fid "out[%d]/sa%d" (fun bit v ->
+            if bit >= width then value
+            else if v = 1 then value lor (1 lsl bit)
+            else value land (lnot (1 lsl bit)))
+      with Scanf.Scan_failure _ | End_of_file -> value)
+
+(* --- ROOT: integer square root --------------------------------------- *)
+
+let root ?(width = 12) () =
+  let out_width = (width / 2) + 1 in
+  let universe =
+    [
+      Coverage.Stmt "init";
+      Coverage.Stmt "loop";
+      Coverage.Stmt "done";
+      Coverage.Branch ("zero", true);
+      Coverage.Branch ("zero", false);
+      Coverage.Cond ("ge", true);
+      Coverage.Cond ("ge", false);
+    ]
+    @ List.concat_map
+        (fun i -> [ Coverage.Bit ("res", i, false); Coverage.Bit ("res", i, true) ])
+        (List.init out_width (fun i -> i))
+  in
+  let faults =
+    stuck_output_faults ~width:out_width
+    @ [ fault "skip-last-iter"; fault "wrong-init-bit" ]
+  in
+  let run ?cover ?fault:f inputs =
+    let n = inputs.(0) in
+    let mark g = match cover with None -> () | Some c -> g c in
+    mark (fun c -> Coverage.stmt c "init");
+    let skip_last = match f with Some { Model.fid = "skip-last-iter" } -> true | _ -> false in
+    let wrong_init = match f with Some { Model.fid = "wrong-init-bit" } -> true | _ -> false in
+    let res =
+      if n = 0 then begin
+        mark (fun c -> Coverage.branch c "zero" true);
+        0
+      end
+      else begin
+        mark (fun c -> Coverage.branch c "zero" false);
+        let bit = ref 1 in
+        while !bit <= n / 4 do
+          bit := !bit * 4
+        done;
+        if wrong_init then bit := max 1 (!bit / 4);
+        let num = ref n and res = ref 0 in
+        while !bit <> 0 && not (skip_last && !bit = 1) do
+          mark (fun c -> Coverage.stmt c "loop");
+          let ge = !num >= !res + !bit in
+          mark (fun c -> Coverage.cond c "ge" ge);
+          if ge then begin
+            num := !num - (!res + !bit);
+            res := (!res / 2) + !bit
+          end
+          else res := !res / 2;
+          bit := !bit / 4
+        done;
+        if skip_last then res := !res / 2;
+        !res
+      end
+    in
+    mark (fun c -> Coverage.stmt c "done");
+    let out = apply_output_fault ?fault:f ~width:out_width res in
+    mark (fun c -> Coverage.out_bits c "res" ~width:out_width out);
+    [| out |]
+  in
+  {
+    Model.name = "ROOT";
+    inputs = [ ("n", width) ];
+    universe;
+    faults;
+    run;
+  }
+
+(* --- DISTANCE: squared distance with saturation ------------------------ *)
+
+let distance ?(elements = 4) ?(data_width = 8) ?(acc_width = 16) () =
+  let sat_max = (1 lsl acc_width) - 1 in
+  let universe =
+    [
+      Coverage.Stmt "clear";
+      Coverage.Stmt "mac";
+      Coverage.Branch ("saturate", true);
+      Coverage.Branch ("saturate", false);
+    ]
+    @ List.concat_map
+        (fun i -> [ Coverage.Bit ("acc", i, false); Coverage.Bit ("acc", i, true) ])
+        (List.init acc_width (fun i -> i))
+  in
+  let faults =
+    stuck_output_faults ~width:acc_width
+    @ [ fault "uninit-acc"; fault "drop-last-element" ]
+  in
+  let run ?cover ?fault:f inputs =
+    let mark g = match cover with None -> () | Some c -> g c in
+    let uninit = match f with Some { Model.fid = "uninit-acc" } -> true | _ -> false in
+    let drop_last = match f with Some { Model.fid = "drop-last-element" } -> true | _ -> false in
+    mark (fun c -> Coverage.stmt c "clear");
+    (* the memory-init design error: accumulator starts at stale garbage *)
+    let acc = ref (if uninit then 0x2A else 0) in
+    let n = if drop_last then elements - 1 else elements in
+    for i = 0 to n - 1 do
+      mark (fun c -> Coverage.stmt c "mac");
+      let a = inputs.(i) and b = inputs.(elements + i) in
+      let d = a - b in
+      acc := !acc + (d * d)
+    done;
+    let saturated = !acc > sat_max in
+    mark (fun c -> Coverage.branch c "saturate" saturated);
+    let value = if saturated then sat_max else !acc in
+    let out = apply_output_fault ?fault:f ~width:acc_width value in
+    mark (fun c -> Coverage.out_bits c "acc" ~width:acc_width out);
+    [| out |]
+  in
+  {
+    Model.name = "DISTANCE";
+    inputs =
+      List.init elements (fun i -> (Printf.sprintf "a%d" i, data_width))
+      @ List.init elements (fun i -> (Printf.sprintf "b%d" i, data_width));
+    universe;
+    faults;
+    run;
+  }
+
+(* --- WINNER: argmin over candidate distances --------------------------- *)
+
+let winner ?(candidates = 4) ?(data_width = 10) () =
+  let idx_width =
+    let rec bits n acc = if n <= 1 then acc else bits (n / 2) (acc + 1) in
+    max 1 (bits (candidates - 1) 0 + 1)
+  in
+  let universe =
+    [ Coverage.Stmt "scan" ]
+    @ List.concat_map
+        (fun i ->
+          [ Coverage.Cond (Printf.sprintf "lt%d" i, true);
+            Coverage.Cond (Printf.sprintf "lt%d" i, false) ])
+        (List.init (candidates - 1) (fun i -> i + 1))
+    @ List.concat_map
+        (fun i -> [ Coverage.Bit ("idx", i, false); Coverage.Bit ("idx", i, true) ])
+        (List.init idx_width (fun i -> i))
+  in
+  let faults =
+    stuck_output_faults ~width:idx_width @ [ fault "ge-instead-of-lt" ]
+  in
+  let run ?cover ?fault:f inputs =
+    let mark g = match cover with None -> () | Some c -> g c in
+    let flipped = match f with Some { Model.fid = "ge-instead-of-lt" } -> true | _ -> false in
+    mark (fun c -> Coverage.stmt c "scan");
+    let best = ref 0 in
+    for i = 1 to candidates - 1 do
+      let lt =
+        if flipped then inputs.(i) <= inputs.(!best)
+        else inputs.(i) < inputs.(!best)
+      in
+      mark (fun c -> Coverage.cond c (Printf.sprintf "lt%d" i) lt);
+      if lt then best := i
+    done;
+    let out = apply_output_fault ?fault:f ~width:idx_width !best in
+    mark (fun c -> Coverage.out_bits c "idx" ~width:idx_width out);
+    [| out |]
+  in
+  {
+    Model.name = "WINNER";
+    inputs = List.init candidates (fun i -> (Printf.sprintf "d%d" i, data_width));
+    universe;
+    faults;
+    run;
+  }
+
+let all () = [ root (); distance (); winner () ]

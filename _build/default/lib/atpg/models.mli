@@ -1,0 +1,15 @@
+(** Instrumented behavioural models of the case-study hot spots, with
+    declared coverage universes and high-level fault lists (output bits
+    stuck, plus semantic faults such as the uninitialised accumulator —
+    the memory-init error class the paper reports finding). *)
+
+val root : ?width:int -> unit -> Model.t
+(** Integer square root, input [n] of [width] bits (default 12). *)
+
+val distance : ?elements:int -> ?data_width:int -> ?acc_width:int -> unit -> Model.t
+(** Saturating sum of squared differences over [elements] pairs. *)
+
+val winner : ?candidates:int -> ?data_width:int -> unit -> Model.t
+(** Argmin over candidate distances. *)
+
+val all : unit -> Model.t list

@@ -1,0 +1,9 @@
+(* Baseline engine: uniformly random test vectors (deterministic PRNG). *)
+
+module Rng = Symbad_image.Rng
+
+let generate ?(seed = 1) ~count model =
+  let rng = Rng.create seed in
+  let widths = Array.of_list (List.map snd model.Model.inputs) in
+  List.init count (fun _ ->
+      Array.map (fun w -> Rng.int rng (1 lsl w)) widths)

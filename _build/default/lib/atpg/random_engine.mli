@@ -1,0 +1,3 @@
+(** Baseline engine: uniformly random test vectors (deterministic). *)
+
+val generate : ?seed:int -> count:int -> Model.t -> Model.test list

@@ -1,0 +1,31 @@
+(** SAT-based test generation (the formal engine of Laerte++), working
+    on the RTL view: to cover "output bit at polarity within depth d" it
+    asks the solver for a driving input sequence by unrolling the
+    netlist.  UNSAT at every depth proves the point unreachable —
+    a conclusion no simulation-based engine can draw. *)
+
+type target = { output : string; bit : int; polarity : bool }
+
+type outcome =
+  | Test of int array list  (** input vectors, one per cycle *)
+  | Unreachable  (** proven at every depth up to the bound *)
+  | Budget_exceeded
+
+val all_targets : Symbad_hdl.Netlist.t -> target list
+(** Both polarities of every output bit. *)
+
+val cover_target :
+  ?max_depth:int -> ?max_conflicts:int -> Symbad_hdl.Netlist.t -> target -> outcome
+
+type report = {
+  covered : int;
+  unreachable : int;
+  unresolved : int;
+  tests : int array list list;  (** one input sequence per covered target *)
+}
+
+val generate :
+  ?max_depth:int -> ?max_conflicts:int -> Symbad_hdl.Netlist.t -> report
+(** Chase every target of the netlist. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,18 @@
+(** Test-bench quality evaluation: coverage metrics plus high-level
+    fault coverage — the level-1 functional-verification report. *)
+
+type evaluation = {
+  model : string;
+  engine : string;
+  tests : int;
+  coverage : Coverage.report;
+  fault_coverage : float;
+  undetected : string list;  (** fault ids the suite misses *)
+}
+
+val evaluate : engine:string -> Model.t -> Model.test list -> evaluation
+
+val compare_engines : ?budget:int -> ?seed:int -> Model.t -> evaluation list
+(** Random vs genetic at equal pattern budget. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

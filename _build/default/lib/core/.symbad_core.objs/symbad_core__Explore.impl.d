@@ -1,0 +1,1 @@
+lib/core/explore.ml: Fmt Level2 Level3 List Mapping Printf String Symbad_tlm

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Format Level2 Level3 Mapping Symbad_tlm Task_graph

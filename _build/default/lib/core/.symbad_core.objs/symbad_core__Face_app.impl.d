@@ -1,0 +1,1 @@
+lib/core/face_app.ml: Array List Mapping Symbad_image Symbad_sim Task_graph Token

@@ -1,0 +1,1 @@
+lib/core/face_app.mli: Mapping Symbad_image Symbad_sim Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Buffer Face_app Fmt Level1 Level2 Level3 Level4 List Lpv_bridge Mapping Printf String Symbad_atpg Symbad_fpga Symbad_lpv Symbad_pcc Symbad_sim Symbad_symbc Symbad_tlm Sys

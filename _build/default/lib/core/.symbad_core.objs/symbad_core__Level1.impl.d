@@ -1,0 +1,1 @@
+lib/core/level1.ml: Hashtbl List Option Symbad_sim Symbad_tlm Task_graph Token

@@ -1,0 +1,1 @@
+lib/core/level1.mli: Symbad_sim Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/level2.ml: Hashtbl List Mapping Option Symbad_sim Symbad_tlm Task_graph Token

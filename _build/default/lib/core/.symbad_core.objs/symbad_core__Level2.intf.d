@@ -1,0 +1,1 @@
+lib/core/level2.mli: Mapping Symbad_sim Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/level3.ml: Hashtbl Level2 List Mapping Option String Symbad_fpga Symbad_sim Symbad_symbc Symbad_tlm Task_graph Token

@@ -1,0 +1,1 @@
+lib/core/level3.mli: Level2 Mapping Symbad_fpga Symbad_sim Symbad_symbc Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/level4.ml: Fmt List Symbad_hdl Symbad_mc Symbad_pcc Wrapper_gen

@@ -1,0 +1,1 @@
+lib/core/level4.mli: Format Symbad_hdl Symbad_mc Symbad_pcc

@@ -1,0 +1,1 @@
+lib/core/lpv_bridge.ml: Hashtbl List Mapping Symbad_lpv Symbad_tlm Task_graph

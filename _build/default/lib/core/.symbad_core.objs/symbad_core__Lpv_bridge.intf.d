@@ -1,0 +1,1 @@
+lib/core/lpv_bridge.mli: Mapping Symbad_lpv Symbad_tlm Task_graph

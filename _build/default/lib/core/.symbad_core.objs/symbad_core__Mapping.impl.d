@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Fmt List String Symbad_tlm Task_graph

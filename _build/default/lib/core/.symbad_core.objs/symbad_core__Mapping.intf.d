@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Format Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/task_graph.mli: Format Token

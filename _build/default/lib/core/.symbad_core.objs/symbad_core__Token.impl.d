@@ -1,0 +1,1 @@
+lib/core/token.ml: Array Fmt Int64 Printf Symbad_image

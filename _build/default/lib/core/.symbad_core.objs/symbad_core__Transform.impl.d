@@ -1,0 +1,1 @@
+lib/core/transform.ml: Level2 List Mapping Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Level2 Mapping Symbad_tlm Task_graph

@@ -1,0 +1,1 @@
+lib/core/wrapper_gen.ml: List Symbad_hdl Symbad_mc

@@ -1,0 +1,1 @@
+lib/core/wrapper_gen.mli: Symbad_hdl Symbad_mc

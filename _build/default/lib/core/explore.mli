@@ -1,0 +1,52 @@
+(** Architecture exploration: grade candidate configurations by
+    performance, silicon usage and power, and compare the paper's
+    "static" implementation against the reconfigurable one. *)
+
+type grade = {
+  mapping : Mapping.t;
+  label : string;
+  latency_ns : int;
+  bus_busy_ns : int;
+  bus_utilisation : float;
+  bitstream_bytes : int;
+  area : int;  (** silicon cost of the HW modules + FPGA fabric *)
+  energy_proxy : float;
+}
+
+val area_of : task_area:(string -> int) -> Mapping.t -> int
+(** Hardwired modules pay full area; an FPGA pays twice its largest
+    context (programmability density penalty). *)
+
+val energy_of :
+  latency_ns:int -> cpu_busy_ns:int -> bus_busy_ns:int -> bitstream_bytes:int -> float
+
+val grade_level2 :
+  ?config:Level2.config ->
+  task_area:(string -> int) ->
+  label:string ->
+  Task_graph.t ->
+  Mapping.t ->
+  grade
+
+val grade_level3 :
+  ?config:Level3.config ->
+  task_area:(string -> int) ->
+  label:string ->
+  Task_graph.t ->
+  Mapping.t ->
+  grade
+
+val sweep_hw_sets :
+  ?config:Level2.config ->
+  task_area:(string -> int) ->
+  profile:Symbad_tlm.Annotation.Profile.t ->
+  pinned_sw:string list ->
+  ?max_hw:int ->
+  Task_graph.t ->
+  grade list
+(** Map the [n] heaviest tasks to HW for [n] in [0, max_hw]. *)
+
+val pareto : grade list -> grade list
+(** Points not dominated on (latency, area, energy). *)
+
+val pp_grade : Format.formatter -> grade -> unit

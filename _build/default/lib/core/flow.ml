@@ -1,0 +1,274 @@
+(* The complete Symbad design-and-verification flow (Figure 1).
+
+   Runs the four levels in order on the face recognition case study, at
+   each level performing the design step (refinement) and the
+   verification steps the methodology prescribes, carrying every report
+   forward.  The result is the machine-readable version of the paper's
+   Section 4. *)
+
+module Sim = Symbad_sim
+module Annotation = Symbad_tlm.Annotation
+
+type verification = { check : string; passed : bool; detail : string }
+
+type level_report = {
+  level : int;
+  title : string;
+  host_seconds : float;
+  latency_ns : int option;
+  sim_speed_khz : float option;
+  verifications : verification list;
+}
+
+type t = {
+  workload : Face_app.workload;
+  levels : level_report list;
+  mapping : Mapping.t;  (* final (level-3) mapping *)
+  all_passed : bool;
+}
+
+let verification ~check ~passed detail = { check; passed; detail }
+
+let compare_traces ~check ~reference ~actual =
+  let mismatches = Sim.Trace.compare_data ~reference ~actual in
+  verification ~check
+    ~passed:(mismatches = [])
+    (match mismatches with
+    | [] -> Printf.sprintf "%d streams match" (List.length (Sim.Trace.sources actual))
+    | ms -> Printf.sprintf "%d stream mismatches" (List.length ms))
+
+let atpg_verification () =
+  (* Laerte++ on the behavioural hot spots: genetic engine, report the
+     worst coverage across models *)
+  let evals =
+    List.map
+      (fun m ->
+        let tests = Symbad_atpg.Genetic_engine.generate m in
+        Symbad_atpg.Testbench.evaluate ~engine:"genetic" m tests)
+      (Symbad_atpg.Models.all ())
+  in
+  let worst =
+    List.fold_left
+      (fun acc e -> min acc e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total)
+      1. evals
+  in
+  verification ~check:"ATPG coverage (Laerte++)"
+    ~passed:(worst > 0.85)
+    (String.concat "; "
+       (List.map
+          (fun e ->
+            Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
+              (100. *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
+          evals))
+
+let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
+    =
+  let graph = Face_app.graph workload in
+  let reference = Face_app.reference_trace workload in
+  (* ---- Level 1: functional model + functional verification ---- *)
+  let t0 = Sys.time () in
+  let l1 = Level1.run graph in
+  let l1_seconds = Sys.time () -. t0 in
+  let deadlock =
+    match Lpv_bridge.check_deadlock graph with
+    | Symbad_lpv.Deadlock.Deadlock_free { min_cycle_tokens } ->
+        verification ~check:"LPV deadlock freeness" ~passed:true
+          (Fmt.str "min cycle tokens %a" Symbad_lpv.Rat.pp min_cycle_tokens)
+    | Symbad_lpv.Deadlock.Potential_deadlock { witness } ->
+        verification ~check:"LPV deadlock freeness" ~passed:false
+          (String.concat "," witness)
+    | Symbad_lpv.Deadlock.Not_analyzable why ->
+        verification ~check:"LPV deadlock freeness" ~passed:false why
+  in
+  let level1 =
+    {
+      level = 1;
+      title = "system level specification (untimed TL)";
+      host_seconds = l1_seconds;
+      latency_ns = None;
+      sim_speed_khz = None;
+      verifications =
+        [
+          compare_traces ~check:"trace match vs C reference model"
+            ~reference ~actual:l1.Level1.trace;
+          atpg_verification ();
+          deadlock;
+        ];
+    }
+  in
+  (* ---- Level 2: architecture mapping + timing verification ---- *)
+  let mapping2 = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+  let t0 = Sys.time () in
+  let l2 = Level2.run graph mapping2 in
+  let l2_seconds = Sys.time () -. t0 in
+  let timing = Lpv_bridge.default_timing in
+  let period_verdict, deadline_ok =
+    Lpv_bridge.check_deadline ~deadline_ns ~timing ~mapping:mapping2
+      ~profile:l1.Level1.profile graph
+  in
+  let fifo_dim =
+    Lpv_bridge.dimension_fifos ~deadline_ns ~timing ~mapping:mapping2
+      ~profile:l1.Level1.profile graph
+  in
+  let level2 =
+    {
+      level = 2;
+      title = "architecture mapping (timed TL, CPU + AMBA)";
+      host_seconds = l2_seconds;
+      latency_ns = Some l2.Level2.latency_ns;
+      sim_speed_khz =
+        Some
+          (Level2.simulation_speed_khz
+             ~bus_period_ns:Level2.default_config.Level2.bus_period_ns l2);
+      verifications =
+        [
+          compare_traces ~check:"trace match vs level 1"
+            ~reference:l1.Level1.trace ~actual:l2.Level2.trace;
+          verification ~check:"LPV timing deadline" ~passed:deadline_ok
+            (Fmt.str "%a vs deadline %dns" Symbad_lpv.Timing.pp_verdict
+               period_verdict deadline_ns);
+          verification ~check:"LPV FIFO dimensioning"
+            ~passed:(fifo_dim <> None)
+            (match fifo_dim with
+            | Some c -> Printf.sprintf "minimal uniform capacity %d" c
+            | None -> "no capacity meets the deadline");
+        ];
+    }
+  in
+  (* ---- Level 3: reconfigurable refinement + consistency ---- *)
+  let mapping3 = Mapping.refine_to_fpga mapping2 Face_app.level3_refinement in
+  let t0 = Sys.time () in
+  let l3 = Level3.run graph mapping3 in
+  let l3_seconds = Sys.time () -. t0 in
+  let symbc =
+    match
+      Symbad_symbc.Check.check l3.Level3.config_info l3.Level3.instrumented_sw
+    with
+    | Symbad_symbc.Check.Consistent { calls_checked; _ } ->
+        verification ~check:"SymbC reconfiguration consistency" ~passed:true
+          (Printf.sprintf "certificate, %d call sites" calls_checked)
+    | Symbad_symbc.Check.Inconsistent cex ->
+        verification ~check:"SymbC reconfiguration consistency" ~passed:false
+          (cex.Symbad_symbc.Check.failing_call ^ " unavailable")
+  in
+  let level3 =
+    {
+      level = 3;
+      title = "reconfiguration refinement (FPGA contexts on the bus)";
+      host_seconds = l3_seconds;
+      latency_ns = Some l3.Level3.latency_ns;
+      sim_speed_khz =
+        Some
+          (Level3.simulation_speed_khz
+             ~bus_period_ns:Level2.default_config.Level2.bus_period_ns l3);
+      verifications =
+        [
+          compare_traces ~check:"trace match vs level 2"
+            ~reference:l2.Level2.trace ~actual:l3.Level3.trace;
+          symbc;
+          verification ~check:"FPGA reconfiguration activity" ~passed:true
+            (Fmt.str "%a" Symbad_fpga.Fpga.pp_stats l3.Level3.fpga_stats);
+        ];
+    }
+  in
+  (* ---- Level 4: RTL + model checking + PCC ---- *)
+  let t0 = Sys.time () in
+  let l4 = Level4.run () in
+  let l4_seconds = Sys.time () -. t0 in
+  let mc_ver =
+    List.map
+      (fun (m : Level4.module_report) ->
+        verification
+          ~check:(Printf.sprintf "model checking %s" m.Level4.module_name)
+          ~passed:m.Level4.all_proved
+          (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports)))
+      l4.Level4.modules
+  in
+  let pcc_ver =
+    List.map
+      (fun (m : Level4.module_report) ->
+        let p = m.Level4.pcc in
+        verification
+          ~check:(Printf.sprintf "PCC completeness %s" m.Level4.module_name)
+          ~passed:(p.Symbad_pcc.Pcc.coverage >= 0.75)
+          (Printf.sprintf "%.0f%% of %d detectable faults"
+             (100. *. p.Symbad_pcc.Pcc.coverage)
+             p.Symbad_pcc.Pcc.detectable))
+      l4.Level4.modules
+  in
+  let level4 =
+    {
+      level = 4;
+      title = "RTL generation (predefined IPs + interface wrappers)";
+      host_seconds = l4_seconds;
+      latency_ns = None;
+      sim_speed_khz = None;
+      verifications = mc_ver @ pcc_ver;
+    }
+  in
+  let levels = [ level1; level2; level3; level4 ] in
+  {
+    workload;
+    levels;
+    mapping = mapping3;
+    all_passed =
+      List.for_all
+        (fun l -> List.for_all (fun v -> v.passed) l.verifications)
+        levels;
+  }
+
+let pp_level fmt l =
+  Fmt.pf fmt "Level %d: %s@." l.level l.title;
+  (match l.latency_ns with
+  | Some ns -> Fmt.pf fmt "  simulated latency: %dns@." ns
+  | None -> ());
+  (match l.sim_speed_khz with
+  | Some khz when khz <> infinity ->
+      Fmt.pf fmt "  simulation speed: %.1f kHz@." khz
+  | Some _ | None -> ());
+  Fmt.pf fmt "  host time: %.3fs@." l.host_seconds;
+  List.iter
+    (fun v ->
+      Fmt.pf fmt "  [%s] %-38s %s@."
+        (if v.passed then "PASS" else "FAIL")
+        v.check v.detail)
+    l.verifications
+
+(* Markdown rendering of a flow report, for CI artefacts and the
+   experiment log. *)
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# Symbad flow report\n\n";
+  add "Workload: %d frames, %d identities, %dx%d pixels.\n\n"
+    (List.length t.workload.Face_app.frames)
+    t.workload.Face_app.identities t.workload.Face_app.size
+    t.workload.Face_app.size;
+  List.iter
+    (fun l ->
+      add "## Level %d — %s\n\n" l.level l.title;
+      (match l.latency_ns with
+      | Some ns -> add "- simulated latency: %d ns\n" ns
+      | None -> ());
+      (match l.sim_speed_khz with
+      | Some khz when khz <> infinity -> add "- simulation speed: %.1f kHz\n" khz
+      | Some _ | None -> ());
+      add "- host time: %.3f s\n\n" l.host_seconds;
+      add "| check | verdict | detail |\n|---|---|---|\n";
+      List.iter
+        (fun v ->
+          add "| %s | %s | %s |\n" v.check
+            (if v.passed then "PASS" else "FAIL")
+            v.detail)
+        l.verifications;
+      add "\n")
+    t.levels;
+  add "Overall: **%s**\n" (if t.all_passed then "ALL PASSED" else "FAILURES");
+  Buffer.contents buf
+
+let pp fmt t =
+  Fmt.pf fmt "Symbad flow on %d frames, %d identities@."
+    (List.length t.workload.Face_app.frames)
+    t.workload.Face_app.identities;
+  List.iter (pp_level fmt) t.levels;
+  Fmt.pf fmt "overall: %s@." (if t.all_passed then "ALL PASSED" else "FAILURES")

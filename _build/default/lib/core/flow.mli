@@ -1,0 +1,31 @@
+(** The complete Symbad flow (Figure 1): run the four levels on the face
+    recognition case study with every verification the methodology
+    prescribes, carrying all reports. *)
+
+type verification = { check : string; passed : bool; detail : string }
+
+type level_report = {
+  level : int;
+  title : string;
+  host_seconds : float;
+  latency_ns : int option;
+  sim_speed_khz : float option;
+  verifications : verification list;
+}
+
+type t = {
+  workload : Face_app.workload;
+  levels : level_report list;
+  mapping : Mapping.t;  (** final (level-3) mapping *)
+  all_passed : bool;
+}
+
+val run : ?workload:Face_app.workload -> ?deadline_ns:int -> unit -> t
+(** [deadline_ns] (default 40 ms, i.e. 25 frames/s) is the level-2
+    real-time requirement checked by LPV. *)
+
+val to_markdown : t -> string
+(** The report as a markdown document (CI artefacts, experiment logs). *)
+
+val pp_level : Format.formatter -> level_report -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,293 @@
+(* Level 3: the reconfigurable platform.
+
+   The FPGA device is instantiated on the bus and some HW modules move
+   inside it, split into contexts.  FPGA-resident functions are invoked
+   *synchronously from the software* (the paper: "inserting the FPGA's
+   reconfiguration calls and the functional calls to mapped resources
+   into the SW"), so the cyclostatic CPU loop now:
+     - issues a reconfiguration (bitstream download over the bus +
+       programming time) whenever the next FPGA call needs a context that
+       is not loaded,
+     - ships the operands to the FPGA over the bus, waits for the
+       (annotated) FPGA computation, and reads the results back.
+
+   The run also records the dynamic resource-call sequence and emits the
+   instrumented mini-C program, which is exactly what SymbC consumes. *)
+
+module Sim = Symbad_sim
+module Tlm = Symbad_tlm
+module Fpga = Symbad_fpga
+module Annotation = Symbad_tlm.Annotation
+
+type config = {
+  level2 : Level2.config;
+  fpga_capacity : int;
+  fpga_period_ns : int;
+  program_ns_per_byte : int;
+  fpga_burst_bytes : int;  (* download granularity: 8 = programmed I/O *)
+  task_area : string -> int;  (* area of each FPGA-mapped task's module *)
+}
+
+let default_task_area = function
+  | "DISTANCE" -> 900
+  | "ROOT" -> 700
+  | _ -> 500
+
+let default_config =
+  {
+    level2 = Level2.default_config;
+    fpga_capacity = 1200;
+    fpga_period_ns = 20;  (* FPGA fabric slower than hard gates *)
+    program_ns_per_byte = 4;
+    fpga_burst_bytes = 8;  (* CPU-driven programmed I/O, no DMA engine *)
+    task_area = default_task_area;
+  }
+
+type result = {
+  trace : Sim.Trace.t;
+  kernel_stats : Sim.Kernel.stats;
+  bus_report : Tlm.Bus.report;
+  cpu_stats : Tlm.Cpu.stats;
+  fpga_stats : Fpga.Fpga.stats;
+  latency_ns : int;
+  call_sequence : string list;  (* dynamic FPGA-resource invocations *)
+  instrumented_sw : Symbad_symbc.Ast.program;
+  config_info : Symbad_symbc.Config_info.t;
+}
+
+let simulation_speed_khz ~bus_period_ns (r : result) =
+  let cycles = float_of_int r.latency_ns /. float_of_int bus_period_ns in
+  let secs = r.kernel_stats.Sim.Kernel.cpu_seconds in
+  if secs <= 0. then infinity else cycles /. secs /. 1000.
+
+(* Build the FPGA device from the mapping: one resource per FPGA task,
+   grouped into contexts. *)
+let build_fpga config mapping =
+  let assignments = Mapping.fpga_tasks mapping in
+  let contexts =
+    List.map
+      (fun ctx ->
+        let members =
+          List.filter_map
+            (fun (task, c) -> if String.equal c ctx then Some task else None)
+            assignments
+        in
+        Fpga.Context.make ctx
+          (List.map
+             (fun task ->
+               Fpga.Resource.algorithm ~area:(config.task_area task) task)
+             members))
+      (Mapping.contexts mapping)
+  in
+  Fpga.Fpga.create ~capacity:config.fpga_capacity
+    ~program_ns_per_byte:config.program_ns_per_byte
+    ~burst_bytes:config.fpga_burst_bytes ~contexts "efpga"
+
+(* The SymbC configuration-information input implied by the mapping. *)
+let config_info_of mapping =
+  let assignments = Mapping.fpga_tasks mapping in
+  Symbad_symbc.Config_info.make
+    ~fpga_functions:(List.map fst assignments)
+    ~configurations:
+      (List.map
+         (fun ctx ->
+           ( ctx,
+             List.filter_map
+               (fun (task, c) -> if String.equal c ctx then Some task else None)
+               assignments ))
+         (Mapping.contexts mapping))
+    ()
+
+(* Instrumented SW: the cyclostatic loop with reconfiguration calls
+   inserted before FPGA-resident invocations (omitting loads already
+   guaranteed by the previous call in the straight-line schedule).
+   [omit_load_for] seeds the consistency bug used by the verification
+   experiments. *)
+let instrumented_program ?(omit_load_for = []) schedule mapping =
+  let body =
+    let current = ref None in
+    List.concat_map
+      (fun task ->
+        match Mapping.target_of mapping task with
+        | Mapping.Sw | Mapping.Hw -> [ Symbad_symbc.Ast.call task ]
+        | Mapping.Fpga ctx ->
+            let load =
+              if !current = Some ctx || List.mem task omit_load_for then []
+              else [ Symbad_symbc.Ast.reconfig ctx ]
+            in
+            current := Some ctx;
+            load @ [ Symbad_symbc.Ast.call task ])
+      schedule
+  in
+  [ Symbad_symbc.Ast.while_ body ]
+
+let run ?(config = default_config) ?(omit_load_for = [])
+    (graph : Task_graph.t) (mapping : Mapping.t) =
+  List.iter
+    (fun (t : Task_graph.task) ->
+      if t.Task_graph.inputs = [] && not (Mapping.is_sw mapping t.Task_graph.name)
+      then invalid_arg ("Level3.run: source " ^ t.Task_graph.name ^ " must be SW"))
+    graph.Task_graph.tasks;
+  let l2 = config.level2 in
+  let kernel = Sim.Kernel.create () in
+  let trace = Sim.Trace.create () in
+  let bus =
+    Tlm.Bus.create ~width_bytes:l2.Level2.bus_width_bytes
+      ~period_ns:l2.Level2.bus_period_ns "amba"
+  in
+  let cpu = Tlm.Cpu.create ~period_ns:l2.Level2.cpu_period_ns "arm7" in
+  let fpga = build_fpga config mapping in
+  let calls = ref [] in
+  let fifos : (string, Token.t Sim.Fifo.t) Hashtbl.t = Hashtbl.create 32 in
+  let fifo_of channel =
+    match Hashtbl.find_opt fifos channel with
+    | Some f -> f
+    | None ->
+        (* sink channels are drained by the environment: unbounded *)
+        let capacity =
+          if List.mem channel graph.Task_graph.sinks then 0
+          else l2.Level2.fifo_capacity
+        in
+        let f = Sim.Fifo.create ~capacity channel in
+        Hashtbl.add fifos channel f;
+        f
+  in
+  let record task channel token =
+    Sim.Trace.record trace ~time:(Sim.Kernel.now kernel) ~source:task
+      ~label:channel (Token.digest token)
+  in
+  let send ~master task channel token =
+    record task channel token;
+    if Level2.crosses_bus mapping graph channel then
+      Tlm.Bus.transfer bus
+        (Tlm.Transaction.make ~master ~target:channel
+           ~kind:Tlm.Transaction.Write ~bytes:(Token.bytes token));
+    Sim.Fifo.put (fifo_of channel) token
+  in
+  (* pure-HW tasks stay autonomous *)
+  let spawn_hw (t : Task_graph.task) =
+    Sim.Kernel.spawn kernel ~name:t.Task_graph.name (fun () ->
+        let rec loop firing_index =
+          let inputs =
+            List.map (fun c -> Sim.Fifo.get (fifo_of c)) t.Task_graph.inputs
+          in
+          match t.Task_graph.fire ~firing_index inputs with
+          | None -> ()
+          | Some { Task_graph.outputs; work } ->
+              let cycles =
+                Annotation.cycles l2.Level2.annotation ~target:Annotation.Hw
+                  ~weight:work
+              in
+              Sim.Process.wait (Sim.Time.ns (cycles * l2.Level2.hw_period_ns));
+              List.iter2
+                (fun c token ->
+                  send ~master:t.Task_graph.name t.Task_graph.name c token)
+                t.Task_graph.outputs outputs;
+              loop (firing_index + 1)
+        in
+        loop 0)
+  in
+  let schedule =
+    List.filter
+      (fun (t : Task_graph.task) ->
+        match Mapping.target_of mapping t.Task_graph.name with
+        | Mapping.Sw | Mapping.Fpga _ -> true
+        | Mapping.Hw -> false)
+      (Task_graph.topological_order graph)
+  in
+  let sources, cpu_rest =
+    List.partition (fun (t : Task_graph.task) -> t.Task_graph.inputs = [])
+      schedule
+  in
+  let spawn_cpu () =
+    Sim.Kernel.spawn kernel ~name:"cpu" (fun () ->
+        let ended : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+        let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let fire_once (t : Task_graph.task) =
+          if not (Hashtbl.mem ended t.Task_graph.name) then begin
+            let name = t.Task_graph.name in
+            let firing_index =
+              Option.value ~default:0 (Hashtbl.find_opt counts name)
+            in
+            let inputs =
+              List.map (fun c -> Sim.Fifo.get (fifo_of c)) t.Task_graph.inputs
+            in
+            match t.Task_graph.fire ~firing_index inputs with
+            | None -> Hashtbl.replace ended name ()
+            | Some { Task_graph.outputs; work } -> (
+                Hashtbl.replace counts name (firing_index + 1);
+                match Mapping.target_of mapping name with
+                | Mapping.Hw -> assert false
+                | Mapping.Sw ->
+                    let cycles =
+                      Annotation.cycles l2.Level2.annotation
+                        ~target:Annotation.Sw ~weight:work
+                    in
+                    Tlm.Cpu.execute cpu ~cycles;
+                    List.iter2
+                      (fun c token -> send ~master:"cpu" name c token)
+                      t.Task_graph.outputs outputs
+                | Mapping.Fpga ctx ->
+                    calls := name :: !calls;
+                    (* reconfigure unless the SW omitted the load (bug
+                       injection): then the device check fires *)
+                    if not (List.mem name omit_load_for) then
+                      Fpga.Fpga.reconfigure fpga ~bus ~master:"cpu" ctx;
+                    Fpga.Fpga.require fpga name;
+                    (* ship operands, compute, ship results *)
+                    List.iter
+                      (fun token ->
+                        Tlm.Bus.transfer bus
+                          (Tlm.Transaction.make ~master:"cpu" ~target:"efpga"
+                             ~kind:Tlm.Transaction.Write
+                             ~bytes:(Token.bytes token)))
+                      inputs;
+                    let cycles =
+                      Annotation.cycles l2.Level2.annotation
+                        ~target:Annotation.Fpga ~weight:work
+                    in
+                    Sim.Process.wait
+                      (Sim.Time.ns (cycles * config.fpga_period_ns));
+                    List.iter2
+                      (fun c token -> send ~master:"efpga" name c token)
+                      t.Task_graph.outputs outputs)
+          end
+        in
+        let rec rounds () =
+          List.iter fire_once sources;
+          let live =
+            List.exists
+              (fun (t : Task_graph.task) ->
+                not (Hashtbl.mem ended t.Task_graph.name))
+              sources
+          in
+          if live then begin
+            List.iter fire_once cpu_rest;
+            rounds ()
+          end
+        in
+        rounds ())
+  in
+  List.iter
+    (fun (t : Task_graph.task) ->
+      match Mapping.target_of mapping t.Task_graph.name with
+      | Mapping.Hw -> spawn_hw t
+      | Mapping.Sw | Mapping.Fpga _ -> ())
+    graph.Task_graph.tasks;
+  spawn_cpu ();
+  Sim.Kernel.run kernel;
+  let kernel_stats = Sim.Kernel.stats kernel in
+  {
+    trace;
+    kernel_stats;
+    bus_report = Tlm.Bus.report bus;
+    cpu_stats = Tlm.Cpu.stats cpu;
+    fpga_stats = Fpga.Fpga.stats fpga;
+    latency_ns = Sim.Time.to_ns kernel_stats.Sim.Kernel.final_time;
+    call_sequence = List.rev !calls;
+    instrumented_sw =
+      instrumented_program ~omit_load_for
+        (List.map (fun (t : Task_graph.task) -> t.Task_graph.name) schedule)
+        mapping;
+    config_info = config_info_of mapping;
+  }

@@ -1,0 +1,58 @@
+(** Level 3: the reconfigurable platform.
+
+    FPGA-resident functions are invoked synchronously from the software:
+    the CPU issues a reconfiguration (a bitstream download over the bus,
+    modelled as real burst traffic, plus programming time) whenever the
+    next call needs a context that is not loaded.  The run records the
+    dynamic resource-call sequence and emits the instrumented mini-C
+    program that SymbC consumes. *)
+
+type config = {
+  level2 : Level2.config;
+  fpga_capacity : int;
+  fpga_period_ns : int;
+  program_ns_per_byte : int;
+  fpga_burst_bytes : int;
+      (** download granularity: 8 models CPU programmed I/O, larger
+          values a DMA engine *)
+  task_area : string -> int;  (** area of each FPGA-mapped module *)
+}
+
+val default_task_area : string -> int
+val default_config : config
+
+type result = {
+  trace : Symbad_sim.Trace.t;
+  kernel_stats : Symbad_sim.Kernel.stats;
+  bus_report : Symbad_tlm.Bus.report;
+  cpu_stats : Symbad_tlm.Cpu.stats;
+  fpga_stats : Symbad_fpga.Fpga.stats;
+  latency_ns : int;
+  call_sequence : string list;  (** dynamic FPGA-resource invocations *)
+  instrumented_sw : Symbad_symbc.Ast.program;
+  config_info : Symbad_symbc.Config_info.t;
+}
+
+val simulation_speed_khz : bus_period_ns:int -> result -> float
+
+val build_fpga : config -> Mapping.t -> Symbad_fpga.Fpga.t
+val config_info_of : Mapping.t -> Symbad_symbc.Config_info.t
+
+val instrumented_program :
+  ?omit_load_for:string list ->
+  string list ->
+  Mapping.t ->
+  Symbad_symbc.Ast.program
+(** The cyclostatic schedule as mini-C with reconfiguration calls
+    inserted before FPGA invocations.  [omit_load_for] seeds the
+    consistency bug used by the verification experiments. *)
+
+val run :
+  ?config:config ->
+  ?omit_load_for:string list ->
+  Task_graph.t ->
+  Mapping.t ->
+  result
+(** With [omit_load_for], the device's runtime check raises
+    [Symbad_fpga.Fpga.Inconsistent] when the un-loaded resource is
+    invoked — the dynamic counterpart of the SymbC verdict. *)

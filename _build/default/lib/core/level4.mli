@@ -1,0 +1,37 @@
+(** Level 4: RTL generation and formal verification.
+
+    The FPGA-mapped datapaths and the interface wrapper come from the
+    predefined IP library; their properties are model checked, and PCC
+    judges the property set's completeness. *)
+
+type rtl_module = {
+  module_name : string;
+  netlist : Symbad_hdl.Netlist.t;
+  properties : Symbad_mc.Prop.t list;
+}
+
+val distance_properties : unit -> Symbad_mc.Prop.t list
+val root_properties : unit -> Symbad_mc.Prop.t list
+val wrapper_properties : Symbad_hdl.Netlist.t -> Symbad_mc.Prop.t list
+val argmin_properties : unit -> Symbad_mc.Prop.t list
+
+val modules : unit -> rtl_module list
+(** DISTANCE, ROOT, the hand-written wrapper, the streaming ARGMIN and
+    the synthesised IFGEN wrapper, each with its verification plan. *)
+
+type module_report = {
+  module_name : string;
+  mc_reports : Symbad_mc.Engine.report list;
+  all_proved : bool;
+  pcc : Symbad_pcc.Pcc.report;
+}
+
+type result = { modules : module_report list }
+
+val verify_module :
+  ?max_depth:int -> ?pcc_depth:int -> ?max_reg_bits:int -> rtl_module -> module_report
+
+val run : ?max_depth:int -> ?pcc_depth:int -> ?max_reg_bits:int -> unit -> result
+
+val pp_module_report : Format.formatter -> module_report -> unit
+val pp : Format.formatter -> result -> unit

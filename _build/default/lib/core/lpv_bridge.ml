@@ -1,0 +1,110 @@
+(* Bridge from the system model to the LPV abstraction.
+
+   "The SystemC model is translated in an abstract model where
+   communication and synchronization characteristics remain
+   un-abstracted": tasks become transitions (delay = annotated firing
+   time on their mapped resource), each channel a forward place, each
+   bounded channel also a backward credit place carrying its capacity,
+   and each task a marked self-loop (it cannot fire twice
+   concurrently). *)
+
+module Annotation = Symbad_tlm.Annotation
+module Lpv = Symbad_lpv
+
+type timing_model = {
+  annotation : Annotation.t;
+  cpu_period_ns : int;
+  hw_period_ns : int;
+  fpga_period_ns : int;
+}
+
+let default_timing =
+  {
+    annotation = Annotation.default;
+    cpu_period_ns = 20;
+    hw_period_ns = 10;
+    fpga_period_ns = 20;
+  }
+
+let firing_delay_ns timing mapping profile task =
+  let weight = Annotation.Profile.units_per_firing profile task in
+  let target = Mapping.target_of mapping task in
+  let cycles =
+    Annotation.cycles timing.annotation
+      ~target:(Mapping.annotation_target target)
+      ~weight
+  in
+  let period =
+    match target with
+    | Mapping.Sw -> timing.cpu_period_ns
+    | Mapping.Hw -> timing.hw_period_ns
+    | Mapping.Fpga _ -> timing.fpga_period_ns
+  in
+  cycles * period
+
+(* Build the net.  [capacity] bounds every channel (0 = unbounded: no
+   credit place).  [extra_channels] adds feedback edges absent from the
+   dataflow graph (used to model synchronisation added at mapping time,
+   and to seed the deadlock experiment). *)
+let net_of ?(capacity = 2) ?(extra_channels = []) ?timing ?mapping ?profile
+    (graph : Task_graph.t) =
+  let net = Lpv.Petri.create () in
+  let delay_of task =
+    match (timing, mapping, profile) with
+    | Some t, Some m, Some p -> firing_delay_ns t m p task
+    | _ -> 1
+  in
+  let tindex : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Task_graph.task) ->
+      let i =
+        Lpv.Petri.add_transition net ~delay:(delay_of t.Task_graph.name)
+          t.Task_graph.name
+      in
+      Hashtbl.add tindex t.Task_graph.name i;
+      (* serial re-execution: a marked self-loop *)
+      let self =
+        Lpv.Petri.add_place net ~tokens:1 ("self." ^ t.Task_graph.name)
+      in
+      Lpv.Petri.add_pre net ~transition:i ~place:self ();
+      Lpv.Petri.add_post net ~transition:i ~place:self ())
+    graph.Task_graph.tasks;
+  let add_channel ?(tokens = 0) name src dst =
+    let producer = Hashtbl.find tindex src and consumer = Hashtbl.find tindex dst in
+    let fwd = Lpv.Petri.add_place net ~tokens name in
+    Lpv.Petri.add_post net ~transition:producer ~place:fwd ();
+    Lpv.Petri.add_pre net ~transition:consumer ~place:fwd ();
+    if capacity > 0 then begin
+      let credit = Lpv.Petri.add_place net ~tokens:capacity (name ^ ".credit") in
+      Lpv.Petri.add_pre net ~transition:producer ~place:credit ();
+      Lpv.Petri.add_post net ~transition:consumer ~place:credit ()
+    end
+  in
+  List.iter
+    (fun c ->
+      if not (List.mem c graph.Task_graph.sinks) then
+        match (Task_graph.producer_of graph c, Task_graph.consumer_of graph c)
+        with
+        | Some p, Some q ->
+            add_channel c p.Task_graph.name q.Task_graph.name
+        | _ -> ())
+    (Task_graph.channels graph);
+  List.iter
+    (fun (name, src, dst, tokens) -> add_channel ~tokens name src dst)
+    extra_channels;
+  net
+
+(* The level-1 deadlock-freeness check and the level-2 timing checks, as
+   the flow invokes them. *)
+let check_deadlock ?capacity ?extra_channels graph =
+  Lpv.Deadlock.check (net_of ?capacity ?extra_channels graph)
+
+let check_deadline ~deadline_ns ~timing ~mapping ~profile ?capacity graph =
+  let net = net_of ?capacity ~timing ~mapping ~profile graph in
+  (Lpv.Timing.min_cycle_ratio net, Lpv.Timing.deadline_met ~deadline:deadline_ns net)
+
+let dimension_fifos ~deadline_ns ~timing ~mapping ~profile ?(max_capacity = 64)
+    graph =
+  Lpv.Timing.min_uniform_capacity ~max_capacity ~deadline:deadline_ns
+    ~build:(fun c -> net_of ~capacity:c ~timing ~mapping ~profile graph)
+    ()

@@ -1,0 +1,56 @@
+(** Bridge from the system model to the LPV abstraction: "the SystemC
+    model is translated in an abstract model where communication and
+    synchronization characteristics remain un-abstracted". *)
+
+type timing_model = {
+  annotation : Symbad_tlm.Annotation.t;
+  cpu_period_ns : int;
+  hw_period_ns : int;
+  fpga_period_ns : int;
+}
+
+val default_timing : timing_model
+
+val firing_delay_ns :
+  timing_model -> Mapping.t -> Symbad_tlm.Annotation.Profile.t -> string -> int
+(** Annotated firing time of a task on its mapped resource. *)
+
+val net_of :
+  ?capacity:int ->
+  ?extra_channels:(string * string * string * int) list ->
+  ?timing:timing_model ->
+  ?mapping:Mapping.t ->
+  ?profile:Symbad_tlm.Annotation.Profile.t ->
+  Task_graph.t ->
+  Symbad_lpv.Petri.t
+(** Tasks become transitions (delay 1 unless all of [timing], [mapping]
+    and [profile] are given), channels forward places plus credit places
+    of [capacity] (0 = unbounded), and each task a marked self-loop.
+    [extra_channels] adds [(name, src, dst, tokens)] feedback edges —
+    synchronisation added at mapping time, or seeded deadlock bugs. *)
+
+val check_deadlock :
+  ?capacity:int ->
+  ?extra_channels:(string * string * string * int) list ->
+  Task_graph.t ->
+  Symbad_lpv.Deadlock.verdict
+
+val check_deadline :
+  deadline_ns:int ->
+  timing:timing_model ->
+  mapping:Mapping.t ->
+  profile:Symbad_tlm.Annotation.Profile.t ->
+  ?capacity:int ->
+  Task_graph.t ->
+  Symbad_lpv.Timing.verdict * bool
+(** The minimum period and whether the deadline is achievable. *)
+
+val dimension_fifos :
+  deadline_ns:int ->
+  timing:timing_model ->
+  mapping:Mapping.t ->
+  profile:Symbad_tlm.Annotation.Profile.t ->
+  ?max_capacity:int ->
+  Task_graph.t ->
+  int option
+(** Smallest uniform channel capacity meeting the deadline. *)

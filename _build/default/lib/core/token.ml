@@ -1,0 +1,67 @@
+(* Data tokens flowing through the system models.
+
+   The same token values travel through every refinement level (that is
+   what makes trace comparison meaningful); what changes per level is how
+   their *transport* is modelled.  [bytes] sizes the bus transactions at
+   levels 2-3; [digest] is the canonical trace representation. *)
+
+module Image = Symbad_image.Image
+module Ellipse = Symbad_image.Ellipse
+module Line = Symbad_image.Line
+module Winner = Symbad_image.Winner
+
+type t =
+  | Frame of Image.t
+  | Shape of Ellipse.t
+  | Scan of Line.scan
+  | Vec of int array
+  | Mat of int array array
+  | Num of int
+  | Verdict of Winner.verdict
+
+(* Transport size in bytes (16-bit components, 8-bit pixels). *)
+let bytes = function
+  | Frame img -> Image.width img * Image.height img
+  | Shape _ -> 16
+  | Scan s -> 2 * (Array.length s.Line.rows + Array.length s.Line.cols)
+  | Vec v -> 2 * Array.length v
+  | Mat m -> 2 * Array.fold_left (fun acc row -> acc + Array.length row) 0 m
+  | Num _ -> 4
+  | Verdict _ -> 4
+
+let vec_digest v =
+  let fnv = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun x ->
+      fnv := Int64.logxor !fnv (Int64.of_int x);
+      fnv := Int64.mul !fnv 0x100000001b3L)
+    v;
+  Printf.sprintf "v%d/%Lx" (Array.length v) !fnv
+
+let digest = function
+  | Frame img -> "F" ^ Image.digest img
+  | Shape e -> "E" ^ Ellipse.digest e
+  | Scan s -> "S" ^ vec_digest (Array.append s.Line.rows s.Line.cols)
+  | Vec v -> "V" ^ vec_digest v
+  | Mat m -> "M" ^ vec_digest (Array.concat (Array.to_list m))
+  | Num n -> "N" ^ string_of_int n
+  | Verdict v -> "W" ^ Fmt.str "%a" Winner.pp v
+
+let kind_to_string = function
+  | Frame _ -> "frame"
+  | Shape _ -> "shape"
+  | Scan _ -> "scan"
+  | Vec _ -> "vec"
+  | Mat _ -> "mat"
+  | Num _ -> "num"
+  | Verdict _ -> "verdict"
+
+(* Typed accessors; models raise on protocol violations, which makes
+   wiring errors in task graphs fail fast. *)
+let to_frame = function Frame i -> i | t -> invalid_arg ("Token: expected frame, got " ^ kind_to_string t)
+let to_shape = function Shape e -> e | t -> invalid_arg ("Token: expected shape, got " ^ kind_to_string t)
+let to_scan = function Scan s -> s | t -> invalid_arg ("Token: expected scan, got " ^ kind_to_string t)
+let to_vec = function Vec v -> v | t -> invalid_arg ("Token: expected vec, got " ^ kind_to_string t)
+let to_mat = function Mat m -> m | t -> invalid_arg ("Token: expected mat, got " ^ kind_to_string t)
+let to_num = function Num n -> n | t -> invalid_arg ("Token: expected num, got " ^ kind_to_string t)
+let to_verdict = function Verdict v -> v | t -> invalid_arg ("Token: expected verdict, got " ^ kind_to_string t)

@@ -1,0 +1,1 @@
+lib/fpga/context.ml: Fmt List Resource String

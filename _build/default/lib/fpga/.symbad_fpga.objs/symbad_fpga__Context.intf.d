@@ -1,0 +1,1 @@
+lib/fpga/context.mli: Format Resource

@@ -1,0 +1,1 @@
+lib/fpga/fpga.ml: Context Fmt List Printf String Symbad_sim Symbad_tlm

@@ -1,0 +1,1 @@
+lib/fpga/fpga.mli: Context Format Symbad_tlm

@@ -1,0 +1,1 @@
+lib/fpga/placement.ml: Array Context Fmt List Printf Resource String

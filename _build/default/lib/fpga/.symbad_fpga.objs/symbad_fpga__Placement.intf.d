@@ -1,0 +1,1 @@
+lib/fpga/placement.mli: Context Format Resource

@@ -1,0 +1,27 @@
+(* An FPGA context (configuration): a fixed set of resources that are
+   simultaneously available once the context's bitstream is loaded. *)
+
+type t = { name : string; resources : Resource.t list }
+
+let make name resources =
+  let names = List.map Resource.name resources in
+  let dedup = List.sort_uniq String.compare names in
+  if List.length dedup <> List.length names then
+    invalid_arg ("Context.make: duplicate resource in " ^ name);
+  { name; resources }
+
+let name c = c.name
+let resources c = c.resources
+let area c = List.fold_left (fun a r -> a + Resource.area r) 0 c.resources
+
+let provides c resource_name =
+  List.exists (fun r -> String.equal (Resource.name r) resource_name) c.resources
+
+(* Bitstream size: a fixed configuration-frame header plus a per-area
+   payload.  8 bytes of configuration data per logic unit is in the range
+   of embedded FPGA fabrics of the period. *)
+let bitstream_bytes ?(header_bytes = 512) ?(bytes_per_area = 8) c =
+  header_bytes + (bytes_per_area * area c)
+
+let pp fmt c =
+  Fmt.pf fmt "%s{%a}" c.name (Fmt.list ~sep:Fmt.comma Resource.pp) c.resources

@@ -1,0 +1,20 @@
+(** FPGA contexts (configurations): fixed resource sets loaded as a unit. *)
+
+type t
+
+val make : string -> Resource.t list -> t
+(** Raises [Invalid_argument] on duplicate resource names. *)
+
+val name : t -> string
+val resources : t -> Resource.t list
+val area : t -> int
+
+val provides : t -> string -> bool
+(** [provides c r] is true iff resource [r] is available once [c] is
+    loaded. *)
+
+val bitstream_bytes : ?header_bytes:int -> ?bytes_per_area:int -> t -> int
+(** Size of the configuration bitstream (header + per-area payload;
+    defaults 512 + 8/unit). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** The dynamically reconfigurable device.
+
+    At most one context is loaded at a time.  {!reconfigure} downloads the
+    bitstream over the system bus and programs the fabric; {!require}
+    asserts a resource is available, raising {!Inconsistent} otherwise —
+    the runtime fault whose static absence SymbC certifies. *)
+
+exception Inconsistent of { resource : string; loaded : string option }
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?program_ns_per_byte:int ->
+  ?burst_bytes:int ->
+  contexts:Context.t list ->
+  string ->
+  t
+(** Raises [Invalid_argument] if any context exceeds [capacity].
+    [burst_bytes] (default 8, i.e. CPU-driven programmed I/O without a
+    DMA engine) is the bus-burst granularity of bitstream downloads:
+    each burst is a separately arbitrated bus transaction. *)
+
+val name : t -> string
+val capacity : t -> int
+val contexts : t -> Context.t list
+val loaded : t -> Context.t option
+val find_context : t -> string -> Context.t
+
+val reconfigure :
+  t -> bus:Symbad_tlm.Bus.t -> master:string -> string -> unit
+(** [reconfigure f ~bus ~master ctx] loads context [ctx] (by name) unless
+    already loaded: a high-priority bitstream bus transfer followed by
+    fabric programming time.  Must be called from a simulation process. *)
+
+val require : t -> string -> unit
+(** Assert that the named resource is currently available. *)
+
+val provides_loaded : t -> string -> bool
+
+type stats = {
+  reconfigurations : int;
+  bitstream_bytes : int;
+  reconfig_ns : int;
+  resource_calls : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

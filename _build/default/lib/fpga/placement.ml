@@ -1,0 +1,180 @@
+(* Context-partition tuning.
+
+   "The partition of algorithms and registers among the different
+   configurations is an important architectural aspect which must be
+   thoroughly tuned for obtaining optimal performances" — this module
+   evaluates and optimises that partition: given the dynamic sequence of
+   resource invocations, it counts the reconfigurations (and downloaded
+   bytes) each candidate partition would cause, and searches for the best
+   one (exhaustively for the case-study sizes, greedily beyond). *)
+
+type partition = Resource.t list list
+(* groups of resources; each group becomes one context *)
+
+let contexts_of_partition partition =
+  List.mapi
+    (fun i group -> Context.make (Printf.sprintf "config%d" (i + 1)) group)
+    partition
+
+(* Replay [calls] against a partition: every invocation of a resource not
+   in the currently loaded context forces a reconfiguration. *)
+let evaluate ~calls partition =
+  let contexts = contexts_of_partition partition in
+  let context_of resource =
+    List.find_opt (fun c -> Context.provides c resource) contexts
+  in
+  let reconfigs = ref 0 in
+  let bytes = ref 0 in
+  let current = ref None in
+  List.iter
+    (fun resource ->
+      match context_of resource with
+      | None -> invalid_arg ("Placement.evaluate: unplaced " ^ resource)
+      | Some ctx ->
+          let loaded =
+            match !current with
+            | Some c -> String.equal (Context.name c) (Context.name ctx)
+            | None -> false
+          in
+          if not loaded then begin
+            incr reconfigs;
+            bytes := !bytes + Context.bitstream_bytes ctx;
+            current := Some ctx
+          end)
+    calls;
+  (!reconfigs, !bytes)
+
+(* All set partitions of [resources] into at most [max_contexts] groups
+   whose areas fit in [capacity], via restricted-growth strings. *)
+let feasible_partitions ~capacity ~max_contexts resources =
+  let arr = Array.of_list resources in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = ref [] in
+    let assignment = Array.make n 0 in
+    (* restricted-growth strings: item [i] may join groups 0..max_used+1,
+       so no group is ever left empty *)
+    let rec enum i max_used =
+      if i = n then begin
+        let groups = Array.make (max_used + 1) [] in
+        for j = n - 1 downto 0 do
+          groups.(assignment.(j)) <- arr.(j) :: groups.(assignment.(j))
+        done;
+        let groups = Array.to_list groups in
+        let fits g =
+          List.fold_left (fun a r -> a + Resource.area r) 0 g <= capacity
+        in
+        if List.for_all fits groups then results := groups :: !results
+      end
+      else
+        let limit = min (max_used + 1) (max_contexts - 1) in
+        for g = 0 to limit do
+          assignment.(i) <- g;
+          enum (i + 1) (max g max_used)
+        done
+    in
+    enum 0 (-1);
+    !results
+  end
+
+type evaluation = {
+  partition : partition;
+  reconfigurations : int;
+  bitstream_bytes : int;
+}
+
+let best_partition ~capacity ~max_contexts ~calls resources =
+  let candidates = feasible_partitions ~capacity ~max_contexts resources in
+  let evaluate_one p =
+    let reconfigurations, bitstream_bytes = evaluate ~calls p in
+    { partition = p; reconfigurations; bitstream_bytes }
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      let better a b =
+        a.reconfigurations < b.reconfigurations
+        || (a.reconfigurations = b.reconfigurations
+            && a.bitstream_bytes < b.bitstream_bytes)
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let e = evaluate_one p in
+            if better e acc then e else acc)
+          (evaluate_one first) rest
+      in
+      Some best
+
+let sweep ~capacity ~max_contexts ~calls resources =
+  feasible_partitions ~capacity ~max_contexts resources
+  |> List.map (fun p ->
+         let reconfigurations, bitstream_bytes = evaluate ~calls p in
+         { partition = p; reconfigurations; bitstream_bytes })
+  |> List.sort (fun a b ->
+         compare
+           (a.reconfigurations, a.bitstream_bytes)
+           (b.reconfigurations, b.bitstream_bytes))
+
+(* Greedy partitioner for resource sets beyond exhaustive reach:
+   repeatedly merge the two groups with the highest call-adjacency
+   affinity (adjacent invocations of resources in different contexts are
+   exactly the reconfigurations a merge would save), subject to the
+   capacity, until at most [max_contexts] groups remain and no further
+   merge pays. *)
+let greedy_partition ~capacity ~max_contexts ~calls resources =
+  if resources = [] then None
+  else if List.exists (fun r -> Resource.area r > capacity) resources then None
+  else begin
+    let affinity a b =
+      (* adjacent call pairs crossing groups a and b *)
+      let in_group g name =
+        List.exists (fun r -> String.equal (Resource.name r) name) g
+      in
+      let rec count acc = function
+        | x :: (y :: _ as rest) ->
+            let crossing =
+              (in_group a x && in_group b y) || (in_group b x && in_group a y)
+            in
+            count (if crossing then acc + 1 else acc) rest
+        | [ _ ] | [] -> acc
+      in
+      count 0 calls
+    in
+    let group_area g = List.fold_left (fun s r -> s + Resource.area r) 0 g in
+    let rec merge groups =
+      let n = List.length groups in
+      (* candidate merges that fit *)
+      let best = ref None in
+      List.iteri
+        (fun i gi ->
+          List.iteri
+            (fun j gj ->
+              if i < j && group_area gi + group_area gj <= capacity then begin
+                let a = affinity gi gj in
+                match !best with
+                | Some (_, _, a') when a' >= a -> ()
+                | _ -> best := Some (i, j, a)
+              end)
+            groups)
+        groups;
+      match !best with
+      | Some (i, j, a) when n > max_contexts || a > 0 ->
+          let gi = List.nth groups i and gj = List.nth groups j in
+          let rest =
+            List.filteri (fun k _ -> k <> i && k <> j) groups
+          in
+          merge ((gi @ gj) :: rest)
+      | Some _ | None -> if n <= max_contexts then Some groups else None
+    in
+    merge (List.map (fun r -> [ r ]) resources)
+  end
+
+let pp_partition fmt p =
+  let pp_group fmt g =
+    Fmt.pf fmt "{%a}"
+      (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+      (List.map Resource.name g)
+  in
+  Fmt.pf fmt "[%a]" (Fmt.list ~sep:(Fmt.any " ") pp_group) p

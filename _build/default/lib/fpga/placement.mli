@@ -1,0 +1,52 @@
+(** Context-partition tuning: how to split FPGA-mapped resources among
+    configurations so as to minimise reconfiguration traffic. *)
+
+type partition = Resource.t list list
+(** Groups of resources; group [i] becomes context ["config<i+1>"]. *)
+
+val contexts_of_partition : partition -> Context.t list
+
+val evaluate : calls:string list -> partition -> int * int
+(** [evaluate ~calls p] replays the dynamic resource-invocation sequence
+    [calls] and returns [(reconfigurations, bitstream_bytes)]. *)
+
+val feasible_partitions :
+  capacity:int -> max_contexts:int -> Resource.t list -> partition list
+(** All set partitions into at most [max_contexts] groups each fitting in
+    [capacity] area units.  Exponential: intended for case-study sizes. *)
+
+type evaluation = {
+  partition : partition;
+  reconfigurations : int;
+  bitstream_bytes : int;
+}
+
+val best_partition :
+  capacity:int ->
+  max_contexts:int ->
+  calls:string list ->
+  Resource.t list ->
+  evaluation option
+(** Exhaustive optimum (fewest reconfigurations, bytes as tie-break). *)
+
+val sweep :
+  capacity:int ->
+  max_contexts:int ->
+  calls:string list ->
+  Resource.t list ->
+  evaluation list
+(** Every feasible partition with its cost, best first. *)
+
+val greedy_partition :
+  capacity:int ->
+  max_contexts:int ->
+  calls:string list ->
+  Resource.t list ->
+  partition option
+(** Polynomial heuristic for resource sets beyond exhaustive reach:
+    merge the groups whose call-adjacency affinity is highest (those are
+    the reconfigurations a merge saves) while they fit in [capacity],
+    until at most [max_contexts] groups remain.  [None] if no feasible
+    partition is found. *)
+
+val pp_partition : Format.formatter -> partition -> unit

@@ -1,0 +1,1 @@
+lib/hdl/bitvec.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/hdl/bitvec.mli: Format

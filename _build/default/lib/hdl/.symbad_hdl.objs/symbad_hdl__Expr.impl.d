@@ -1,0 +1,1 @@
+lib/hdl/expr.ml: Bitvec Fmt Printf

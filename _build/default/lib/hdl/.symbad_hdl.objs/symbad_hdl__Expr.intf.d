@@ -1,0 +1,1 @@
+lib/hdl/expr.mli: Bitvec Format

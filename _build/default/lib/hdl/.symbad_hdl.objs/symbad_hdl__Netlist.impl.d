@@ -1,0 +1,1 @@
+lib/hdl/netlist.ml: Bitvec Expr Fmt List Option Printf String

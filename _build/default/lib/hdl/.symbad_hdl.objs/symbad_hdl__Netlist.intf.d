@@ -1,0 +1,1 @@
+lib/hdl/netlist.mli: Bitvec Expr Format

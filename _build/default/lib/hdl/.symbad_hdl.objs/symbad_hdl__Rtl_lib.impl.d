@@ -1,0 +1,1 @@
+lib/hdl/rtl_lib.ml: Bitvec Expr List Netlist Printf

@@ -1,0 +1,1 @@
+lib/hdl/simulator.ml: Bitvec Expr List Netlist

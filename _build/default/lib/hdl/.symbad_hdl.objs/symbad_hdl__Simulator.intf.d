@@ -1,0 +1,1 @@
+lib/hdl/simulator.mli: Bitvec Netlist

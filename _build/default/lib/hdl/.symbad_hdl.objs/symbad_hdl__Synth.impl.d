@@ -1,0 +1,1 @@
+lib/hdl/synth.ml: Bitvec Expr List Netlist Printf Simulator

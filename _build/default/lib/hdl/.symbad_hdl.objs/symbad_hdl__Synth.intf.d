@@ -1,0 +1,1 @@
+lib/hdl/synth.mli: Expr Netlist

@@ -1,0 +1,1 @@
+lib/hdl/unroll.ml: Array Bitvec Expr List Netlist Printf String Symbad_sat

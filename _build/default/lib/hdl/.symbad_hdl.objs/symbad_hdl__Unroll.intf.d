@@ -1,0 +1,1 @@
+lib/hdl/unroll.mli: Expr Netlist Symbad_sat

@@ -1,0 +1,1 @@
+lib/hdl/vcd.ml: Bitvec Buffer Char List Netlist Printf Simulator String

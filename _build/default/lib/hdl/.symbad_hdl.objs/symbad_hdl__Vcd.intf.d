@@ -1,0 +1,1 @@
+lib/hdl/vcd.mli: Bitvec Netlist

@@ -1,0 +1,63 @@
+(* Cycle-accurate netlist simulation. *)
+
+type state = (string * Bitvec.t) list
+(* register name -> value *)
+
+type t = { netlist : Netlist.t; mutable state : state; mutable cycle : int }
+
+let initial_state nl =
+  List.map
+    (fun (r : Netlist.register) -> (r.Netlist.name, r.Netlist.init))
+    (Netlist.registers nl)
+
+let create nl = { netlist = nl; state = initial_state nl; cycle = 0 }
+
+let reset t =
+  t.state <- initial_state t.netlist;
+  t.cycle <- 0
+
+let state t = t.state
+let cycle t = t.cycle
+
+let set_state t state = t.state <- state
+
+let lookup env n =
+  match List.assoc_opt n env with
+  | Some v -> v
+  | None -> invalid_arg ("Simulator: unbound signal " ^ n)
+
+let eval_in ~inputs ~state e =
+  Expr.eval ~input:(lookup inputs) ~reg:(lookup state) e
+
+(* Evaluate all outputs for the current state and the given inputs. *)
+let outputs t ~inputs =
+  List.map
+    (fun (n, e) -> (n, eval_in ~inputs ~state:t.state e))
+    (Netlist.outputs t.netlist)
+
+let output t ~inputs name =
+  match Netlist.find_output t.netlist name with
+  | None -> invalid_arg ("Simulator.output: no output " ^ name)
+  | Some e -> eval_in ~inputs ~state:t.state e
+
+(* One clock edge: compute every register's next value from the current
+   state, then commit simultaneously. *)
+let step t ~inputs =
+  let next =
+    List.map
+      (fun (r : Netlist.register) ->
+        (r.Netlist.name, eval_in ~inputs ~state:t.state r.Netlist.next))
+      (Netlist.registers t.netlist)
+  in
+  t.state <- next;
+  t.cycle <- t.cycle + 1
+
+(* Run a stimulus: list of input valuations, one per cycle; returns the
+   outputs observed at each cycle (before the clock edge). *)
+let run t stimulus =
+  List.map
+    (fun inputs ->
+      let outs = outputs t ~inputs in
+      step t ~inputs;
+      outs)
+    stimulus

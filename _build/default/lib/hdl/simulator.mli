@@ -1,0 +1,31 @@
+(** Cycle-accurate netlist simulation. *)
+
+type state = (string * Bitvec.t) list
+(** Register name to value. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Simulator in the reset state. *)
+
+val reset : t -> unit
+val state : t -> state
+val cycle : t -> int
+(** Clock edges executed so far. *)
+
+val set_state : t -> state -> unit
+
+val outputs : t -> inputs:(string * Bitvec.t) list -> (string * Bitvec.t) list
+(** Combinational outputs for the current state and the given inputs. *)
+
+val output : t -> inputs:(string * Bitvec.t) list -> string -> Bitvec.t
+
+val step : t -> inputs:(string * Bitvec.t) list -> unit
+(** One clock edge: all registers update simultaneously. *)
+
+val run :
+  t ->
+  (string * Bitvec.t) list list ->
+  (string * Bitvec.t) list list
+(** Apply a stimulus (one input valuation per cycle); returns the outputs
+    observed before each edge. *)

@@ -1,0 +1,1 @@
+lib/image/bayer.ml: Image

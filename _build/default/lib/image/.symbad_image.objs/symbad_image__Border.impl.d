@@ -1,0 +1,1 @@
+lib/image/border.ml: Array Ellipse Image

@@ -1,0 +1,1 @@
+lib/image/database.ml: Array Bytes Char List

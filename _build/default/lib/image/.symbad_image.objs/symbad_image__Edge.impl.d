@@ -1,0 +1,1 @@
+lib/image/edge.ml: Image

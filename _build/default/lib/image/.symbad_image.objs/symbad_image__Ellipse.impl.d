@@ -1,0 +1,1 @@
+lib/image/ellipse.ml: Float Fmt Image Printf

@@ -1,0 +1,1 @@
+lib/image/ellipse.mli: Format Image

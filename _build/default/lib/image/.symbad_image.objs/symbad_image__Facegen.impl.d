@@ -1,0 +1,1 @@
+lib/image/facegen.ml: Image Rng

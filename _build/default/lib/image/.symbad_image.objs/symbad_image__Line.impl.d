@@ -1,0 +1,1 @@
+lib/image/line.ml: Array Ellipse Image

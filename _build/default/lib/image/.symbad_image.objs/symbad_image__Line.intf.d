@@ -1,0 +1,1 @@
+lib/image/line.mli: Ellipse Image

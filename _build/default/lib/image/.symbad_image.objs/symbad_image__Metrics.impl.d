@@ -1,0 +1,1 @@
+lib/image/metrics.ml: Database Fmt List Pipeline

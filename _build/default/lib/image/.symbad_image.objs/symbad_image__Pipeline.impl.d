@@ -1,0 +1,1 @@
+lib/image/pipeline.ml: Array Bayer Border Database Distance Edge Ellipse Erosion Facegen Image Line List Root Winner

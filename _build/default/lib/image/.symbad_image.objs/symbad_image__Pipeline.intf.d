@@ -1,0 +1,1 @@
+lib/image/pipeline.mli: Database Ellipse Image Line Winner

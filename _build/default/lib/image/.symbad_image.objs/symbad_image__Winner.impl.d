@@ -1,0 +1,1 @@
+lib/image/winner.ml: Fmt List

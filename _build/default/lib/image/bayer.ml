@@ -1,0 +1,66 @@
+(* CMOS sensor Bayer stage.
+
+   The camera delivers a raw Bayer-mosaic frame (RGGB): each photosite
+   sees the scene through one colour filter with a channel-dependent gain.
+   [demosaic] reconstructs a grayscale frame by bilinear interpolation of
+   the green plane plus gain-corrected red/blue, which is what the BAYER
+   module of the case study computes before the rest of the pipeline. *)
+
+(* Channel gains in 1/256ths: the synthetic scene is gray, so the mosaic
+   modulates it per-site and demosaicing must undo that. *)
+let gain_r = 205 (* 0.80 *)
+let gain_g = 256 (* 1.00 *)
+let gain_b = 230 (* 0.90 *)
+
+type channel = R | G | B
+
+let channel_at x y =
+  (* RGGB pattern *)
+  match (y land 1, x land 1) with
+  | 0, 0 -> R
+  | 0, 1 -> G
+  | 1, 0 -> G
+  | _ -> B
+
+let gain = function R -> gain_r | G -> gain_g | B -> gain_b
+
+(* Simulate the sensor: apply the colour-filter gain at each photosite. *)
+let mosaic img =
+  let w = Image.width img and h = Image.height img in
+  let out = Image.create ~width:w ~height:h in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = Image.get img x y * gain (channel_at x y) / 256 in
+      Image.set out x y v
+    done
+  done;
+  out
+
+(* Reconstruct gray from the mosaic: undo the per-channel gain at each
+   site, then smooth with the quincunx average to kill the residual
+   checkerboard. *)
+let demosaic raw =
+  let w = Image.width raw and h = Image.height raw in
+  let corrected = Image.create ~width:w ~height:h in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let v = Image.get raw x y * 256 / gain (channel_at x y) in
+      Image.set corrected x y v
+    done
+  done;
+  let out = Image.create ~width:w ~height:h in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let c = Image.get_clamped corrected in
+      let v =
+        ((4 * c x y) + c (x - 1) y + c (x + 1) y + c x (y - 1) + c x (y + 1))
+        / 8
+      in
+      Image.set out x y v
+    done
+  done;
+  out
+
+(* Work units per frame for profiling: one unit per photosite for the
+   gain pass plus five for the interpolation pass. *)
+let work ~width ~height = width * height * 6

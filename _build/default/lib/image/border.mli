@@ -1,0 +1,10 @@
+(** Border features (CRTBORDER): a radial signature of the face contour.
+
+    Rays cast from the fitted ellipse centre record the distance to the
+    outermost edge pixel, normalised by the ellipse scale. *)
+
+val profile : ?bins:int -> Image.t -> Ellipse.t -> int array
+(** [profile ~bins edges e] is the radial signature ([bins] defaults to
+    16; entries in 1/64ths of the ellipse scale). *)
+
+val work : width:int -> height:int -> bins:int -> int

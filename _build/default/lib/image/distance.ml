@@ -1,0 +1,18 @@
+(* DISTANCE: squared Euclidean distance between feature vectors — the
+   computational hot spot of the recognition loop (one evaluation per
+   database entry per frame), hence the module the case study maps into
+   the FPGA.  Pure integer multiply-accumulate, exactly what the RTL
+   datapath in Symbad_hdl.Rtl_lib implements. *)
+
+let squared a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Distance.squared: length mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) - b.(i) in
+    acc := !acc + (d * d)
+  done;
+  !acc
+
+(* Work units: one MAC per component. *)
+let work ~dim = dim

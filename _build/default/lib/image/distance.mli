@@ -1,0 +1,8 @@
+(** DISTANCE: squared Euclidean distance between feature vectors — the
+    computational hot spot mapped into the FPGA by the case study. *)
+
+val squared : int array -> int array -> int
+(** Sum of squared component differences; raises on length mismatch. *)
+
+val work : dim:int -> int
+(** One multiply-accumulate per component. *)

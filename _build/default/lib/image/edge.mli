@@ -1,0 +1,13 @@
+(** Sobel edge detection. *)
+
+val sobel_at : Image.t -> int -> int -> int
+(** |gx| + |gy| at one pixel (unscaled). *)
+
+val magnitude : Image.t -> Image.t
+(** Gradient-magnitude image (scaled to pixel range). *)
+
+val detect : ?threshold:int -> Image.t -> Image.t
+(** Binary edge map: 255 where the scaled magnitude exceeds
+    [threshold] (default 40), 0 elsewhere. *)
+
+val work : width:int -> height:int -> int

@@ -1,0 +1,11 @@
+(** Morphological erosion and dilation (square structuring element). *)
+
+val apply : ?radius:int -> Image.t -> Image.t
+(** Minimum filter over a [(2r+1)x(2r+1)] window (default radius 1);
+    suppresses isolated bright sensor noise before edge detection. *)
+
+val dilate : ?radius:int -> Image.t -> Image.t
+(** Maximum filter, the dual operator. *)
+
+val work : width:int -> height:int -> int
+(** Profiling weight of one frame. *)

@@ -1,0 +1,15 @@
+(** Line features (CRTLINE / CALCLINE).
+
+    CRTLINE selects scan rows/columns across the face box implied by the
+    fitted ellipse; CALCLINE integrates the image along them.  The line
+    sums cross eyes, brows and mouth at identity-dependent positions. *)
+
+type scan = { rows : int array; cols : int array }
+
+val create_lines : ?n:int -> Image.t -> Ellipse.t -> scan
+(** [n] rows and [n] cols (default 8) inside the ellipse's bounding box. *)
+
+val calc_features : Image.t -> Ellipse.t -> scan -> int array
+(** Mean gray level along each scan line ([2n] features). *)
+
+val work : width:int -> height:int -> n:int -> int

@@ -1,0 +1,43 @@
+(* Recognition-quality metrics over the synthetic face population. *)
+
+type result = {
+  identities : int;
+  poses : int;
+  trials : int;
+  correct : int;
+  accuracy : float;
+  mean_margin : float;
+      (* mean (second-best distance - best distance), a separability measure *)
+}
+
+let evaluate ?(size = 64) ?(poses = 5) db =
+  let identities = Database.size db in
+  let trials = ref 0 and correct = ref 0 and margin_sum = ref 0. in
+  for identity = 0 to identities - 1 do
+    for pose = 1 to poses do
+      incr trials;
+      let raw = Pipeline.camera ~size ~identity ~pose () in
+      let ds = Pipeline.distances db (Pipeline.features_of_frame raw) in
+      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) ds in
+      (match sorted with
+      | (best_id, best_d) :: (_, second_d) :: _ ->
+          if best_id = identity then incr correct;
+          margin_sum := !margin_sum +. float_of_int (second_d - best_d)
+      | [ (best_id, _) ] -> if best_id = identity then incr correct
+      | [] -> ())
+    done
+  done;
+  {
+    identities;
+    poses;
+    trials = !trials;
+    correct = !correct;
+    accuracy =
+      (if !trials = 0 then 0. else float_of_int !correct /. float_of_int !trials);
+    mean_margin =
+      (if !trials = 0 then 0. else !margin_sum /. float_of_int !trials);
+  }
+
+let pp fmt r =
+  Fmt.pf fmt "%d/%d correct (%.1f%%) over %d ids x %d poses, margin %.1f"
+    r.correct r.trials (100. *. r.accuracy) r.identities r.poses r.mean_margin

@@ -1,0 +1,16 @@
+(** Recognition-quality metrics over the synthetic face population. *)
+
+type result = {
+  identities : int;
+  poses : int;
+  trials : int;
+  correct : int;
+  accuracy : float;
+  mean_margin : float;
+      (** mean gap between second-best and best distance *)
+}
+
+val evaluate : ?size:int -> ?poses:int -> Database.t -> result
+(** Probe every enrolled identity under poses [1..poses] (default 5). *)
+
+val pp : Format.formatter -> result -> unit

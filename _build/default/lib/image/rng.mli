@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    Used for synthetic camera frames, sensor noise and the ATPG engines,
+    so that every run of every experiment is reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); raises on [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val noise : t -> float
+(** Zero-mean noise in about [-1.5, 1.5] (sum of three uniforms). *)

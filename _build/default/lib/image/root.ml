@@ -1,0 +1,31 @@
+(* ROOT: non-restoring integer square root, bit by bit — the second
+   module the case study maps into the FPGA.  The algorithm is written
+   the way the hardware computes it (one result bit per iteration) so the
+   behavioural model and the RTL datapath in Symbad_hdl.Rtl_lib agree
+   step for step. *)
+
+let isqrt n =
+  if n < 0 then invalid_arg "Root.isqrt: negative";
+  if n = 0 then 0
+  else begin
+    (* highest power of 4 <= n *)
+    let bit = ref 1 in
+    while !bit <= n / 4 do
+      bit := !bit * 4
+    done;
+    let num = ref n and res = ref 0 in
+    while !bit <> 0 do
+      if !num >= !res + !bit then begin
+        num := !num - (!res + !bit);
+        res := (!res / 2) + !bit
+      end
+      else res := !res / 2;
+      bit := !bit / 4
+    done;
+    !res
+  end
+
+(* Iteration count of the datapath: one per result bit. *)
+let work ~value =
+  let rec bits n acc = if n = 0 then acc else bits (n / 4) (acc + 1) in
+  max 1 (bits (max value 1) 0)

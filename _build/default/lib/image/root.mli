@@ -1,0 +1,8 @@
+(** ROOT: integer square root, computed bit by bit exactly as the RTL
+    datapath does (see [Symbad_hdl.Rtl_lib.root_datapath]). *)
+
+val isqrt : int -> int
+(** Largest [r] with [r * r <= n]; raises on negative input. *)
+
+val work : value:int -> int
+(** Iteration count of the hardware algorithm for this operand. *)

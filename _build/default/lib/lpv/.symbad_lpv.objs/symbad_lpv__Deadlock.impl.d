@@ -1,0 +1,1 @@
+lib/lpv/deadlock.ml: Array Fmt List Petri Rat Simplex

@@ -1,0 +1,1 @@
+lib/lpv/deadlock.mli: Format Petri Rat

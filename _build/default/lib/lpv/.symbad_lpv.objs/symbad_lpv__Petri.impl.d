@@ -1,0 +1,1 @@
+lib/lpv/petri.ml: Array Fmt List Rat Simplex String

@@ -1,0 +1,1 @@
+lib/lpv/petri.mli: Format

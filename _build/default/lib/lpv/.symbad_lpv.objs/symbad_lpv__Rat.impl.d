@@ -1,0 +1,1 @@
+lib/lpv/rat.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/lpv/simplex.ml: Array Fmt List Rat

@@ -1,0 +1,1 @@
+lib/lpv/simplex.mli: Format Rat

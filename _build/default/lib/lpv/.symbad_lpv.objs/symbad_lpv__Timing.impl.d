@@ -1,0 +1,1 @@
+lib/lpv/timing.ml: Array Fmt List Petri Rat Simplex

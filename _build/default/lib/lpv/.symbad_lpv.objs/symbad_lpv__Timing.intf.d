@@ -1,0 +1,1 @@
+lib/lpv/timing.mli: Format Petri Rat

@@ -1,0 +1,81 @@
+(* LPV deadlock-freeness.
+
+   For (strongly connected) marked graphs, the live/deadlock question is
+   exactly "does every directed cycle carry a token?".  Cycles are the
+   extreme points of the nonnegative place-invariant cone
+       { y >= 0 | y C = 0 },
+   so minimising the initial token count y . M0 over that cone (with the
+   normalisation sum y = 1) decides the question:
+     optimum > 0   =>  every cycle is marked: deadlock-free, and the
+                       optimum is the (scaled) minimum cycle token count;
+     optimum = 0   =>  the support of the optimal y is a token-free
+                       invariant — an unfireable cycle, i.e. a deadlock
+                       witness. *)
+
+type verdict =
+  | Deadlock_free of { min_cycle_tokens : Rat.t }
+  | Potential_deadlock of { witness : string list }
+      (* token-free cycle: names of the places in the invariant support *)
+  | Not_analyzable of string
+
+let check net =
+  let np = Petri.n_places net and nt = Petri.n_transitions net in
+  if np = 0 || nt = 0 then Not_analyzable "empty net"
+  else begin
+    let c = Petri.incidence net in
+    let m0 = Petri.initial_marking net in
+    (* variables: y_p for each place *)
+    let invariant_rows =
+      List.init nt (fun t ->
+          {
+            Simplex.coeffs =
+              List.init np (fun p -> (p, Rat.of_int c.(t).(p)))
+              |> List.filter (fun (_, q) -> not (Rat.is_zero q));
+            cmp = Simplex.Eq;
+            rhs = Rat.zero;
+          })
+    in
+    let normalisation =
+      {
+        Simplex.coeffs = List.init np (fun p -> (p, Rat.one));
+        cmp = Simplex.Eq;
+        rhs = Rat.one;
+      }
+    in
+    let objective =
+      List.init np (fun p -> (p, Rat.of_int m0.(p)))
+      |> List.filter (fun (_, q) -> not (Rat.is_zero q))
+    in
+    match
+      Simplex.solve
+        {
+          nvars = np;
+          constraints = normalisation :: invariant_rows;
+          objective;
+          minimize = true;
+        }
+    with
+    | Simplex.Infeasible ->
+        (* no nonnegative invariant at all: no cycles, hence no cyclic
+           starvation in a marked graph *)
+        Deadlock_free { min_cycle_tokens = Rat.of_int max_int }
+    | Simplex.Unbounded -> Not_analyzable "unbounded invariant LP"
+    | Simplex.Optimal { value; solution } ->
+        if Rat.sign value > 0 then Deadlock_free { min_cycle_tokens = value }
+        else begin
+          let witness =
+            List.filteri (fun p _ -> Rat.sign solution.(p) > 0)
+              (Array.to_list (Array.init np (fun p -> Petri.place_name net p)))
+          in
+          Potential_deadlock { witness }
+        end
+  end
+
+let pp_verdict fmt = function
+  | Deadlock_free { min_cycle_tokens } ->
+      Fmt.pf fmt "deadlock-free (min cycle tokens %a)" Rat.pp min_cycle_tokens
+  | Potential_deadlock { witness } ->
+      Fmt.pf fmt "POTENTIAL DEADLOCK: token-free cycle through {%a}"
+        (Fmt.list ~sep:Fmt.comma Fmt.string)
+        witness
+  | Not_analyzable msg -> Fmt.pf fmt "not analyzable: %s" msg

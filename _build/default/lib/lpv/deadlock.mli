@@ -1,0 +1,15 @@
+(** LPV deadlock-freeness for marked graphs.
+
+    Minimising the initial token count over the nonnegative
+    place-invariant cone decides whether every directed cycle carries a
+    token; a zero-token optimum's support is an unfireable cycle — a
+    deadlock witness. *)
+
+type verdict =
+  | Deadlock_free of { min_cycle_tokens : Rat.t }
+  | Potential_deadlock of { witness : string list }
+      (** places of the token-free cycle *)
+  | Not_analyzable of string
+
+val check : Petri.t -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit

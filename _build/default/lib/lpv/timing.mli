@@ -1,0 +1,21 @@
+(** LPV real-time analysis: deadline achievement and FIFO dimensioning
+    via the maximum-cycle-ratio LP over timed marked graphs. *)
+
+type verdict =
+  | Period of Rat.t  (** minimum sustainable iteration period *)
+  | Unschedulable of string  (** a zero-token cycle: no finite period *)
+
+val min_cycle_ratio : Petri.t -> verdict
+(** One LP: minimise [r] subject to
+    [s(consumer) - s(producer) + r * tokens(p) >= delay(producer)] for
+    every place [p]. *)
+
+val deadline_met : deadline:int -> Petri.t -> bool
+(** Can the system sustain one iteration every [deadline] time units? *)
+
+val min_uniform_capacity :
+  ?max_capacity:int -> deadline:int -> build:(int -> Petri.t) -> unit -> int option
+(** Smallest uniform channel capacity meeting the deadline, over a
+    monotone family of nets built by [build]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/mc/bmc.ml: List Prop Symbad_hdl Symbad_sat Trace

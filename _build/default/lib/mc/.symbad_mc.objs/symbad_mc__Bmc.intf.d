@@ -1,0 +1,1 @@
+lib/mc/bmc.mli: Prop Symbad_hdl Trace

@@ -1,0 +1,1 @@
+lib/mc/engine.ml: Bmc Explicit Fmt List Printf Prop Symbad_hdl Trace

@@ -1,0 +1,1 @@
+lib/mc/engine.mli: Format Prop Symbad_hdl Trace

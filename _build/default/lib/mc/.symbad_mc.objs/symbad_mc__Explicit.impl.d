@@ -1,0 +1,1 @@
+lib/mc/explicit.ml: Hashtbl List Prop Queue Symbad_hdl Trace

@@ -1,0 +1,1 @@
+lib/mc/explicit.mli: Prop Symbad_hdl Trace

@@ -1,0 +1,1 @@
+lib/mc/prop.ml: Fmt Printf String Symbad_hdl

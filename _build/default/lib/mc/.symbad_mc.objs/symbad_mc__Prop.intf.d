@@ -1,0 +1,1 @@
+lib/mc/prop.mli: Format Symbad_hdl

@@ -1,0 +1,24 @@
+(** Bounded model checking and k-induction over bit-blasted netlists. *)
+
+type check_result =
+  | Holds  (** no counterexample up to the given depth *)
+  | Counterexample of Trace.t
+  | Resource_out  (** SAT conflict budget exhausted *)
+
+val check :
+  ?max_conflicts:int -> depth:int -> Symbad_hdl.Netlist.t -> Prop.t -> check_result
+(** Search for a violation within [0, depth] steps from reset.  A step
+    property at depth [k] spans states [k] and [k + 1]. *)
+
+type induction_result =
+  | Inductive
+  | Cti of Trace.t
+      (** counterexample-to-induction: a [k]-step path over free states
+          satisfying the property that then violates it — not
+          necessarily reachable *)
+  | Induction_resource_out
+
+val inductive_step :
+  ?max_conflicts:int -> k:int -> Symbad_hdl.Netlist.t -> Prop.t -> induction_result
+(** The inductive step at depth [k >= 1]: together with [check ~depth:k]
+    returning [Holds], [Inductive] proves the property. *)

@@ -1,0 +1,26 @@
+(** The level-4 model-checking engine: interleaves BMC (counterexample
+    hunting) and k-induction (proof attempts) for increasing k, falling
+    back to exact reachability when tractable.  Every property gets a
+    proof certificate or a counterexample, as the flow requires. *)
+
+type verdict =
+  | Proved of { method_ : string; depth : int }
+  | Falsified of Trace.t
+  | Unknown of { reason : string }
+
+type report = { property : string; verdict : verdict; checked_depth : int }
+
+val check :
+  ?max_depth:int -> ?max_conflicts:int -> Symbad_hdl.Netlist.t -> Prop.t -> report
+
+val check_all :
+  ?max_depth:int ->
+  ?max_conflicts:int ->
+  Symbad_hdl.Netlist.t ->
+  Prop.t list ->
+  report list
+
+val all_proved : report list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit

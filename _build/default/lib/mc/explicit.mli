@@ -1,0 +1,17 @@
+(** Explicit-state reachability for small netlists.
+
+    A decision procedure whenever the state and input spaces fit in
+    memory; serves as the reference oracle for the SAT-based engines and
+    answers reachability queries directly. *)
+
+type result =
+  | Proved of { states : int }  (** with the reachable-state count *)
+  | Falsified of Trace.t  (** BFS gives a shortest counterexample *)
+  | Too_large
+
+val check :
+  ?max_states:int -> ?max_input_bits:int -> Symbad_hdl.Netlist.t -> Prop.t -> result
+
+val reachable_states :
+  ?max_states:int -> ?max_input_bits:int -> Symbad_hdl.Netlist.t -> int option
+(** Reachable-state count, if tractable. *)

@@ -1,0 +1,17 @@
+(* Counterexample traces: per-cycle input and register valuations. *)
+
+type frame = { inputs : (string * int) list; regs : (string * int) list }
+
+type t = frame list
+
+let length (t : t) = List.length t
+
+let pp_valuation fmt vs =
+  Fmt.list ~sep:Fmt.sp (fun fmt (n, v) -> Fmt.pf fmt "%s=%d" n v) fmt vs
+
+let pp fmt (t : t) =
+  List.iteri
+    (fun i f ->
+      Fmt.pf fmt "cycle %d: in[%a] reg[%a]@." i pp_valuation f.inputs
+        pp_valuation f.regs)
+    t

@@ -1,0 +1,7 @@
+(** Counterexample traces: per-cycle input and register valuations. *)
+
+type frame = { inputs : (string * int) list; regs : (string * int) list }
+type t = frame list
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit

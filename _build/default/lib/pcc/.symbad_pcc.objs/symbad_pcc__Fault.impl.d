@@ -1,0 +1,1 @@
+lib/pcc/fault.ml: List Printf String Symbad_hdl

@@ -1,0 +1,1 @@
+lib/pcc/fault.mli: Symbad_hdl

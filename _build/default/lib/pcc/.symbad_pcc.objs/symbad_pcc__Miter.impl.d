@@ -1,0 +1,1 @@
+lib/pcc/miter.ml: List Printf Symbad_hdl Symbad_mc

@@ -1,0 +1,1 @@
+lib/pcc/miter.mli: Symbad_hdl Symbad_mc

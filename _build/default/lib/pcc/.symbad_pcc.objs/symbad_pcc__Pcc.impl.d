@@ -1,0 +1,1 @@
+lib/pcc/pcc.ml: Fault Fmt List Miter Symbad_hdl Symbad_mc

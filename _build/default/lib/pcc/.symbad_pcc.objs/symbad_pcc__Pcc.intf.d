@@ -1,0 +1,1 @@
+lib/pcc/pcc.mli: Fault Format Symbad_hdl Symbad_mc

@@ -1,0 +1,98 @@
+(* Property Coverage Checker.
+
+   "How many properties should the verification engineer define to
+   completely check the implementation?" — PCC answers by fault
+   injection: a property set is complete when every detectable
+   high-level fault makes at least one property fail.  Surviving faults
+   witness behaviours no property constrains, i.e. missing properties. *)
+
+module Netlist = Symbad_hdl.Netlist
+
+type fault_status =
+  | Covered of string  (* name of a property that fails on the mutant *)
+  | Uncovered  (* detectable, but every property still passes *)
+  | Undetectable  (* no output difference within the bound *)
+  | Unresolved  (* SAT resources exhausted *)
+
+type fault_report = { fault : Fault.t; status : fault_status }
+
+type report = {
+  design : string;
+  properties : string list;
+  faults : fault_report list;
+  detectable : int;
+  covered : int;
+  coverage : float;  (* covered / detectable *)
+}
+
+(* Does any property fail on [mutant] within [depth] cycles? *)
+let first_failing_property ~depth ~max_conflicts mutant props =
+  let rec go = function
+    | [] -> None
+    | p :: rest -> (
+        match Symbad_mc.Bmc.check ~max_conflicts ~depth mutant p with
+        | Symbad_mc.Bmc.Counterexample _ -> Some (Symbad_mc.Prop.name p)
+        | Symbad_mc.Bmc.Holds | Symbad_mc.Bmc.Resource_out -> go rest)
+  in
+  go props
+
+let check_fault ~depth ~max_conflicts nl props fault =
+  let mutant = Fault.apply nl fault in
+  match Miter.detectable ~depth ~max_conflicts nl mutant with
+  | `Undetectable_within _ -> { fault; status = Undetectable }
+  | `Resource_out -> { fault; status = Unresolved }
+  | `Detectable _ -> (
+      match first_failing_property ~depth ~max_conflicts mutant props with
+      | Some name -> { fault; status = Covered name }
+      | None -> { fault; status = Uncovered })
+
+let run ?(depth = 10) ?(max_conflicts = 100_000) ?max_reg_bits nl props =
+  let faults = Fault.enumerate ?max_reg_bits nl in
+  let reports = List.map (check_fault ~depth ~max_conflicts nl props) faults in
+  let detectable =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.status with
+           | Covered _ | Uncovered -> true
+           | Undetectable | Unresolved -> false)
+         reports)
+  in
+  let covered =
+    List.length
+      (List.filter
+         (fun r -> match r.status with Covered _ -> true | _ -> false)
+         reports)
+  in
+  {
+    design = Netlist.name nl;
+    properties = List.map Symbad_mc.Prop.name props;
+    faults = reports;
+    detectable;
+    covered;
+    coverage =
+      (if detectable = 0 then 1.
+       else float_of_int covered /. float_of_int detectable);
+  }
+
+let uncovered_faults report =
+  List.filter_map
+    (fun r -> match r.status with Uncovered -> Some r.fault | _ -> None)
+    report.faults
+
+let pp_status fmt = function
+  | Covered p -> Fmt.pf fmt "covered by %s" p
+  | Uncovered -> Fmt.string fmt "UNCOVERED"
+  | Undetectable -> Fmt.string fmt "undetectable"
+  | Unresolved -> Fmt.string fmt "unresolved"
+
+let pp fmt r =
+  Fmt.pf fmt "PCC %s: %d properties, %d faults, %d detectable, %d covered (%.0f%%)@."
+    r.design (List.length r.properties) (List.length r.faults) r.detectable
+    r.covered (100. *. r.coverage);
+  List.iter
+    (fun fr ->
+      match fr.status with
+      | Uncovered -> Fmt.pf fmt "  missing property for: %s@." (Fault.to_string fr.fault)
+      | Covered _ | Undetectable | Unresolved -> ())
+    r.faults

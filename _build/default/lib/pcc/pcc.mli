@@ -1,0 +1,36 @@
+(** The Property Coverage Checker.
+
+    A property set is complete when every detectable high-level fault
+    makes at least one property fail; surviving faults witness
+    behaviours no property constrains — missing properties. *)
+
+type fault_status =
+  | Covered of string  (** name of a property failing on the mutant *)
+  | Uncovered  (** detectable, yet every property passes: a gap *)
+  | Undetectable  (** no output difference within the bound *)
+  | Unresolved  (** SAT resources exhausted *)
+
+type fault_report = { fault : Fault.t; status : fault_status }
+
+type report = {
+  design : string;
+  properties : string list;
+  faults : fault_report list;
+  detectable : int;
+  covered : int;
+  coverage : float;  (** covered / detectable *)
+}
+
+val run :
+  ?depth:int ->
+  ?max_conflicts:int ->
+  ?max_reg_bits:int ->
+  Symbad_hdl.Netlist.t ->
+  Symbad_mc.Prop.t list ->
+  report
+
+val uncovered_faults : report -> Fault.t list
+(** The faults demanding new properties. *)
+
+val pp_status : Format.formatter -> fault_status -> unit
+val pp : Format.formatter -> report -> unit

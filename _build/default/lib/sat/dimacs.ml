@@ -1,0 +1,60 @@
+(* DIMACS CNF interchange, for testing the solver against reference
+   instances and dumping problems for inspection. *)
+
+type problem = { nvars : int; clauses : int list list }
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> ()
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some l -> current := l :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line = 0 then ()
+      else if line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; nv; _nc ] -> nvars := int_of_string nv
+        | _ -> invalid_arg "Dimacs.parse_string: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter handle_token)
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { nvars = !nvars; clauses = List.rev !clauses }
+
+let to_string { nvars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun cl ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) cl;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { nvars; clauses } =
+  let have = Solver.nvars solver in
+  for _ = have + 1 to nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses
+
+let solve problem =
+  let s = Solver.create problem.nvars in
+  load_into s problem;
+  Solver.solve s

@@ -1,0 +1,13 @@
+(** DIMACS CNF interchange. *)
+
+type problem = { nvars : int; clauses : int list list }
+
+val parse_string : string -> problem
+(** Parse DIMACS text ([c] comments and the [p cnf] header allowed). *)
+
+val to_string : problem -> string
+
+val load_into : Solver.t -> problem -> unit
+(** Allocate missing variables and add all clauses. *)
+
+val solve : problem -> Solver.result

@@ -1,0 +1,42 @@
+(** CDCL SAT solver.
+
+    MiniSat architecture: two-watched-literal propagation, first-UIP
+    learning, activity-based decisions with phase saving, Luby restarts.
+    Literals are non-zero ints: [v] is variable [v >= 1] positive, [-v]
+    its negation. *)
+
+type t
+
+type result = Sat | Unsat | Unknown  (** [Unknown]: conflict budget hit *)
+
+val create : int -> t
+(** [create n] is a solver over variables [1..n]. *)
+
+val nvars : t -> int
+
+val new_var : t -> int
+(** Allocate and return a fresh variable. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (only before or between [solve] calls, at root level).
+    Tautologies and satisfied clauses are dropped; the empty clause makes
+    the instance permanently unsatisfiable. *)
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
+(** Decide satisfiability under the given assumption literals. *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the model; meaningful only right after [solve]
+    returned [Sat]. *)
+
+val model : t -> bool array
+(** Full model, indexed by variable (index 0 unused). *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  learned : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Effect Event_queue Fmt Sys Time

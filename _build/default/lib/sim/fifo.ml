@@ -1,0 +1,80 @@
+(* Bounded point-to-point FIFO channel with blocking semantics, the level-1
+   communication primitive of the flow.  Occupancy statistics feed the LPV
+   FIFO-dimensioning analysis at level 2. *)
+
+type 'a t = {
+  name : string;
+  capacity : int; (* 0 = unbounded *)
+  items : 'a Queue.t;
+  mutable readers : (unit -> unit) list;
+  mutable writers : (unit -> unit) list;
+  mutable total_puts : int;
+  mutable total_gets : int;
+  mutable max_occupancy : int;
+}
+
+let create ?(capacity = 0) name =
+  if capacity < 0 then invalid_arg "Fifo.create: negative capacity";
+  {
+    name;
+    capacity;
+    items = Queue.create ();
+    readers = [];
+    writers = [];
+    total_puts = 0;
+    total_gets = 0;
+    max_occupancy = 0;
+  }
+
+let name f = f.name
+let capacity f = f.capacity
+let length f = Queue.length f.items
+let is_full f = f.capacity > 0 && Queue.length f.items >= f.capacity
+
+let wake_all waiters = List.iter (fun resume -> resume ()) waiters
+
+let wake_readers f =
+  let ws = f.readers in
+  f.readers <- [];
+  wake_all ws
+
+let wake_writers f =
+  let ws = f.writers in
+  f.writers <- [];
+  wake_all ws
+
+let rec put f x =
+  if is_full f then begin
+    Process.suspend (fun resume -> f.writers <- resume :: f.writers);
+    put f x
+  end
+  else begin
+    Queue.push x f.items;
+    f.total_puts <- f.total_puts + 1;
+    if Queue.length f.items > f.max_occupancy then
+      f.max_occupancy <- Queue.length f.items;
+    wake_readers f
+  end
+
+let rec get f =
+  match Queue.take_opt f.items with
+  | Some x ->
+      f.total_gets <- f.total_gets + 1;
+      wake_writers f;
+      x
+  | None ->
+      Process.suspend (fun resume -> f.readers <- resume :: f.readers);
+      get f
+
+let try_get f =
+  match Queue.take_opt f.items with
+  | Some x ->
+      f.total_gets <- f.total_gets + 1;
+      wake_writers f;
+      Some x
+  | None -> None
+
+type occupancy = { puts : int; gets : int; max_occupancy : int }
+
+let occupancy f =
+  { puts = f.total_puts; gets = f.total_gets; max_occupancy = f.max_occupancy }

@@ -1,0 +1,33 @@
+(** Bounded blocking FIFO channels (point-to-point communication).
+
+    A capacity of 0 means unbounded — the abstraction used by level-1
+    untimed models.  Levels 2-3 use finite capacities; the recorded
+    occupancy statistics are the empirical counterpart of the LPV FIFO
+    dimensioning analysis. *)
+
+type 'a t
+
+val create : ?capacity:int -> string -> 'a t
+(** [create ~capacity name].  [capacity = 0] (default) is unbounded. *)
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+
+val put : 'a t -> 'a -> unit
+(** Blocking write; parks the calling process while the channel is full. *)
+
+val get : 'a t -> 'a
+(** Blocking read; parks the calling process while the channel is empty. *)
+
+val try_get : 'a t -> 'a option
+(** Non-blocking read. *)
+
+type occupancy = {
+  puts : int;  (** total writes *)
+  gets : int;  (** total reads *)
+  max_occupancy : int;  (** high-water mark of the queue length *)
+}
+
+val occupancy : 'a t -> occupancy

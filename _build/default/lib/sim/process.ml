@@ -1,0 +1,14 @@
+(* Primitives available inside a simulation process (i.e. inside a function
+   passed to [Kernel.spawn]).  They perform the kernel's effects. *)
+
+let wait d = Effect.perform (Kernel.Wait d)
+let wait_ns n = wait (Time.ns n)
+let wait_cycles ~period_ns c = wait (Time.of_cycles ~period_ns c)
+let suspend register = Effect.perform (Kernel.Suspend register)
+let kernel () = Effect.perform Kernel.Get_kernel
+let now () = Kernel.now (kernel ())
+let halt () = raise Kernel.Halted
+
+let spawn ?name body =
+  let k = kernel () in
+  Kernel.spawn k ?name body

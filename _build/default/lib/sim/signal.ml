@@ -1,0 +1,43 @@
+(* A shared variable with change notification, like an sc_signal.  Writes
+   take effect immediately; waiters parked on [await_change] are released
+   at the current time (a fresh delta) whenever the value actually
+   changes. *)
+
+type 'a t = {
+  name : string;
+  equal : 'a -> 'a -> bool;
+  mutable value : 'a;
+  mutable waiters : (unit -> unit) list;
+  mutable writes : int;
+  mutable changes : int;
+}
+
+let create ?(equal = ( = )) name init =
+  { name; equal; value = init; waiters = []; writes = 0; changes = 0 }
+
+let name s = s.name
+let read s = s.value
+
+let write s v =
+  s.writes <- s.writes + 1;
+  if not (s.equal s.value v) then begin
+    s.value <- v;
+    s.changes <- s.changes + 1;
+    let ws = s.waiters in
+    s.waiters <- [];
+    List.iter (fun resume -> resume ()) ws
+  end
+
+let await_change s =
+  Process.suspend (fun resume -> s.waiters <- resume :: s.waiters);
+  s.value
+
+let rec await s pred =
+  if pred s.value then s.value
+  else begin
+    ignore (await_change s);
+    await s pred
+  end
+
+let writes s = s.writes
+let changes s = s.changes

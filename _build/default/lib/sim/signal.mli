@@ -1,0 +1,29 @@
+(** Shared variables with change notification (sc_signal analogue). *)
+
+type 'a t
+
+val create : ?equal:('a -> 'a -> bool) -> string -> 'a -> 'a t
+(** [create ~equal name init].  [equal] (default structural equality)
+    decides whether a write is a change. *)
+
+val name : 'a t -> string
+
+val read : 'a t -> 'a
+(** Current value; never blocks. *)
+
+val write : 'a t -> 'a -> unit
+(** Set the value.  Wakes every process parked in {!await_change} iff the
+    value changed according to [equal]. *)
+
+val await_change : 'a t -> 'a
+(** Park the calling process until the next change; returns the new value. *)
+
+val await : 'a t -> ('a -> bool) -> 'a
+(** [await s pred] returns as soon as [pred (read s)] holds, parking the
+    process across changes until it does. *)
+
+val writes : 'a t -> int
+(** Total number of writes so far. *)
+
+val changes : 'a t -> int
+(** Number of writes that changed the value. *)

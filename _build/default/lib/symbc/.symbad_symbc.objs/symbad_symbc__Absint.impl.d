@@ -1,0 +1,1 @@
+lib/symbc/absint.ml: Array Ast Cfg Check Config_info Fmt List Queue Set String

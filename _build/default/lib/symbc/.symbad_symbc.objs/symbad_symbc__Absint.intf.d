@@ -1,0 +1,1 @@
+lib/symbc/absint.mli: Ast Check Config_info Format

@@ -1,0 +1,1 @@
+lib/symbc/ast.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/symbc/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/symbc/cfg.ml: Ast Fmt List

@@ -1,0 +1,1 @@
+lib/symbc/cfg.mli: Ast Format

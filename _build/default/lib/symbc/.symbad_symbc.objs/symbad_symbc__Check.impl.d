@@ -1,0 +1,1 @@
+lib/symbc/check.ml: Ast Cfg Config_info Fmt Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/symbc/check.mli: Ast Cfg Config_info Format

@@ -1,0 +1,1 @@
+lib/symbc/config_info.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/symbc/config_info.mli: Format

@@ -1,0 +1,1 @@
+lib/symbc/parser.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/symbc/parser.mli: Ast

@@ -1,0 +1,56 @@
+(* Mini-C abstract syntax for the instrumented application software.
+
+   SymbC analyses the application's control flow with data abstracted
+   away: conditions are nondeterministic, and the only relevant actions
+   are calls to (possibly FPGA-resident) functions and calls to the
+   reconfiguration procedure. *)
+
+type stmt =
+  | Call of string  (* invoke a function (HW resource or plain SW) *)
+  | Reconfig of string  (* load the named FPGA configuration *)
+  | If of stmt list * stmt list  (* nondeterministic branch *)
+  | While of stmt list  (* nondeterministic loop *)
+
+type program = stmt list
+
+let call f = Call f
+let reconfig c = Reconfig c
+let if_ then_ else_ = If (then_, else_)
+let while_ body = While body
+
+let rec pp_stmt ?(indent = 0) fmt s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Call f -> Fmt.pf fmt "%s%s();@." pad f
+  | Reconfig c -> Fmt.pf fmt "%sload(%s);@." pad c
+  | If (t, e) ->
+      Fmt.pf fmt "%sif (*) {@." pad;
+      List.iter (pp_stmt ~indent:(indent + 2) fmt) t;
+      if e <> [] then begin
+        Fmt.pf fmt "%s} else {@." pad;
+        List.iter (pp_stmt ~indent:(indent + 2) fmt) e
+      end;
+      Fmt.pf fmt "%s}@." pad
+  | While body ->
+      Fmt.pf fmt "%swhile (*) {@." pad;
+      List.iter (pp_stmt ~indent:(indent + 2) fmt) body;
+      Fmt.pf fmt "%s}@." pad
+
+let pp fmt (p : program) = List.iter (pp_stmt fmt) p
+
+(* All function and configuration names appearing in a program. *)
+let rec names acc = function
+  | Call f -> (`Call f) :: acc
+  | Reconfig c -> (`Config c) :: acc
+  | If (t, e) -> List.fold_left names (List.fold_left names acc t) e
+  | While b -> List.fold_left names acc b
+
+let called_functions p =
+  List.fold_left names [] p
+  |> List.filter_map (function `Call f -> Some f | `Config _ -> None)
+  |> List.sort_uniq String.compare
+
+let loaded_configs p =
+  List.fold_left names [] p
+  |> List.filter_map (function `Config c -> Some c | `Call _ -> None)
+  |> List.sort_uniq String.compare

@@ -1,0 +1,48 @@
+(* The "configuration information" input of SymbC: which functions are
+   implemented in the FPGA, and which configuration provides which
+   function.  Functions not listed anywhere are plain software and are
+   always available. *)
+
+type t = {
+  reconfig_procedure : string;  (* name/signature of the loader *)
+  fpga_functions : string list;  (* functions that live in the FPGA *)
+  configurations : (string * string list) list;
+      (* configuration name -> functions present when it is loaded *)
+}
+
+let make ?(reconfig_procedure = "load") ~fpga_functions ~configurations () =
+  List.iter
+    (fun (c, fns) ->
+      List.iter
+        (fun f ->
+          if not (List.mem f fpga_functions) then
+            invalid_arg
+              (Printf.sprintf
+                 "Config_info: %s in configuration %s is not an FPGA function"
+                 f c))
+        fns)
+    configurations;
+  { reconfig_procedure; fpga_functions; configurations }
+
+let is_fpga_function t f = List.mem f t.fpga_functions
+
+let functions_of t config =
+  match List.assoc_opt config t.configurations with
+  | Some fns -> fns
+  | None -> invalid_arg ("Config_info: unknown configuration " ^ config)
+
+let has_configuration t config = List.mem_assoc config t.configurations
+
+let provides t ~config f = List.mem f (functions_of t config)
+
+let configuration_names t = List.map fst t.configurations
+
+let pp fmt t =
+  Fmt.pf fmt "reconfig procedure: %s@.FPGA functions: %a@."
+    t.reconfig_procedure
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    t.fpga_functions;
+  List.iter
+    (fun (c, fns) ->
+      Fmt.pf fmt "  %s: {%a}@." c (Fmt.list ~sep:Fmt.comma Fmt.string) fns)
+    t.configurations

@@ -1,0 +1,23 @@
+(** The "configuration information" input of SymbC: which functions live
+    in the FPGA and which configuration provides which function.
+    Unlisted functions are plain software, always available. *)
+
+type t
+
+val make :
+  ?reconfig_procedure:string ->
+  fpga_functions:string list ->
+  configurations:(string * string list) list ->
+  unit ->
+  t
+(** Raises if a configuration lists a function not in
+    [fpga_functions]. *)
+
+val is_fpga_function : t -> string -> bool
+val functions_of : t -> string -> string list
+(** Raises on unknown configurations. *)
+
+val has_configuration : t -> string -> bool
+val provides : t -> config:string -> string -> bool
+val configuration_names : t -> string list
+val pp : Format.formatter -> t -> unit

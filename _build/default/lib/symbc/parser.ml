@@ -1,0 +1,134 @@
+(* Concrete syntax for instrumented application code:
+
+     program := stmt*
+     stmt    := IDENT '(' ')' ';'                  function call
+              | 'load' '(' IDENT ')' ';'           FPGA reconfiguration
+              | 'if' '(' '*' ')' block ('else' block)?
+              | 'while' '(' '*' ')' block
+     block   := '{' stmt* '}'
+
+   Comments run from '//' to end of line.  Conditions are written '*'
+   because SymbC abstracts data: both branch directions are possible. *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Star
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_load
+
+exception Parse_error of string
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && text.[i + 1] = '/' ->
+          let rec skip j = if j < n && text.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i)
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | '{' -> emit Lbrace; go (i + 1)
+      | '}' -> emit Rbrace; go (i + 1)
+      | ';' -> emit Semi; go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | c when is_ident_char c ->
+          let rec scan j = if j < n && is_ident_char text.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub text i (j - i) in
+          emit
+            (match word with
+            | "if" -> Kw_if
+            | "else" -> Kw_else
+            | "while" -> Kw_while
+            | "load" -> Kw_load
+            | _ -> Ident word);
+          go j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c))
+  in
+  go 0;
+  List.rev !tokens
+
+let parse text =
+  let tokens = ref (tokenize text) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        tokens := rest;
+        t
+  in
+  let expect t what =
+    let got = advance () in
+    if got <> t then raise (Parse_error ("expected " ^ what))
+  in
+  let rec stmts stop =
+    match peek () with
+    | None -> if stop then raise (Parse_error "unexpected end of block") else []
+    | Some Rbrace when stop -> []
+    | Some _ when not stop && peek () = Some Rbrace ->
+        raise (Parse_error "unexpected '}'")
+    | Some _ ->
+        let s = stmt () in
+        s :: stmts stop
+  and block () =
+    expect Lbrace "'{'";
+    let body = stmts true in
+    expect Rbrace "'}'";
+    body
+  and stmt () =
+    match advance () with
+    | Kw_load ->
+        expect Lparen "'('";
+        let c =
+          match advance () with
+          | Ident c -> c
+          | _ -> raise (Parse_error "expected configuration name")
+        in
+        expect Rparen "')'";
+        expect Semi "';'";
+        Ast.Reconfig c
+    | Kw_if ->
+        expect Lparen "'('";
+        expect Star "'*'";
+        expect Rparen "')'";
+        let then_ = block () in
+        let else_ =
+          match peek () with
+          | Some Kw_else ->
+              ignore (advance ());
+              block ()
+          | _ -> []
+        in
+        Ast.If (then_, else_)
+    | Kw_while ->
+        expect Lparen "'('";
+        expect Star "'*'";
+        expect Rparen "')'";
+        Ast.While (block ())
+    | Ident f ->
+        expect Lparen "'('";
+        expect Rparen "')'";
+        expect Semi "';'";
+        Ast.Call f
+    | Kw_else -> raise (Parse_error "'else' without 'if'")
+    | Lparen | Rparen | Lbrace | Rbrace | Semi | Star ->
+        raise (Parse_error "expected statement")
+  in
+  stmts false

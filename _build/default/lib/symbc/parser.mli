@@ -1,0 +1,18 @@
+(** Concrete syntax for instrumented application code.
+
+    {v
+    program := stmt*
+    stmt    := IDENT '(' ')' ';'                 function call
+             | 'load' '(' IDENT ')' ';'          FPGA reconfiguration
+             | 'if' '(' '*' ')' block ('else' block)?
+             | 'while' '(' '*' ')' block
+    block   := '{' stmt* '}'
+    v}
+
+    ['//'] comments run to end of line; conditions are written ['*']
+    because SymbC abstracts data. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.program
+(** Raises {!Parse_error} on malformed input. *)

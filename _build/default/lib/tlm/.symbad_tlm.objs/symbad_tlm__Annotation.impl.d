@@ -1,0 +1,1 @@
+lib/tlm/annotation.ml: Fmt Hashtbl List

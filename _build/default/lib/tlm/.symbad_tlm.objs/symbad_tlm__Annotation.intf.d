@@ -1,0 +1,1 @@
+lib/tlm/annotation.mli: Format

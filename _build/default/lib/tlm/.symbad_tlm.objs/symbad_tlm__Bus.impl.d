@@ -1,0 +1,1 @@
+lib/tlm/bus.ml: Fmt Hashtbl List Stdlib String Symbad_sim Transaction

@@ -1,0 +1,1 @@
+lib/tlm/bus.mli: Format Symbad_sim Transaction

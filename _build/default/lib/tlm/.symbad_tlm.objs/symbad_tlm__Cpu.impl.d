@@ -1,0 +1,1 @@
+lib/tlm/cpu.ml: Fmt Symbad_sim

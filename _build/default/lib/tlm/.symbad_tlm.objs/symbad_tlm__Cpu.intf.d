@@ -1,0 +1,1 @@
+lib/tlm/cpu.mli: Format

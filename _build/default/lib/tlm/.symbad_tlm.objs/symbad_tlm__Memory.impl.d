@@ -1,0 +1,1 @@
+lib/tlm/memory.ml: Bus Bytes Printf Symbad_sim Transaction

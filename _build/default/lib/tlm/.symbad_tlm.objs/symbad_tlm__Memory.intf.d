@@ -1,0 +1,1 @@
+lib/tlm/memory.mli: Bus Bytes

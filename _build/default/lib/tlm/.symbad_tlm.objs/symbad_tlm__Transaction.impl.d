@@ -1,0 +1,1 @@
+lib/tlm/transaction.ml: Fmt

@@ -1,0 +1,51 @@
+(** Shared-bus model (AMBA AHB style) at transaction level.
+
+    Exactly one transaction owns the bus at a time; contending masters are
+    granted in fixed-priority order (lower number wins), FIFO within a
+    priority.  Transfer cost is
+    [arbitration + setup + ceil(bytes/width)] bus cycles. *)
+
+type t
+
+val create :
+  ?width_bytes:int ->
+  ?period_ns:int ->
+  ?arbitration_cycles:int ->
+  ?setup_cycles:int ->
+  string ->
+  t
+(** [create name] with defaults: 32-bit bus ([width_bytes = 4]),
+    100 MHz ([period_ns = 10]), 1 arbitration and 1 setup cycle. *)
+
+val name : t -> string
+val period_ns : t -> int
+
+val transfer_cycles : t -> int -> int
+(** [transfer_cycles b bytes] is the cost of one transaction in bus
+    cycles, without contention. *)
+
+val transfer_time : t -> int -> Symbad_sim.Time.t
+
+val transfer : ?priority:int -> t -> Transaction.t -> unit
+(** Perform a transaction from inside a simulation process: waits for the
+    bus grant, then for the transfer duration.  [priority] defaults to 8
+    (lowest sensible); bitstream downloads typically use a high priority. *)
+
+type master_stats = {
+  mutable transactions : int;
+  mutable bytes : int;
+  mutable busy_ns : int;
+  mutable wait_ns : int;  (** time spent waiting for grants *)
+}
+
+type report = {
+  transactions : int;
+  busy_ns : int;
+  data_bytes : int;
+  bitstream_bytes : int;  (** traffic due to FPGA reconfiguration *)
+  utilisation : float;  (** busy time over the observed activity window *)
+  per_master : (string * master_stats) list;
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

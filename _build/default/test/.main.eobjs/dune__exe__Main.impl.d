@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_atpg Test_core Test_fpga Test_hdl Test_image Test_lpv Test_mc Test_pcc Test_sat Test_sim Test_symbc Test_tlm

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Coverage Gen Genetic_engine List Memcheck Model Models Printf QCheck QCheck_alcotest Random_engine Sat_engine Symbad_atpg Symbad_hdl Symbad_image Testbench

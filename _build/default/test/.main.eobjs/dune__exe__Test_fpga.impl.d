@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Array Context Fpga Gen List Placement Printf QCheck QCheck_alcotest Resource Symbad_fpga Symbad_sim Symbad_tlm

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Array Bitvec Expr List Netlist Printf QCheck QCheck_alcotest Rtl_lib Simulator String Symbad_hdl Symbad_image Symbad_mc Symbad_sat Synth Unroll Vcd

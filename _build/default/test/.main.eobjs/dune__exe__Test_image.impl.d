@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Bayer Database Distance Edge Ellipse Erosion Facegen Gen Image List Metrics Pipeline QCheck QCheck_alcotest Rng Root Symbad_image Winner

@@ -1,0 +1,1 @@
+test/test_lpv.ml: Alcotest Array Deadlock List Petri Printf QCheck QCheck_alcotest Rat Simplex Symbad_lpv Timing

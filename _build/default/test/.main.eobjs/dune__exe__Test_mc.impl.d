@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Bitvec Bmc Engine Explicit Expr List Netlist Printf Prop QCheck QCheck_alcotest Rtl_lib Simulator Symbad_hdl Symbad_mc Trace

@@ -1,0 +1,1 @@
+test/test_pcc.ml: Alcotest Bitvec Expr Fault List Miter Netlist Pcc Rtl_lib Simulator Symbad_hdl Symbad_mc Symbad_pcc

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Bool Dimacs List Printf QCheck QCheck_alcotest Solver Symbad_sat Tseitin

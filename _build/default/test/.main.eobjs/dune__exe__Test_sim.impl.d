@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Event_queue Fifo Kernel List Process QCheck QCheck_alcotest Signal Symbad_sim Time Trace

@@ -1,0 +1,1 @@
+test/test_symbc.ml: Absint Alcotest Ast Cfg Check Config_info List Parser QCheck QCheck_alcotest Symbad_symbc

@@ -1,0 +1,1 @@
+test/test_tlm.ml: Alcotest Annotation Bus Bytes Cpu List Memory QCheck QCheck_alcotest Symbad_image Symbad_sim Symbad_tlm Transaction

@@ -1,0 +1,238 @@
+(* Tests for the FPGA device and context-placement models. *)
+
+module Sim = Symbad_sim
+module Tlm = Symbad_tlm
+open Symbad_fpga
+
+let check = Alcotest.(check int)
+
+let r name area = Resource.algorithm ~area name
+
+let context_area_and_lookup () =
+  let c = Context.make "c1" [ r "dist" 900; r "regs" 100 ] in
+  check "area" 1000 (Context.area c);
+  Alcotest.(check bool) "provides dist" true (Context.provides c "dist");
+  Alcotest.(check bool) "not provides root" false (Context.provides c "root")
+
+let context_bitstream_size () =
+  let c = Context.make "c1" [ r "dist" 100 ] in
+  check "default sizing" (512 + 800) (Context.bitstream_bytes c);
+  check "custom sizing" (64 + 200)
+    (Context.bitstream_bytes ~header_bytes:64 ~bytes_per_area:2 c)
+
+let context_rejects_duplicates () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Context.make "c" [ r "x" 1; r "x" 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let fpga_rejects_oversized_context () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Fpga.create ~capacity:100 ~contexts:[ Context.make "c" [ r "big" 500 ] ]
+            "f");
+       false
+     with Invalid_argument _ -> true)
+
+let fpga_reconfigure_and_require () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f =
+    Fpga.create
+      ~contexts:
+        [ Context.make "c1" [ r "dist" 100 ]; Context.make "c2" [ r "root" 80 ] ]
+      "fpga"
+  in
+  let failures = ref 0 in
+  Sim.Kernel.spawn k (fun () ->
+      (* calling before any load must fail *)
+      (try Fpga.require f "dist" with Fpga.Inconsistent _ -> incr failures);
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Fpga.require f "dist";
+      (* same context: no new reconfiguration *)
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      (try Fpga.require f "root" with Fpga.Inconsistent _ -> incr failures);
+      Fpga.reconfigure f ~bus ~master:"cpu" "c2";
+      Fpga.require f "root");
+  Sim.Kernel.run k;
+  check "two consistency failures" 2 !failures;
+  let s = Fpga.stats f in
+  check "reconfigurations" 2 s.Fpga.reconfigurations;
+  check "calls" 4 s.Fpga.resource_calls;
+  Alcotest.(check bool) "time spent reconfiguring" true (s.Fpga.reconfig_ns > 0);
+  (* bitstream bytes match the two downloaded contexts *)
+  check "bitstream bytes"
+    (Context.bitstream_bytes (Fpga.find_context f "c1")
+    + Context.bitstream_bytes (Fpga.find_context f "c2"))
+    s.Fpga.bitstream_bytes
+
+let fpga_reconfig_takes_time () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f =
+    Fpga.create ~program_ns_per_byte:2
+      ~contexts:[ Context.make "c1" [ r "x" 10 ] ]
+      "fpga"
+  in
+  let at = ref 0 in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      at := Sim.Time.to_ns (Sim.Process.now ()));
+  Sim.Kernel.run k;
+  let bytes = Context.bitstream_bytes (Fpga.find_context f "c1") in
+  (* the download happens in 8-byte bursts, each separately arbitrated *)
+  let rec burst_ns remaining acc =
+    if remaining <= 0 then acc
+    else
+      let chunk = min 8 remaining in
+      burst_ns (remaining - chunk)
+        (acc + Sim.Time.to_ns (Tlm.Bus.transfer_time bus chunk))
+  in
+  check "download + programming" (burst_ns bytes 0 + (2 * bytes)) !at
+
+(* --- Placement --- *)
+
+let placement_evaluate () =
+  let resources = [ r "a" 10; r "b" 10 ] in
+  let together = [ resources ] in
+  let split = [ [ r "a" 10 ]; [ r "b" 10 ] ] in
+  let calls = [ "a"; "b"; "a"; "b" ] in
+  let n_together, _ = Placement.evaluate ~calls together in
+  let n_split, _ = Placement.evaluate ~calls split in
+  check "together loads once" 1 n_together;
+  check "split thrashes" 4 n_split
+
+let placement_feasible_partitions () =
+  let resources = [ r "a" 10; r "b" 10; r "c" 10 ] in
+  (* all partitions of 3 elements into <= 3 groups: Bell(3) = 5 *)
+  check "bell number" 5
+    (List.length
+       (Placement.feasible_partitions ~capacity:100 ~max_contexts:3 resources));
+  (* capacity forces singletons *)
+  check "capacity-limited" 1
+    (List.length
+       (Placement.feasible_partitions ~capacity:10 ~max_contexts:3 resources));
+  (* no empty groups are ever generated *)
+  List.iter
+    (fun p -> Alcotest.(check bool) "non-empty groups" true
+        (List.for_all (fun g -> g <> []) p))
+    (Placement.feasible_partitions ~capacity:100 ~max_contexts:3 resources)
+
+let placement_best_partition () =
+  let resources = [ r "a" 10; r "b" 10 ] in
+  let calls = [ "a"; "b"; "a"; "b"; "a" ] in
+  (match Placement.best_partition ~capacity:100 ~max_contexts:2 ~calls resources with
+  | Some best -> check "alternating calls: one context" 1
+      best.Placement.reconfigurations
+  | None -> Alcotest.fail "expected a partition");
+  match Placement.best_partition ~capacity:10 ~max_contexts:2 ~calls resources with
+  | Some best ->
+      check "forced split: thrash" 5 best.Placement.reconfigurations
+  | None -> Alcotest.fail "expected a partition"
+
+let placement_sweep_sorted () =
+  let resources = [ r "a" 10; r "b" 10; r "c" 5 ] in
+  let calls = [ "a"; "b"; "c"; "a"; "b"; "c" ] in
+  let sweep = Placement.sweep ~capacity:100 ~max_contexts:3 ~calls resources in
+  let costs = List.map (fun e -> e.Placement.reconfigurations) sweep in
+  Alcotest.(check (list int)) "sorted ascending" (List.sort compare costs) costs
+
+let greedy_matches_exhaustive_small () =
+  let resources = [ r "a" 10; r "b" 10; r "c" 10 ] in
+  let calls = [ "a"; "b"; "a"; "b"; "c"; "c"; "a"; "b" ] in
+  match
+    ( Placement.greedy_partition ~capacity:25 ~max_contexts:2 ~calls resources,
+      Placement.best_partition ~capacity:25 ~max_contexts:2 ~calls resources )
+  with
+  | Some greedy, Some best ->
+      let n_greedy, _ = Placement.evaluate ~calls greedy in
+      check "greedy optimal here" best.Placement.reconfigurations n_greedy
+  | _ -> Alcotest.fail "both must find a partition"
+
+let greedy_scales_and_is_feasible () =
+  let resources =
+    List.init 12 (fun i -> r (Printf.sprintf "m%d" i) (5 + i))
+  in
+  let calls =
+    List.concat
+      (List.init 40 (fun i ->
+           [ Printf.sprintf "m%d" (i mod 12); Printf.sprintf "m%d" ((i + 3) mod 12) ]))
+  in
+  match Placement.greedy_partition ~capacity:45 ~max_contexts:4 ~calls resources with
+  | Some p ->
+      Alcotest.(check bool) "group count" true (List.length p <= 4);
+      List.iter
+        (fun g ->
+          Alcotest.(check bool) "fits" true
+            (List.fold_left (fun s x -> s + Resource.area x) 0 g <= 45))
+        p;
+      (* every resource placed exactly once *)
+      check "all placed" 12 (List.length (List.concat p))
+  | None -> Alcotest.fail "feasible partition exists"
+
+let greedy_rejects_oversized_resource () =
+  Alcotest.(check bool) "none" true
+    (Placement.greedy_partition ~capacity:5 ~max_contexts:2 ~calls:[]
+       [ r "big" 10 ]
+    = None)
+
+let qcheck_greedy_never_worse_than_singletons =
+  QCheck.Test.make ~name:"greedy never worse than singleton partition"
+    ~count:100
+    QCheck.(list_of_size Gen.(2 -- 16) (int_bound 3))
+    (fun calls_idx ->
+      let names = [| "a"; "b"; "c"; "d" |] in
+      let calls = List.map (fun i -> names.(i)) calls_idx in
+      let resources = Array.to_list (Array.map (fun n -> r n 10) names) in
+      let singletons = List.map (fun x -> [ x ]) resources in
+      let n_single, _ = Placement.evaluate ~calls singletons in
+      match
+        Placement.greedy_partition ~capacity:20 ~max_contexts:4 ~calls resources
+      with
+      | Some p ->
+          let n, _ = Placement.evaluate ~calls p in
+          n <= n_single
+      | None -> false)
+
+let qcheck_placement_single_context_optimal =
+  QCheck.Test.make ~name:"one context is optimal when everything fits"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 12) (int_bound 2))
+    (fun calls_idx ->
+      let names = [| "a"; "b"; "c" |] in
+      let calls = List.map (fun i -> names.(i)) calls_idx in
+      let resources = [ r "a" 5; r "b" 5; r "c" 5 ] in
+      match
+        Placement.best_partition ~capacity:100 ~max_contexts:3 ~calls resources
+      with
+      | Some best -> best.Placement.reconfigurations <= 1
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "context area and lookup" `Quick context_area_and_lookup;
+    Alcotest.test_case "context bitstream size" `Quick context_bitstream_size;
+    Alcotest.test_case "context rejects duplicates" `Quick
+      context_rejects_duplicates;
+    Alcotest.test_case "fpga rejects oversized context" `Quick
+      fpga_rejects_oversized_context;
+    Alcotest.test_case "fpga reconfigure/require" `Quick
+      fpga_reconfigure_and_require;
+    Alcotest.test_case "fpga reconfiguration timing" `Quick
+      fpga_reconfig_takes_time;
+    Alcotest.test_case "placement evaluate" `Quick placement_evaluate;
+    Alcotest.test_case "placement feasible partitions" `Quick
+      placement_feasible_partitions;
+    Alcotest.test_case "placement best partition" `Quick placement_best_partition;
+    Alcotest.test_case "placement sweep sorted" `Quick placement_sweep_sorted;
+    Alcotest.test_case "greedy matches exhaustive (small)" `Quick
+      greedy_matches_exhaustive_small;
+    Alcotest.test_case "greedy scales and is feasible" `Quick
+      greedy_scales_and_is_feasible;
+    Alcotest.test_case "greedy rejects oversized resource" `Quick
+      greedy_rejects_oversized_resource;
+    QCheck_alcotest.to_alcotest qcheck_greedy_never_worse_than_singletons;
+    QCheck_alcotest.to_alcotest qcheck_placement_single_context_optimal;
+  ]

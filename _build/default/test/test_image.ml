@@ -1,0 +1,328 @@
+(* Tests for the image-processing substrate (the C reference model). *)
+
+open Symbad_image
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Image --- *)
+
+let image_get_set () =
+  let img = Image.create ~width:4 ~height:3 in
+  Image.set img 2 1 200;
+  check "get" 200 (Image.get img 2 1);
+  check "others zero" 0 (Image.get img 0 0);
+  Image.set img 0 0 999;
+  check "clamped high" 255 (Image.get img 0 0);
+  Image.set img 0 0 (-5);
+  check "clamped low" 0 (Image.get img 0 0)
+
+let image_border_clamp () =
+  let img = Image.create ~width:2 ~height:2 in
+  Image.set img 0 0 7;
+  check "clamped coords" 7 (Image.get_clamped img (-5) (-5));
+  Image.set img 1 1 9;
+  check "clamped coords high" 9 (Image.get_clamped img 10 10)
+
+let image_stats () =
+  let img = Image.create ~width:2 ~height:2 in
+  Image.fill img 10;
+  Image.set img 0 0 30;
+  check "mean" 15 (Image.mean img);
+  check "count above" 1 (Image.count_above img 20);
+  let h = Image.histogram img in
+  check "histogram" 3 h.(10);
+  check "histogram peak" 1 h.(30)
+
+let image_digest_distinguishes () =
+  let a = Image.create ~width:4 ~height:4 in
+  let b = Image.create ~width:4 ~height:4 in
+  Image.set b 3 3 1;
+  check_bool "digests differ" false (Image.digest a = Image.digest b);
+  check_bool "digest stable" true (Image.digest a = Image.digest a)
+
+(* --- Facegen determinism and identity separation --- *)
+
+let facegen_deterministic () =
+  let f1 = Facegen.frame ~identity:3 ~pose:2 () in
+  let f2 = Facegen.frame ~identity:3 ~pose:2 () in
+  check_bool "identical" true (Image.equal f1 f2)
+
+let facegen_identities_differ () =
+  let f1 = Facegen.frame ~identity:1 ~pose:0 () in
+  let f2 = Facegen.frame ~identity:2 ~pose:0 () in
+  check_bool "different faces" false (Image.equal f1 f2)
+
+let facegen_poses_differ () =
+  let f1 = Facegen.frame ~identity:1 ~pose:1 () in
+  let f2 = Facegen.frame ~identity:1 ~pose:2 () in
+  check_bool "different poses" false (Image.equal f1 f2)
+
+(* --- Bayer --- *)
+
+let bayer_roundtrip_close () =
+  let scene = Facegen.frame ~identity:0 ~pose:0 () in
+  let recon = Bayer.demosaic (Bayer.mosaic scene) in
+  (* mean absolute error should be small: gains are undone exactly and
+     only smoothing remains *)
+  let total = ref 0 in
+  for y = 0 to Image.height scene - 1 do
+    for x = 0 to Image.width scene - 1 do
+      total := !total + abs (Image.get scene x y - Image.get recon x y)
+    done
+  done;
+  let mae = !total / (Image.width scene * Image.height scene) in
+  check_bool "mae < 8" true (mae < 8)
+
+let bayer_pattern () =
+  Alcotest.(check bool) "rggb" true
+    (Bayer.channel_at 0 0 = Bayer.R
+    && Bayer.channel_at 1 0 = Bayer.G
+    && Bayer.channel_at 0 1 = Bayer.G
+    && Bayer.channel_at 1 1 = Bayer.B)
+
+(* --- Erosion: morphological laws --- *)
+
+let erosion_antiextensive () =
+  let img = Facegen.frame ~identity:4 ~pose:1 () in
+  let e = Erosion.apply img in
+  let ok = ref true in
+  for y = 0 to Image.height img - 1 do
+    for x = 0 to Image.width img - 1 do
+      if Image.get e x y > Image.get img x y then ok := false
+    done
+  done;
+  check_bool "erosion <= original" true !ok
+
+let dilation_extensive () =
+  let img = Facegen.frame ~identity:4 ~pose:1 () in
+  let d = Erosion.dilate img in
+  let ok = ref true in
+  for y = 0 to Image.height img - 1 do
+    for x = 0 to Image.width img - 1 do
+      if Image.get d x y < Image.get img x y then ok := false
+    done
+  done;
+  check_bool "dilation >= original" true !ok
+
+let erosion_constant_invariant () =
+  let img = Image.create ~width:8 ~height:8 in
+  Image.fill img 77;
+  check_bool "erosion of constant is constant" true
+    (Image.equal img (Erosion.apply img))
+
+(* --- Edge --- *)
+
+let edge_flat_image_no_edges () =
+  let img = Image.create ~width:16 ~height:16 in
+  Image.fill img 100;
+  check "no edges" 0 (Image.count_above (Edge.detect img) 0)
+
+let edge_step_detected () =
+  let img = Image.create ~width:16 ~height:16 in
+  for y = 0 to 15 do
+    for x = 8 to 15 do
+      Image.set img x y 200
+    done
+  done;
+  check_bool "step edge found" true
+    (Image.count_above (Edge.detect img) 0 > 10)
+
+let edge_binary_output () =
+  let img = Facegen.frame ~identity:5 ~pose:1 () in
+  let e = Edge.detect img in
+  let ok = ref true in
+  for y = 0 to Image.height e - 1 do
+    for x = 0 to Image.width e - 1 do
+      let v = Image.get e x y in
+      if v <> 0 && v <> 255 then ok := false
+    done
+  done;
+  check_bool "binary" true !ok
+
+(* --- Ellipse --- *)
+
+let ellipse_fit_centered_face () =
+  let img = Facegen.frame ~size:64 ~identity:2 ~pose:0 () in
+  let edges = Edge.detect (Erosion.apply (Bayer.demosaic (Bayer.mosaic img))) in
+  ignore img;
+  match Ellipse.fit edges with
+  | None -> Alcotest.fail "expected a fit"
+  | Some e ->
+      check_bool "centre near middle" true
+        (abs_float (e.Ellipse.cx -. 32.) < 8. && abs_float (e.Ellipse.cy -. 32.) < 8.);
+      check_bool "support" true (e.Ellipse.support > 50)
+
+let ellipse_fit_requires_support () =
+  let img = Image.create ~width:32 ~height:32 in
+  Alcotest.(check bool) "no fit on empty" true (Ellipse.fit img = None)
+
+(* --- Root --- *)
+
+let root_exhaustive_16bit_sample () =
+  for n = 0 to 4096 do
+    let r = Root.isqrt n in
+    if not (r * r <= n && n < (r + 1) * (r + 1)) then
+      Alcotest.failf "isqrt %d = %d" n r
+  done
+
+let root_rejects_negative () =
+  check_bool "raises" true
+    (try
+       ignore (Root.isqrt (-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Distance / Winner --- *)
+
+let distance_properties () =
+  let a = [| 1; 2; 3 |] and b = [| 4; 6; 3 |] in
+  check "ssd" 25 (Distance.squared a b);
+  check "identity" 0 (Distance.squared a a);
+  check "symmetric" (Distance.squared a b) (Distance.squared b a)
+
+let winner_selects_min () =
+  (match Winner.select [ (0, 10); (1, 3); (2, 7) ] with
+  | Winner.Match { identity; distance } ->
+      check "id" 1 identity;
+      check "distance" 3 distance
+  | Winner.Unknown _ -> Alcotest.fail "expected match");
+  match Winner.select ~reject_above:2 [ (0, 10); (1, 3) ] with
+  | Winner.Unknown { best_identity; _ } -> check "best" 1 best_identity
+  | Winner.Match _ -> Alcotest.fail "expected rejection"
+
+(* --- Database --- *)
+
+let database_serialisation_roundtrip () =
+  let entries =
+    [
+      { Database.identity = 0; features = [| 1; 2; 3 |] };
+      { Database.identity = 7; features = [| 400; 500; 65535 |] };
+    ]
+  in
+  let db = Database.create ~dim:3 entries in
+  let db' = Database.deserialize (Database.serialize db) in
+  check_bool "roundtrip" true (Database.equal db db')
+
+let database_rejects_dim_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore
+         (Database.create ~dim:2
+            [ { Database.identity = 0; features = [| 1 |] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Pipeline & metrics --- *)
+
+let pipeline_feature_dim () =
+  let raw = Pipeline.camera ~identity:0 ~pose:0 () in
+  check "feature dim" Pipeline.feature_dim
+    (Array.length (Pipeline.features_of_frame raw))
+
+let pipeline_recognises_enrolled_pose () =
+  let db = Pipeline.enroll ~identities:5 () in
+  let raw = Pipeline.camera ~identity:3 ~pose:0 () in
+  match Pipeline.recognize db raw with
+  | Winner.Match { identity; distance } ->
+      check "identity" 3 identity;
+      check "zero distance on enrolled frame" 0 distance
+  | Winner.Unknown _ -> Alcotest.fail "expected match"
+
+let pipeline_accuracy_above_chance () =
+  let db = Pipeline.enroll ~identities:10 () in
+  let r = Metrics.evaluate ~poses:3 db in
+  (* chance is 10%; the pipeline must do far better *)
+  check_bool "accuracy > 50%" true (r.Metrics.accuracy > 0.5);
+  check "trials" 30 r.Metrics.trials
+
+(* --- qcheck properties --- *)
+
+let qcheck_isqrt_correct =
+  QCheck.Test.make ~name:"isqrt bounds" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun n ->
+      let r = Root.isqrt n in
+      r * r <= n && n < (r + 1) * (r + 1))
+
+let qcheck_distance_nonneg =
+  QCheck.Test.make ~name:"distance nonnegative and zero iff equal" ~count:200
+    QCheck.(pair (array_of_size (Gen.return 8) (int_bound 255))
+              (array_of_size (Gen.return 8) (int_bound 255)))
+    (fun (a, b) ->
+      let d = Distance.squared a b in
+      d >= 0 && (d = 0) = (a = b))
+
+let qcheck_erosion_dilation_order =
+  QCheck.Test.make ~name:"erosion <= dilation pointwise" ~count:20
+    QCheck.(pair (int_bound 19) (int_bound 9))
+    (fun (identity, pose) ->
+      let img = Facegen.frame ~size:24 ~identity ~pose () in
+      let e = Erosion.apply img and d = Erosion.dilate img in
+      let ok = ref true in
+      for y = 0 to 23 do
+        for x = 0 to 23 do
+          if Image.get e x y > Image.get d x y then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_border_profile_wellformed =
+  QCheck.Test.make ~name:"border profile nonnegative and sized" ~count:20
+    QCheck.(pair (int_bound 19) (int_bound 9))
+    (fun (identity, pose) ->
+      let raw = Pipeline.camera ~size:32 ~identity ~pose () in
+      let s = Pipeline.extract raw in
+      let border = s.Pipeline.border in
+      Array.length border = Pipeline.border_bins
+      && Array.for_all (fun x -> x >= 0) border)
+
+let qcheck_rng_deterministic =
+  QCheck.Test.make ~name:"rng streams reproducible" ~count:100 QCheck.int
+    (fun seed ->
+      let a = Rng.create seed and b = Rng.create seed in
+      List.for_all (fun _ -> Rng.int a 1000 = Rng.int b 1000)
+        (List.init 20 (fun i -> i)))
+
+let suite =
+  [
+    Alcotest.test_case "image get/set/clamp" `Quick image_get_set;
+    Alcotest.test_case "image border clamp" `Quick image_border_clamp;
+    Alcotest.test_case "image statistics" `Quick image_stats;
+    Alcotest.test_case "image digest" `Quick image_digest_distinguishes;
+    Alcotest.test_case "facegen deterministic" `Quick facegen_deterministic;
+    Alcotest.test_case "facegen identities differ" `Quick
+      facegen_identities_differ;
+    Alcotest.test_case "facegen poses differ" `Quick facegen_poses_differ;
+    Alcotest.test_case "bayer mosaic/demosaic roundtrip" `Quick
+      bayer_roundtrip_close;
+    Alcotest.test_case "bayer RGGB pattern" `Quick bayer_pattern;
+    Alcotest.test_case "erosion anti-extensive" `Quick erosion_antiextensive;
+    Alcotest.test_case "dilation extensive" `Quick dilation_extensive;
+    Alcotest.test_case "erosion constant invariant" `Quick
+      erosion_constant_invariant;
+    Alcotest.test_case "edge: flat image" `Quick edge_flat_image_no_edges;
+    Alcotest.test_case "edge: step detected" `Quick edge_step_detected;
+    Alcotest.test_case "edge: binary output" `Quick edge_binary_output;
+    Alcotest.test_case "ellipse fit on face" `Quick ellipse_fit_centered_face;
+    Alcotest.test_case "ellipse fit needs support" `Quick
+      ellipse_fit_requires_support;
+    Alcotest.test_case "isqrt exhaustive sample" `Quick
+      root_exhaustive_16bit_sample;
+    Alcotest.test_case "isqrt rejects negative" `Quick root_rejects_negative;
+    Alcotest.test_case "distance SSD" `Quick distance_properties;
+    Alcotest.test_case "winner argmin + rejection" `Quick winner_selects_min;
+    Alcotest.test_case "database (de)serialisation" `Quick
+      database_serialisation_roundtrip;
+    Alcotest.test_case "database dim check" `Quick database_rejects_dim_mismatch;
+    Alcotest.test_case "pipeline feature dimension" `Quick pipeline_feature_dim;
+    Alcotest.test_case "pipeline recognises enrolled pose" `Quick
+      pipeline_recognises_enrolled_pose;
+    Alcotest.test_case "pipeline accuracy above chance" `Slow
+      pipeline_accuracy_above_chance;
+    QCheck_alcotest.to_alcotest qcheck_isqrt_correct;
+    QCheck_alcotest.to_alcotest qcheck_distance_nonneg;
+    QCheck_alcotest.to_alcotest qcheck_erosion_dilation_order;
+    QCheck_alcotest.to_alcotest qcheck_border_profile_wellformed;
+    QCheck_alcotest.to_alcotest qcheck_rng_deterministic;
+  ]

@@ -1,0 +1,359 @@
+(* Tests for the linear-programming verification stack. *)
+
+open Symbad_lpv
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+(* --- Rat --- *)
+
+let rat_normalisation () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.check rat "sign in num" (Rat.make (-1) 2) (Rat.make 1 (-2));
+  Alcotest.check rat "zero" Rat.zero (Rat.make 0 17);
+  check "den positive" 2 (Rat.den (Rat.make 1 (-2)))
+
+let rat_arithmetic () =
+  Alcotest.check rat "add" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "sub" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "mul" (Rat.make 1 6) (Rat.mul (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "div" (Rat.make 3 2) (Rat.div (Rat.make 1 2) (Rat.make 1 3));
+  check_bool "compare" true Rat.(make 1 3 < make 1 2);
+  check_bool "div by zero" true
+    (try ignore (Rat.div Rat.one Rat.zero); false
+     with Invalid_argument _ -> true)
+
+let qcheck_rat_field_laws =
+  let gen =
+    QCheck.Gen.(
+      let* n = -50 -- 50 in
+      let* d = 1 -- 30 in
+      return (Rat.make n d))
+  in
+  QCheck.Test.make ~name:"rational ring laws" ~count:300
+    (QCheck.make (QCheck.Gen.triple gen gen gen))
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))
+      && Rat.equal (Rat.sub (Rat.add a b) b) a
+      && (Rat.is_zero c || Rat.equal (Rat.div (Rat.mul a c) c) a))
+
+(* --- Simplex --- *)
+
+let le_row coeffs rhs =
+  { Simplex.coeffs = List.mapi (fun i c -> (i, Rat.of_int c)) coeffs
+                     |> List.filter (fun (_, q) -> not (Rat.is_zero q));
+    cmp = Simplex.Le; rhs = Rat.of_int rhs }
+
+let simplex_textbook_max () =
+  (* max 3x+2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
+  match
+    Simplex.solve
+      { Simplex.nvars = 2;
+        constraints = [ le_row [ 1; 1 ] 4; le_row [ 1; 3 ] 6 ];
+        objective = [ (0, Rat.of_int 3); (1, Rat.of_int 2) ];
+        minimize = false }
+  with
+  | Simplex.Optimal { value; solution } ->
+      Alcotest.check rat "value" (Rat.of_int 12) value;
+      Alcotest.check rat "x" (Rat.of_int 4) solution.(0)
+  | Simplex.Infeasible | Simplex.Unbounded -> Alcotest.fail "expected optimum"
+
+let simplex_fractional_optimum () =
+  (* max x+y st 2x+y<=3, x+2y<=3 -> optimum 2 at (1,1) *)
+  match
+    Simplex.solve
+      { Simplex.nvars = 2;
+        constraints = [ le_row [ 2; 1 ] 3; le_row [ 1; 2 ] 3 ];
+        objective = [ (0, Rat.one); (1, Rat.one) ];
+        minimize = false }
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check rat "value" (Rat.of_int 2) value
+  | _ -> Alcotest.fail "expected optimum"
+
+let simplex_infeasible () =
+  let constraints =
+    [ { Simplex.coeffs = [ (0, Rat.one) ]; cmp = Simplex.Le; rhs = Rat.one };
+      { Simplex.coeffs = [ (0, Rat.one) ]; cmp = Simplex.Ge; rhs = Rat.of_int 2 } ]
+  in
+  check_bool "infeasible" true
+    (Simplex.solve
+       { Simplex.nvars = 1; constraints; objective = []; minimize = true }
+    = Simplex.Infeasible);
+  check_bool "feasible helper" false (Simplex.feasible ~nvars:1 constraints)
+
+let simplex_unbounded () =
+  match
+    Simplex.solve
+      { Simplex.nvars = 1;
+        constraints = [ { Simplex.coeffs = [ (0, Rat.one) ]; cmp = Simplex.Ge; rhs = Rat.one } ];
+        objective = [ (0, Rat.one) ];
+        minimize = false }
+  with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let simplex_equality_constraints () =
+  (* x + y = 5, x - y = 1 -> x = 3, y = 2 *)
+  let eq coeffs rhs =
+    { Simplex.coeffs = List.mapi (fun i c -> (i, Rat.of_int c)) coeffs
+                       |> List.filter (fun (_, q) -> not (Rat.is_zero q));
+      cmp = Simplex.Eq; rhs = Rat.of_int rhs }
+  in
+  match
+    Simplex.solve
+      { Simplex.nvars = 2;
+        constraints = [ eq [ 1; 1 ] 5; eq [ 1; -1 ] 1 ];
+        objective = [ (0, Rat.one) ];
+        minimize = true }
+  with
+  | Simplex.Optimal { solution; _ } ->
+      Alcotest.check rat "x" (Rat.of_int 3) solution.(0);
+      Alcotest.check rat "y" (Rat.of_int 2) solution.(1)
+  | _ -> Alcotest.fail "expected optimum"
+
+let simplex_negative_rhs () =
+  (* -x <= -2 i.e. x >= 2; minimise x -> 2 *)
+  match
+    Simplex.solve
+      { Simplex.nvars = 1;
+        constraints = [ le_row [ -1 ] (-2) ];
+        objective = [ (0, Rat.one) ];
+        minimize = true }
+  with
+  | Simplex.Optimal { value; _ } -> Alcotest.check rat "min" (Rat.of_int 2) value
+  | _ -> Alcotest.fail "expected optimum"
+
+(* qcheck: on random bounded feasible LPs, the reported optimum satisfies
+   all constraints and is at least as good as random feasible samples. *)
+let qcheck_simplex_sound =
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 3 in
+      let* rows = list_size (1 -- 4) (list_repeat n (0 -- 5)) in
+      let* rhs = list_size (return (List.length rows)) (1 -- 20) in
+      let* obj = list_repeat n (0 -- 5) in
+      return (n, List.combine rows rhs, obj))
+  in
+  QCheck.Test.make ~name:"simplex optimum is feasible and dominant" ~count:150
+    (QCheck.make gen)
+    (fun (n, rows, obj) ->
+      let constraints = List.map (fun (r, b) -> le_row r b) rows in
+      match
+        Simplex.solve
+          { Simplex.nvars = n; constraints;
+            objective = List.mapi (fun i c -> (i, Rat.of_int c)) obj;
+            minimize = false }
+      with
+      | Simplex.Infeasible -> false (* 0 is always feasible for <=, rhs>0 *)
+      | Simplex.Unbounded ->
+          (* possible when some column never appears with positive coeff *)
+          true
+      | Simplex.Optimal { value; solution } ->
+          let dot xs =
+            List.fold_left2
+              (fun acc c i -> Rat.add acc (Rat.mul (Rat.of_int c) xs.(i)))
+              Rat.zero obj
+              (List.init n (fun i -> i))
+          in
+          let feasible =
+            List.for_all
+              (fun (r, b) ->
+                let lhs =
+                  List.fold_left2
+                    (fun acc c i -> Rat.add acc (Rat.mul (Rat.of_int c) solution.(i)))
+                    Rat.zero r
+                    (List.init n (fun i -> i))
+                in
+                Rat.(lhs <= of_int b))
+              rows
+          in
+          feasible && Rat.equal value (dot solution) && Rat.(value >= zero))
+
+(* --- Petri nets --- *)
+
+let build_pipeline () =
+  let net = Petri.create () in
+  let a = Petri.add_transition net ~delay:3 "A" in
+  let b = Petri.add_transition net ~delay:5 "B" in
+  let p = Petri.add_place net ~tokens:0 "ab" in
+  let credit = Petri.add_place net ~tokens:2 "ab.credit" in
+  Petri.add_post net ~transition:a ~place:p ();
+  Petri.add_pre net ~transition:b ~place:p ();
+  Petri.add_pre net ~transition:a ~place:credit ();
+  Petri.add_post net ~transition:b ~place:credit ();
+  (net, a, b, p)
+
+let petri_incidence () =
+  let net, a, b, p = build_pipeline () in
+  let c = Petri.incidence net in
+  check "A produces ab" 1 c.(a).(p);
+  check "B consumes ab" (-1) c.(b).(p);
+  Alcotest.(check (list int)) "producers" [ a ] (Petri.producers net p);
+  Alcotest.(check (list int)) "consumers" [ b ] (Petri.consumers net p)
+
+let petri_state_equation () =
+  let net, _, _, _ = build_pipeline () in
+  (* marking (1,1): fire A once -> feasible *)
+  check_bool "reachable relaxation" true
+    (Petri.state_equation_feasible net [| 1; 1 |]);
+  (* marking (5,2): would need 5 more tokens than credits allow *)
+  check_bool "unreachable proven" false
+    (Petri.state_equation_feasible net [| 5; 2 |])
+
+let deadlock_free_pipeline () =
+  let net, _, _, _ = build_pipeline () in
+  match Deadlock.check net with
+  | Deadlock.Deadlock_free { min_cycle_tokens } ->
+      (* the only invariant is the ab/credit cycle: y = (1/2, 1/2),
+         tokens = (0 + 2) / 2 = 1 *)
+      Alcotest.check rat "cycle tokens" Rat.one min_cycle_tokens
+  | _ -> Alcotest.fail "expected deadlock-free"
+
+let deadlock_detected_crossed () =
+  let net = Petri.create () in
+  let a = Petri.add_transition net "A" in
+  let b = Petri.add_transition net "B" in
+  let ab = Petri.add_place net ~tokens:0 "ab" in
+  let ba = Petri.add_place net ~tokens:0 "ba" in
+  Petri.add_post net ~transition:a ~place:ab ();
+  Petri.add_pre net ~transition:b ~place:ab ();
+  Petri.add_post net ~transition:b ~place:ba ();
+  Petri.add_pre net ~transition:a ~place:ba ();
+  match Deadlock.check net with
+  | Deadlock.Potential_deadlock { witness } ->
+      Alcotest.(check (list string)) "witness cycle" [ "ab"; "ba" ]
+        (List.sort compare witness)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let deadlock_fixed_by_initial_token () =
+  let net = Petri.create () in
+  let a = Petri.add_transition net "A" in
+  let b = Petri.add_transition net "B" in
+  let ab = Petri.add_place net ~tokens:0 "ab" in
+  let ba = Petri.add_place net ~tokens:1 "ba" in
+  (* the classic fix: prime the feedback channel *)
+  Petri.add_post net ~transition:a ~place:ab ();
+  Petri.add_pre net ~transition:b ~place:ab ();
+  Petri.add_post net ~transition:b ~place:ba ();
+  Petri.add_pre net ~transition:a ~place:ba ();
+  match Deadlock.check net with
+  | Deadlock.Deadlock_free _ -> ()
+  | _ -> Alcotest.fail "expected deadlock-free after priming"
+
+let structural_boundedness () =
+  (* credited channel: conservative, hence bounded *)
+  let net, _, _, _ = build_pipeline () in
+  check_bool "credited pipeline bounded" true (Petri.structurally_bounded net);
+  (* uncredited channel: the producer can fire forever, unbounded *)
+  let unb = Petri.create () in
+  let a = Petri.add_transition unb "A" in
+  let b = Petri.add_transition unb "B" in
+  let p = Petri.add_place unb ~tokens:0 "ab" in
+  Petri.add_post unb ~transition:a ~place:p ();
+  Petri.add_pre unb ~transition:b ~place:p ();
+  check_bool "uncredited channel unbounded" false
+    (Petri.structurally_bounded unb)
+
+(* --- Timing --- *)
+
+let timing_bottleneck () =
+  let net, _, _, _ = build_pipeline () in
+  (* self-loops make each transition non-reentrant *)
+  List.iteri
+    (fun i _ ->
+      let p = Petri.add_place net ~tokens:1 (Printf.sprintf "self%d" i) in
+      Petri.add_pre net ~transition:i ~place:p ();
+      Petri.add_post net ~transition:i ~place:p ())
+    [ (); () ];
+  match Timing.min_cycle_ratio net with
+  | Timing.Period p -> Alcotest.check rat "bottleneck 5" (Rat.of_int 5) p
+  | Timing.Unschedulable _ -> Alcotest.fail "schedulable"
+
+let timing_capacity_effect () =
+  (* capacity 1 on a 2-stage pipeline: period = d(A)+d(B) over 1 token *)
+  let build cap =
+    let net = Petri.create () in
+    let a = Petri.add_transition net ~delay:3 "A" in
+    let b = Petri.add_transition net ~delay:5 "B" in
+    let p = Petri.add_place net ~tokens:0 "ab" in
+    let credit = Petri.add_place net ~tokens:cap "credit" in
+    Petri.add_post net ~transition:a ~place:p ();
+    Petri.add_pre net ~transition:b ~place:p ();
+    Petri.add_pre net ~transition:a ~place:credit ();
+    Petri.add_post net ~transition:b ~place:credit ();
+    net
+  in
+  (match Timing.min_cycle_ratio (build 1) with
+  | Timing.Period p -> Alcotest.check rat "cap 1: 8" (Rat.of_int 8) p
+  | Timing.Unschedulable _ -> Alcotest.fail "schedulable");
+  match Timing.min_cycle_ratio (build 4) with
+  | Timing.Period p -> Alcotest.check rat "cap 4: 2" (Rat.of_int 2) p
+  | Timing.Unschedulable _ -> Alcotest.fail "schedulable"
+
+let timing_deadline_and_dimensioning () =
+  let build cap =
+    let net = Petri.create () in
+    let a = Petri.add_transition net ~delay:3 "A" in
+    let b = Petri.add_transition net ~delay:5 "B" in
+    let p = Petri.add_place net ~tokens:0 "ab" in
+    let credit = Petri.add_place net ~tokens:cap "credit" in
+    Petri.add_post net ~transition:a ~place:p ();
+    Petri.add_pre net ~transition:b ~place:p ();
+    Petri.add_pre net ~transition:a ~place:credit ();
+    Petri.add_post net ~transition:b ~place:credit ();
+    net
+  in
+  check_bool "deadline 8 met at cap 1" true (Timing.deadline_met ~deadline:8 (build 1));
+  check_bool "deadline 5 missed at cap 1" false
+    (Timing.deadline_met ~deadline:5 (build 1));
+  Alcotest.(check (option int)) "min capacity for deadline 5" (Some 2)
+    (Timing.min_uniform_capacity ~deadline:5 ~build ());
+  Alcotest.(check (option int)) "deadline 1 impossible within bound" None
+    (Timing.min_uniform_capacity ~max_capacity:4 ~deadline:1 ~build ())
+
+let timing_zero_token_cycle () =
+  let net = Petri.create () in
+  let a = Petri.add_transition net ~delay:1 "A" in
+  let b = Petri.add_transition net ~delay:1 "B" in
+  let ab = Petri.add_place net ~tokens:0 "ab" in
+  let ba = Petri.add_place net ~tokens:0 "ba" in
+  Petri.add_post net ~transition:a ~place:ab ();
+  Petri.add_pre net ~transition:b ~place:ab ();
+  Petri.add_post net ~transition:b ~place:ba ();
+  Petri.add_pre net ~transition:a ~place:ba ();
+  match Timing.min_cycle_ratio net with
+  | Timing.Unschedulable _ -> ()
+  | Timing.Period _ -> Alcotest.fail "expected unschedulable"
+
+let suite =
+  [
+    Alcotest.test_case "rat normalisation" `Quick rat_normalisation;
+    Alcotest.test_case "rat arithmetic" `Quick rat_arithmetic;
+    Alcotest.test_case "simplex textbook max" `Quick simplex_textbook_max;
+    Alcotest.test_case "simplex fractional optimum" `Quick
+      simplex_fractional_optimum;
+    Alcotest.test_case "simplex infeasible" `Quick simplex_infeasible;
+    Alcotest.test_case "simplex unbounded" `Quick simplex_unbounded;
+    Alcotest.test_case "simplex equality constraints" `Quick
+      simplex_equality_constraints;
+    Alcotest.test_case "simplex negative rhs" `Quick simplex_negative_rhs;
+    Alcotest.test_case "petri incidence" `Quick petri_incidence;
+    Alcotest.test_case "petri state equation" `Quick petri_state_equation;
+    Alcotest.test_case "deadlock-free pipeline" `Quick deadlock_free_pipeline;
+    Alcotest.test_case "deadlock in crossed wait" `Quick
+      deadlock_detected_crossed;
+    Alcotest.test_case "deadlock fixed by priming" `Quick
+      deadlock_fixed_by_initial_token;
+    Alcotest.test_case "structural boundedness" `Quick structural_boundedness;
+    Alcotest.test_case "timing bottleneck" `Quick timing_bottleneck;
+    Alcotest.test_case "timing capacity effect" `Quick timing_capacity_effect;
+    Alcotest.test_case "deadline + FIFO dimensioning" `Quick
+      timing_deadline_and_dimensioning;
+    Alcotest.test_case "zero-token cycle unschedulable" `Quick
+      timing_zero_token_cycle;
+    QCheck_alcotest.to_alcotest qcheck_rat_field_laws;
+    QCheck_alcotest.to_alcotest qcheck_simplex_sound;
+  ]

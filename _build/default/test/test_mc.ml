@@ -1,0 +1,240 @@
+(* Tests for the model checker: BMC, k-induction, explicit-state, and
+   the combined engine. *)
+
+open Symbad_hdl
+open Symbad_mc
+module E = Expr
+
+let check_bool = Alcotest.(check bool)
+
+let fifo = Rtl_lib.fifo_ctrl ~addr_width:2 ()
+let cw = 3
+let depth = 4
+
+let p_no_full_empty =
+  Prop.make ~name:"not_full_and_empty"
+    (E.not_ (E.and_ (Prop.output fifo "full") (Prop.output fifo "empty")))
+
+let p_count_bound =
+  Prop.make ~name:"count_le_depth"
+    (E.ule (E.reg "count") (E.const ~width:cw depth))
+
+let p_false =
+  Prop.make ~name:"count_lt_2" (E.ult (E.reg "count") (E.const ~width:cw 2))
+
+(* --- Prop --- *)
+
+let prop_validation () =
+  check_bool "width-1 ok" true
+    (try ignore (Prop.validate fifo p_count_bound); true
+     with Invalid_argument _ -> false);
+  check_bool "wide formula rejected" true
+    (try
+       ignore (Prop.validate fifo (Prop.make ~name:"bad" (E.reg "count")));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "primed reg rejected in invariant" true
+    (try
+       ignore (Prop.validate fifo (Prop.make ~name:"bad" (E.eq (E.reg "count'") (E.reg "count"))));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "primed reg ok in step prop" true
+    (try
+       ignore
+         (Prop.validate fifo
+            (Prop.make_step ~name:"ok" (E.eq (E.reg "count'") (E.reg "count"))));
+       true
+     with Invalid_argument _ -> false)
+
+let prop_next_rewrites () =
+  let e = Prop.next (E.add (E.reg "count") (E.const ~width:cw 1)) in
+  match e with
+  | E.Binop (E.Add, E.Reg "count'", E.Const _) -> ()
+  | _ -> Alcotest.fail "expected primed register"
+
+(* --- BMC --- *)
+
+let bmc_finds_shallow_bug () =
+  match Bmc.check ~depth:6 fifo p_false with
+  | Bmc.Counterexample tr ->
+      (* counter reaches 2 after two pushes: trace length 3 states *)
+      Alcotest.(check int) "trace length" 3 (Trace.length tr)
+  | _ -> Alcotest.fail "expected counterexample"
+
+let bmc_holds_within_depth () =
+  match Bmc.check ~depth:6 fifo p_count_bound with
+  | Bmc.Holds -> ()
+  | _ -> Alcotest.fail "expected hold"
+
+let bmc_counterexample_is_concrete () =
+  match Bmc.check ~depth:6 fifo p_false with
+  | Bmc.Counterexample tr ->
+      (* replay the trace inputs on the simulator and reconfirm *)
+      let sim = Simulator.create fifo in
+      List.iteri
+        (fun i frame ->
+          let regs =
+            List.map
+              (fun (r : Netlist.register) ->
+                (r.Netlist.name,
+                 Bitvec.to_int (List.assoc r.Netlist.name (Simulator.state sim))))
+              (Netlist.registers fifo)
+          in
+          List.iter
+            (fun (n, v) ->
+              Alcotest.(check int) (Printf.sprintf "reg %s @%d" n i) v
+                (List.assoc n frame.Trace.regs))
+            regs;
+          let inputs =
+            List.map (fun (n, v) -> (n, Bitvec.make ~width:1 v))
+              frame.Trace.inputs
+          in
+          Simulator.step sim ~inputs)
+        tr
+  | _ -> Alcotest.fail "expected counterexample"
+
+(* --- k-induction --- *)
+
+let induction_proves () =
+  match Bmc.inductive_step ~k:1 fifo p_count_bound with
+  | Bmc.Inductive -> ()
+  | _ -> Alcotest.fail "count bound is 1-inductive"
+
+let induction_cti_for_unreachable_claim () =
+  (* "count <= 2" holds up to depth but is not inductive (from count=2 a
+     push gives 3): expect a CTI, not a proof *)
+  let p = Prop.make ~name:"le2" (E.ule (E.reg "count") (E.const ~width:cw 2)) in
+  match Bmc.inductive_step ~k:1 fifo p with
+  | Bmc.Cti _ -> ()
+  | _ -> Alcotest.fail "expected counterexample-to-induction"
+
+(* --- Explicit --- *)
+
+let explicit_proves () =
+  match Explicit.check fifo p_count_bound with
+  | Explicit.Proved { states } -> Alcotest.(check int) "states" 5 states
+  | _ -> Alcotest.fail "expected proof"
+
+let explicit_falsifies_with_shortest_path () =
+  match Explicit.check fifo p_false with
+  | Explicit.Falsified tr -> Alcotest.(check int) "bfs shortest" 3 (Trace.length tr)
+  | _ -> Alcotest.fail "expected falsification"
+
+let explicit_too_large () =
+  let wide =
+    Netlist.make ~name:"wide" ~inputs:[ ("x", 20) ] ~registers:[]
+      ~outputs:[ ("y", Expr.input "x") ]
+  in
+  match Explicit.check wide (Prop.make ~name:"t" (E.const ~width:1 1)) with
+  | Explicit.Too_large -> ()
+  | _ -> Alcotest.fail "expected too-large"
+
+let explicit_reachable_states () =
+  Alcotest.(check (option int)) "fifo states" (Some 5)
+    (Explicit.reachable_states fifo)
+
+(* --- Engine --- *)
+
+let engine_agreement () =
+  (* engine and explicit agree on a battery of properties *)
+  let props = [ p_no_full_empty; p_count_bound; p_false ] in
+  List.iter
+    (fun p ->
+      let e = Engine.check fifo p in
+      let x = Explicit.check fifo p in
+      match (e.Engine.verdict, x) with
+      | Engine.Proved _, Explicit.Proved _ -> ()
+      | Engine.Falsified _, Explicit.Falsified _ -> ()
+      | _ -> Alcotest.failf "disagreement on %s" (Prop.name p))
+    props
+
+let engine_step_property () =
+  let push_ok = E.and_ (E.input "push") (E.not_ (Prop.output fifo "full")) in
+  let pop_ok = E.and_ (E.input "pop") (E.not_ (Prop.output fifo "empty")) in
+  let delta = E.sub (Prop.next (E.reg "count")) (E.reg "count") in
+  let p =
+    Prop.make_step ~name:"push_increments"
+      (Prop.implies (E.and_ push_ok (E.not_ pop_ok))
+         (E.eq delta (E.const ~width:cw 1)))
+  in
+  (match (Engine.check fifo p).Engine.verdict with
+  | Engine.Proved _ -> ()
+  | _ -> Alcotest.fail "step property should be proved");
+  (* and a false step property is falsified *)
+  let bad =
+    Prop.make_step ~name:"never_changes"
+      (E.eq (Prop.next (E.reg "count")) (E.reg "count"))
+  in
+  match (Engine.check fifo bad).Engine.verdict with
+  | Engine.Falsified _ -> ()
+  | _ -> Alcotest.fail "expected falsification"
+
+let engine_on_buggy_fifo () =
+  let buggy = Rtl_lib.fifo_ctrl_buggy ~addr_width:2 () in
+  let p =
+    Prop.make ~name:"count_le_depth"
+      (E.ule (E.reg "count") (E.const ~width:cw depth))
+  in
+  match (Engine.check buggy p).Engine.verdict with
+  | Engine.Falsified tr ->
+      (* the overflow needs depth+1 pushes *)
+      Alcotest.(check bool) "trace long enough" true (Trace.length tr >= depth + 1)
+  | _ -> Alcotest.fail "seeded bug must be found"
+
+let engine_root_correctness () =
+  let nl = Rtl_lib.root_datapath ~width:8 () in
+  let p = Prop.make ~name:"root_correct" (Rtl_lib.root_correctness ~width:8 ()) in
+  match (Engine.check nl p).Engine.verdict with
+  | Engine.Proved _ -> ()
+  | _ -> Alcotest.fail "ROOT datapath correctness should be proved"
+
+(* qcheck: explicit-state and BMC agree on random small mutants of the
+   counter threshold property. *)
+let qcheck_bmc_explicit_agree =
+  QCheck.Test.make ~name:"bmc agrees with explicit reachability" ~count:30
+    QCheck.(int_bound 6)
+    (fun threshold ->
+      let p =
+        Prop.make ~name:"thr"
+          (E.ule (E.reg "count") (E.const ~width:cw threshold))
+      in
+      let bmc_says =
+        match Bmc.check ~depth:8 fifo p with
+        | Bmc.Counterexample _ -> false
+        | Bmc.Holds -> true
+        | Bmc.Resource_out -> true
+      in
+      let explicit_says =
+        match Explicit.check fifo p with
+        | Explicit.Falsified _ -> false
+        | Explicit.Proved _ -> true
+        | Explicit.Too_large -> true
+      in
+      (* depth 8 >= diameter of the 5-state fifo, so both are decisive *)
+      bmc_says = explicit_says)
+
+let suite =
+  [
+    Alcotest.test_case "prop validation" `Quick prop_validation;
+    Alcotest.test_case "prop next rewriting" `Quick prop_next_rewrites;
+    Alcotest.test_case "bmc finds shallow bug" `Quick bmc_finds_shallow_bug;
+    Alcotest.test_case "bmc holds within depth" `Quick bmc_holds_within_depth;
+    Alcotest.test_case "bmc counterexample is concrete" `Quick
+      bmc_counterexample_is_concrete;
+    Alcotest.test_case "k-induction proves" `Quick induction_proves;
+    Alcotest.test_case "k-induction CTI" `Quick
+      induction_cti_for_unreachable_claim;
+    Alcotest.test_case "explicit proves" `Quick explicit_proves;
+    Alcotest.test_case "explicit shortest counterexample" `Quick
+      explicit_falsifies_with_shortest_path;
+    Alcotest.test_case "explicit too large" `Quick explicit_too_large;
+    Alcotest.test_case "explicit reachable states" `Quick
+      explicit_reachable_states;
+    Alcotest.test_case "engine agrees with explicit" `Quick engine_agreement;
+    Alcotest.test_case "engine step properties" `Quick engine_step_property;
+    Alcotest.test_case "engine finds seeded fifo bug" `Quick
+      engine_on_buggy_fifo;
+    Alcotest.test_case "engine proves ROOT correctness" `Quick
+      engine_root_correctness;
+    QCheck_alcotest.to_alcotest qcheck_bmc_explicit_agree;
+  ]

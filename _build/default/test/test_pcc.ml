@@ -1,0 +1,176 @@
+(* Tests for fault injection, miter construction and the property
+   coverage checker. *)
+
+open Symbad_hdl
+open Symbad_pcc
+module E = Expr
+module Prop = Symbad_mc.Prop
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fifo = Rtl_lib.fifo_ctrl ~addr_width:2 ()
+
+(* --- Fault enumeration & application --- *)
+
+let fault_enumeration () =
+  let faults = Fault.enumerate fifo in
+  (* 3 count bits x 2 polarities + 2 muxes x ... the fifo has no muxes *)
+  check "reg faults only" 6 (List.length faults);
+  let capped = Fault.enumerate ~max_reg_bits:1 fifo in
+  check "capped" 2 (List.length capped)
+
+let fault_apply_stuck_at () =
+  let f = Fault.Reg_stuck { reg = "count"; bit = 0; value = true } in
+  let mutant = Fault.apply fifo f in
+  let sim = Simulator.create mutant in
+  let idle = [ ("push", Bitvec.zero ~width:1); ("pop", Bitvec.zero ~width:1) ] in
+  (* init forced: count starts with bit 0 set *)
+  check "init forced" 1 (Bitvec.to_int (Simulator.output sim ~inputs:idle "count"));
+  Simulator.step sim ~inputs:idle;
+  check "stays forced" 1 (Bitvec.to_int (Simulator.output sim ~inputs:idle "count"))
+
+let fault_apply_unknown_reg () =
+  check_bool "raises" true
+    (try
+       ignore (Fault.apply fifo (Fault.Reg_stuck { reg = "nope"; bit = 0; value = true }));
+       false
+     with Invalid_argument _ -> true)
+
+let fault_cond_stuck () =
+  let counter = Rtl_lib.counter ~width:4 in
+  (* counter has 2 muxes (clear, enable) in its next function *)
+  check "mux count" 2 (Fault.netlist_muxes counter);
+  let mutant = Fault.apply counter (Fault.Cond_stuck { index = 1; value = true }) in
+  (* enable stuck true: counts without enable *)
+  let sim = Simulator.create mutant in
+  let idle = [ ("enable", Bitvec.zero ~width:1); ("clear", Bitvec.zero ~width:1) ] in
+  Simulator.step sim ~inputs:idle;
+  Simulator.step sim ~inputs:idle;
+  check "counts while disabled" 2
+    (Bitvec.to_int (Simulator.output sim ~inputs:idle "count"))
+
+(* --- Miter --- *)
+
+let miter_identical_designs_equal () =
+  match Miter.detectable ~depth:6 fifo (Rtl_lib.fifo_ctrl ~addr_width:2 ()) with
+  | `Undetectable_within _ -> ()
+  | _ -> Alcotest.fail "identical designs cannot differ"
+
+let miter_detects_seeded_bug () =
+  match Miter.detectable ~depth:8 fifo (Rtl_lib.fifo_ctrl_buggy ~addr_width:2 ()) with
+  | `Detectable tr ->
+      (* the off-by-one needs filling the fifo: at least depth+1 cycles *)
+      check_bool "trace depth" true (List.length tr >= 4)
+  | _ -> Alcotest.fail "seeded bug must be detectable"
+
+let miter_interface_mismatch () =
+  check_bool "raises" true
+    (try
+       ignore (Miter.build fifo (Rtl_lib.counter ~width:4));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- PCC --- *)
+
+let weak_props = [
+  Prop.make ~name:"not_full_and_empty"
+    (E.not_ (E.and_ (Prop.output fifo "full") (Prop.output fifo "empty")));
+]
+
+let strong_props =
+  let cw = 3 in
+  let push_ok = E.and_ (E.input "push") (E.not_ (Prop.output fifo "full")) in
+  let pop_ok = E.and_ (E.input "pop") (E.not_ (Prop.output fifo "empty")) in
+  let delta = E.sub (Prop.next (E.reg "count")) (E.reg "count") in
+  weak_props
+  @ [
+      Prop.make ~name:"count_le_depth"
+        (E.ule (E.reg "count") (E.const ~width:cw 4));
+      Prop.make ~name:"empty_iff_zero"
+        (E.eq (Prop.output fifo "empty")
+           (E.eq (E.reg "count") (E.const ~width:cw 0)));
+      Prop.make_step ~name:"push_increments"
+        (Prop.implies (E.and_ push_ok (E.not_ pop_ok))
+           (E.eq delta (E.const ~width:cw 1)));
+      Prop.make_step ~name:"pop_decrements"
+        (Prop.implies (E.and_ pop_ok (E.not_ push_ok))
+           (E.eq delta (E.const ~width:cw 7)));
+      Prop.make_step ~name:"idle_holds"
+        (Prop.implies (E.eq push_ok pop_ok) (E.eq delta (E.const ~width:cw 0)));
+    ]
+
+let pcc_weak_set_incomplete () =
+  let r = Pcc.run ~depth:8 fifo weak_props in
+  check "all faults detectable" 6 r.Pcc.detectable;
+  check_bool "coverage below 50%" true (r.Pcc.coverage < 0.5);
+  check_bool "uncovered faults reported" true (Pcc.uncovered_faults r <> [])
+
+let pcc_strong_set_complete () =
+  let r = Pcc.run ~depth:8 fifo strong_props in
+  check "full coverage" r.Pcc.detectable r.Pcc.covered;
+  Alcotest.(check (float 0.001)) "100%" 1.0 r.Pcc.coverage;
+  check "nothing uncovered" 0 (List.length (Pcc.uncovered_faults r))
+
+let pcc_coverage_monotone () =
+  (* adding properties can only increase coverage *)
+  let weak = (Pcc.run ~depth:8 fifo weak_props).Pcc.coverage in
+  let strong = (Pcc.run ~depth:8 fifo strong_props).Pcc.coverage in
+  check_bool "monotone" true (strong >= weak)
+
+let pcc_undetectable_excluded () =
+  (* a register bit that can never change is undetectable at the outputs *)
+  let dead =
+    Netlist.make ~name:"dead"
+      ~inputs:[ ("x", 1) ]
+      ~registers:
+        [
+          { Netlist.name = "live"; width = 1; init = Bitvec.zero ~width:1;
+            next = E.input "x" };
+          { Netlist.name = "dead"; width = 1; init = Bitvec.zero ~width:1;
+            next = E.reg "dead" };
+        ]
+      ~outputs:[ ("o", E.reg "live") ]
+  in
+  let r = Pcc.run ~depth:6 dead [ Prop.make ~name:"t" (E.const ~width:1 1) ] in
+  let undetectable =
+    List.length
+      (List.filter
+         (fun fr -> fr.Pcc.status = Pcc.Undetectable)
+         r.Pcc.faults)
+  in
+  (* dead/sa0 matches the reset value AND the register never reaches the
+     outputs: 3 of the 4 faults of "dead" + "live" faults are detectable *)
+  check_bool "some undetectable" true (undetectable >= 2);
+  check "live faults detectable" 2
+    (List.length
+       (List.filter
+          (fun fr ->
+            match (fr.Pcc.fault, fr.Pcc.status) with
+            | Fault.Reg_stuck { reg = "live"; _ }, (Pcc.Covered _ | Pcc.Uncovered) ->
+                true
+            | _ -> false)
+          r.Pcc.faults))
+
+let suite =
+  [
+    Alcotest.test_case "fault enumeration" `Quick fault_enumeration;
+    Alcotest.test_case "stuck-at application" `Quick fault_apply_stuck_at;
+    Alcotest.test_case "unknown register rejected" `Quick
+      fault_apply_unknown_reg;
+    Alcotest.test_case "condition stuck-at" `Quick fault_cond_stuck;
+    Alcotest.test_case "miter: identical designs" `Quick
+      miter_identical_designs_equal;
+    Alcotest.test_case "miter: seeded bug detectable" `Quick
+      miter_detects_seeded_bug;
+    Alcotest.test_case "miter: interface mismatch" `Quick
+      miter_interface_mismatch;
+    Alcotest.test_case "pcc: weak property set incomplete" `Quick
+      pcc_weak_set_incomplete;
+    Alcotest.test_case "pcc: strong property set complete" `Quick
+      pcc_strong_set_complete;
+    Alcotest.test_case "pcc: coverage monotone in properties" `Quick
+      pcc_coverage_monotone;
+    Alcotest.test_case "pcc: undetectable faults excluded" `Quick
+      pcc_undetectable_excluded;
+  ]

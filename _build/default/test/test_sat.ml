@@ -1,0 +1,293 @@
+(* Tests for the CDCL SAT solver, Tseitin encodings and DIMACS. *)
+
+open Symbad_sat
+
+let check_bool = Alcotest.(check bool)
+
+let solve_clauses nvars clauses =
+  let s = Solver.create nvars in
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let is_sat = function Solver.Sat -> true | Solver.Unsat | Solver.Unknown -> false
+let is_unsat = function Solver.Unsat -> true | Solver.Sat | Solver.Unknown -> false
+
+let trivial_sat () =
+  let _, r = solve_clauses 2 [ [ 1; 2 ]; [ -1 ] ] in
+  check_bool "sat" true (is_sat r)
+
+let trivial_unsat () =
+  let _, r = solve_clauses 1 [ [ 1 ]; [ -1 ] ] in
+  check_bool "unsat" true (is_unsat r)
+
+let empty_clause_unsat () =
+  let _, r = solve_clauses 1 [ [] ] in
+  check_bool "unsat" true (is_unsat r)
+
+let no_clauses_sat () =
+  let _, r = solve_clauses 3 [] in
+  check_bool "sat" true (is_sat r)
+
+let model_satisfies () =
+  let clauses = [ [ 1; -2; 3 ]; [ -1; 2 ]; [ -3 ]; [ 2; 3 ] ] in
+  let s, r = solve_clauses 3 clauses in
+  check_bool "sat" true (is_sat r);
+  let value l =
+    if l > 0 then Solver.model_value s l else not (Solver.model_value s (-l))
+  in
+  check_bool "model checks out" true
+    (List.for_all (List.exists value) clauses)
+
+let pigeonhole n m =
+  (* n pigeons into m holes *)
+  let var p h = ((p - 1) * m) + h in
+  let s = Solver.create (n * m) in
+  for p = 1 to n do
+    Solver.add_clause s (List.init m (fun h -> var p (h + 1)))
+  done;
+  for h = 1 to m do
+    for p1 = 1 to n do
+      for p2 = p1 + 1 to n do
+        Solver.add_clause s [ -(var p1 h); -(var p2 h) ]
+      done
+    done
+  done;
+  Solver.solve s
+
+let pigeonhole_unsat () = check_bool "php(6,5)" true (is_unsat (pigeonhole 6 5))
+let pigeonhole_sat () = check_bool "php(5,5)" true (is_sat (pigeonhole 5 5))
+
+let assumptions_work () =
+  let s = Solver.create 2 in
+  Solver.add_clause s [ 1; 2 ];
+  check_bool "sat under -1" true (is_sat (Solver.solve ~assumptions:[ -1 ] s));
+  check_bool "unsat under -1,-2" true
+    (is_unsat (Solver.solve ~assumptions:[ -1; -2 ] s));
+  (* solver is reusable after an assumption failure *)
+  check_bool "still sat" true (is_sat (Solver.solve s))
+
+let conflict_budget () =
+  (* a hard instance with a tiny budget returns Unknown *)
+  let var p h = ((p - 1) * 8 ) + h in
+  let s = Solver.create 72 in
+  for p = 1 to 9 do
+    Solver.add_clause s (List.init 8 (fun h -> var p (h + 1)))
+  done;
+  for h = 1 to 8 do
+    for p1 = 1 to 9 do
+      for p2 = p1 + 1 to 9 do
+        Solver.add_clause s [ -(var p1 h); -(var p2 h) ]
+      done
+    done
+  done;
+  match Solver.solve ~max_conflicts:5 s with
+  | Solver.Unknown -> ()
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "expected resource-out"
+
+let new_var_growth () =
+  let s = Solver.create 0 in
+  let vars = List.init 100 (fun _ -> Solver.new_var s) in
+  Alcotest.(check int) "nvars" 100 (Solver.nvars s);
+  List.iter (fun v -> Solver.add_clause s [ v ]) vars;
+  check_bool "sat" true (is_sat (Solver.solve s));
+  check_bool "all true" true (List.for_all (Solver.model_value s) vars)
+
+let unit_propagation_chain () =
+  (* x1 -> x2 -> ... -> x20, assert x1: everything propagates *)
+  let n = 20 in
+  let s = Solver.create n in
+  for i = 1 to n - 1 do
+    Solver.add_clause s [ -i; i + 1 ]
+  done;
+  Solver.add_clause s [ 1 ];
+  check_bool "sat" true (is_sat (Solver.solve s));
+  for i = 1 to n do
+    check_bool (Printf.sprintf "x%d true" i) true (Solver.model_value s i)
+  done;
+  let st = Solver.stats s in
+  Alcotest.(check int) "no decisions needed" 0 st.Solver.decisions
+
+let solver_reusable_across_solves () =
+  let s = Solver.create 2 in
+  Solver.add_clause s [ 1; 2 ];
+  check_bool "first" true (is_sat (Solver.solve s));
+  Solver.add_clause s [ -1 ];
+  check_bool "second" true (is_sat (Solver.solve s));
+  check_bool "x2 forced" true (Solver.model_value s 2);
+  Solver.add_clause s [ -2 ];
+  check_bool "third" true (is_unsat (Solver.solve s))
+
+(* --- Tseitin --- *)
+
+let tseitin_truth_tables () =
+  (* check each gate against its truth table by forcing inputs *)
+  let eval gate a_val b_val =
+    let s = Solver.create 0 in
+    let ctx = Tseitin.create s in
+    let a = Tseitin.fresh ctx and b = Tseitin.fresh ctx in
+    let o = gate ctx a b in
+    Tseitin.assert_lit ctx (if a_val then a else -a);
+    Tseitin.assert_lit ctx (if b_val then b else -b);
+    match Solver.solve s with
+    | Solver.Sat ->
+        if o > 0 then Solver.model_value s o else not (Solver.model_value s (-o))
+    | Solver.Unsat | Solver.Unknown -> Alcotest.fail "inputs unsat"
+  in
+  List.iter
+    (fun (a, b) ->
+      check_bool "and" (a && b) (eval Tseitin.and_gate a b);
+      check_bool "or" (a || b) (eval Tseitin.or_gate a b);
+      check_bool "xor" (a <> b) (eval Tseitin.xor_gate a b);
+      check_bool "iff" (a = b) (eval Tseitin.iff_gate a b))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let tseitin_mux () =
+  List.iter
+    (fun (sel, a, b) ->
+      let s = Solver.create 0 in
+      let ctx = Tseitin.create s in
+      let ls = Tseitin.fresh ctx
+      and la = Tseitin.fresh ctx
+      and lb = Tseitin.fresh ctx in
+      let o = Tseitin.mux_gate ctx ~sel:ls la lb in
+      Tseitin.assert_lit ctx (if sel then ls else -ls);
+      Tseitin.assert_lit ctx (if a then la else -la);
+      Tseitin.assert_lit ctx (if b then lb else -lb);
+      (match Solver.solve s with
+      | Solver.Sat ->
+          let got =
+            if o > 0 then Solver.model_value s o
+            else not (Solver.model_value s (-o))
+          in
+          check_bool "mux" (if sel then a else b) got
+      | Solver.Unsat | Solver.Unknown -> Alcotest.fail "unsat"))
+    [ (true, true, false); (false, true, false); (true, false, true);
+      (false, false, true) ]
+
+let tseitin_full_adder () =
+  List.iter
+    (fun (a, b, c) ->
+      let s = Solver.create 0 in
+      let ctx = Tseitin.create s in
+      let la = Tseitin.of_bool ctx a
+      and lb = Tseitin.of_bool ctx b
+      and lc = Tseitin.of_bool ctx c in
+      let sum, carry = Tseitin.full_adder ctx la lb lc in
+      (match Solver.solve s with
+      | Solver.Sat ->
+          let value l =
+            if l > 0 then Solver.model_value s l
+            else not (Solver.model_value s (-l))
+          in
+          let total = Bool.to_int a + Bool.to_int b + Bool.to_int c in
+          check_bool "sum" (total land 1 = 1) (value sum);
+          check_bool "carry" (total >= 2) (value carry)
+      | Solver.Unsat | Solver.Unknown -> Alcotest.fail "unsat"))
+    [
+      (false, false, false); (true, false, false); (false, true, true);
+      (true, true, true);
+    ]
+
+let tseitin_constant_folding () =
+  let s = Solver.create 0 in
+  let ctx = Tseitin.create s in
+  let t = Tseitin.const_true ctx and f = Tseitin.const_false ctx in
+  Alcotest.(check int) "and(t,x)=x" 0
+    (let x = Tseitin.fresh ctx in
+     Tseitin.and_gate ctx t x - x);
+  Alcotest.(check int) "or const" t (Tseitin.or_gate ctx t f);
+  Alcotest.(check int) "xor(x,x)=false" f
+    (let x = Tseitin.fresh ctx in
+     Tseitin.xor_gate ctx x x)
+
+(* --- Dimacs --- *)
+
+let dimacs_roundtrip () =
+  let p = { Dimacs.nvars = 3; clauses = [ [ 1; -2 ]; [ 2; 3 ]; [ -3 ] ] } in
+  let p' = Dimacs.parse_string (Dimacs.to_string p) in
+  Alcotest.(check int) "nvars" p.Dimacs.nvars p'.Dimacs.nvars;
+  Alcotest.(check (list (list int))) "clauses" p.Dimacs.clauses p'.Dimacs.clauses
+
+let dimacs_parse_comments () =
+  let p =
+    Dimacs.parse_string "c a comment\np cnf 2 2\n1 -2 0\nc another\n2 0\n"
+  in
+  Alcotest.(check int) "nvars" 2 p.Dimacs.nvars;
+  Alcotest.(check (list (list int))) "clauses" [ [ 1; -2 ]; [ 2 ] ]
+    p.Dimacs.clauses;
+  check_bool "solves" true (is_sat (Dimacs.solve p))
+
+(* --- qcheck: random instances vs brute force --- *)
+
+let brute_force nvars clauses =
+  let rec go asn v =
+    if v > nvars then
+      List.for_all
+        (List.exists (fun l ->
+             let x = asn.(abs l) in
+             if l > 0 then x else not x))
+        clauses
+    else begin
+      asn.(v) <- true;
+      go asn (v + 1)
+      ||
+      (asn.(v) <- false;
+       go asn (v + 1))
+    end
+  in
+  go (Array.make (nvars + 1) false) 1
+
+let gen_instance =
+  QCheck.Gen.(
+    let* nvars = 2 -- 8 in
+    let* nclauses = 1 -- 25 in
+    let* clauses =
+      list_repeat nclauses
+        (let* k = 1 -- 3 in
+         list_repeat k
+           (let* v = 1 -- nvars in
+            let* sign = bool in
+            return (if sign then v else -v)))
+    in
+    return (nvars, clauses))
+
+let qcheck_vs_brute_force =
+  QCheck.Test.make ~name:"solver agrees with brute force" ~count:300
+    (QCheck.make gen_instance)
+    (fun (nvars, clauses) ->
+      let s, r = solve_clauses nvars clauses in
+      match r with
+      | Solver.Sat ->
+          brute_force nvars clauses
+          && List.for_all
+               (List.exists (fun l ->
+                    if l > 0 then Solver.model_value s l
+                    else not (Solver.model_value s (-l))))
+               clauses
+      | Solver.Unsat -> not (brute_force nvars clauses)
+      | Solver.Unknown -> false)
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick empty_clause_unsat;
+    Alcotest.test_case "no clauses" `Quick no_clauses_sat;
+    Alcotest.test_case "model satisfies" `Quick model_satisfies;
+    Alcotest.test_case "pigeonhole unsat" `Quick pigeonhole_unsat;
+    Alcotest.test_case "pigeonhole sat" `Quick pigeonhole_sat;
+    Alcotest.test_case "assumptions" `Quick assumptions_work;
+    Alcotest.test_case "conflict budget" `Quick conflict_budget;
+    Alcotest.test_case "new_var growth" `Quick new_var_growth;
+    Alcotest.test_case "unit propagation chain" `Quick unit_propagation_chain;
+    Alcotest.test_case "solver reusable across solves" `Quick
+      solver_reusable_across_solves;
+    Alcotest.test_case "tseitin truth tables" `Quick tseitin_truth_tables;
+    Alcotest.test_case "tseitin mux" `Quick tseitin_mux;
+    Alcotest.test_case "tseitin full adder" `Quick tseitin_full_adder;
+    Alcotest.test_case "tseitin constant folding" `Quick
+      tseitin_constant_folding;
+    Alcotest.test_case "dimacs roundtrip" `Quick dimacs_roundtrip;
+    Alcotest.test_case "dimacs comments" `Quick dimacs_parse_comments;
+    QCheck_alcotest.to_alcotest qcheck_vs_brute_force;
+  ]

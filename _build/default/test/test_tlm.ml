@@ -1,0 +1,262 @@
+(* Tests for the transaction-level modelling library. *)
+
+module Sim = Symbad_sim
+open Symbad_tlm
+
+let check = Alcotest.(check int)
+
+(* --- Transactions & transfer cost model --- *)
+
+let transfer_cost () =
+  let b = Bus.create ~width_bytes:4 ~period_ns:10 ~arbitration_cycles:1
+      ~setup_cycles:1 "bus" in
+  (* 1 word: arb + setup + 1 beat = 3 cycles *)
+  check "4 bytes" 3 (Bus.transfer_cycles b 4);
+  check "5 bytes" 4 (Bus.transfer_cycles b 5);
+  check "0 bytes" 2 (Bus.transfer_cycles b 0);
+  check "time" 30 (Sim.Time.to_ns (Bus.transfer_time b 4))
+
+let bus_serialises () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let done_at = ref [] in
+  let master name =
+    Sim.Kernel.spawn k ~name (fun () ->
+        Bus.transfer b (Transaction.make ~master:name ~target:"mem"
+            ~kind:Transaction.Write ~bytes:4);
+        done_at := (name, Sim.Time.to_ns (Sim.Process.now ())) :: !done_at)
+  in
+  master "m0";
+  master "m1";
+  Sim.Kernel.run k;
+  (* each transfer takes 30ns; second master finishes at 60 *)
+  Alcotest.(check (list (pair string int)))
+    "serialised" [ ("m0", 30); ("m1", 60) ] (List.rev !done_at)
+
+let bus_priority_grant () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let order = ref [] in
+  (* occupy the bus, then two waiters with different priorities *)
+  Sim.Kernel.spawn k ~name:"hog" (fun () ->
+      Bus.transfer ~priority:5 b
+        (Transaction.make ~master:"hog" ~target:"t" ~kind:Transaction.Write
+           ~bytes:40));
+  Sim.Kernel.spawn k ~name:"low" (fun () ->
+      Sim.Process.wait (Sim.Time.ns 1);
+      Bus.transfer ~priority:9 b
+        (Transaction.make ~master:"low" ~target:"t" ~kind:Transaction.Write
+           ~bytes:4);
+      order := "low" :: !order);
+  Sim.Kernel.spawn k ~name:"high" (fun () ->
+      Sim.Process.wait (Sim.Time.ns 2);
+      Bus.transfer ~priority:1 b
+        (Transaction.make ~master:"high" ~target:"t" ~kind:Transaction.Write
+           ~bytes:4);
+      order := "high" :: !order);
+  Sim.Kernel.run k;
+  Alcotest.(check (list string))
+    "high priority granted first" [ "high"; "low" ] (List.rev !order)
+
+let bus_report_accounts () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  Sim.Kernel.spawn k (fun () ->
+      Bus.transfer b
+        (Transaction.make ~master:"cpu" ~target:"fpga"
+           ~kind:Transaction.Bitstream ~bytes:100);
+      Bus.transfer b
+        (Transaction.make ~master:"cpu" ~target:"mem" ~kind:Transaction.Read
+           ~bytes:8));
+  Sim.Kernel.run k;
+  let r = Bus.report b in
+  check "transactions" 2 r.Bus.transactions;
+  check "bitstream bytes" 100 r.Bus.bitstream_bytes;
+  check "data bytes" 8 r.Bus.data_bytes;
+  Alcotest.(check bool) "utilisation positive" true (r.Bus.utilisation > 0.)
+
+let bus_fifo_within_priority () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let order = ref [] in
+  Sim.Kernel.spawn k ~name:"hog" (fun () ->
+      Bus.transfer b
+        (Transaction.make ~master:"hog" ~target:"t" ~kind:Transaction.Write
+           ~bytes:40));
+  List.iteri
+    (fun i name ->
+      Sim.Kernel.spawn k ~name (fun () ->
+          Sim.Process.wait (Sim.Time.ns (i + 1));
+          Bus.transfer ~priority:5 b
+            (Transaction.make ~master:name ~target:"t" ~kind:Transaction.Write
+               ~bytes:4);
+          order := name :: !order))
+    [ "w0"; "w1"; "w2" ];
+  Sim.Kernel.run k;
+  Alcotest.(check (list string)) "request order preserved"
+    [ "w0"; "w1"; "w2" ] (List.rev !order)
+
+let bus_wait_accounted () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  Sim.Kernel.spawn k (fun () ->
+      Bus.transfer b
+        (Transaction.make ~master:"first" ~target:"t" ~kind:Transaction.Write
+           ~bytes:400));
+  Sim.Kernel.spawn k (fun () ->
+      Sim.Process.wait (Sim.Time.ns 1);
+      Bus.transfer b
+        (Transaction.make ~master:"second" ~target:"t" ~kind:Transaction.Write
+           ~bytes:4));
+  Sim.Kernel.run k;
+  let r = Bus.report b in
+  let second = List.assoc "second" r.Bus.per_master in
+  Alcotest.(check bool) "waited for the grant" true (second.Bus.wait_ns > 0)
+
+(* --- Memory --- *)
+
+let memory_poke_peek () =
+  let m = Memory.create ~size:64 "mem" in
+  Memory.poke m ~addr:10 (Bytes.of_string "hello");
+  Alcotest.(check string) "peek" "hello"
+    (Bytes.to_string (Memory.peek m ~addr:10 ~len:5))
+
+let memory_bounds () =
+  let m = Memory.create ~size:16 "mem" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Memory.peek m ~addr:10 ~len:10);
+       false
+     with Invalid_argument _ -> true)
+
+let memory_bus_read_latency () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let m = Memory.create ~access_cycles:2 ~size:64 "mem" in
+  Memory.poke m ~addr:0 (Bytes.of_string "abcd");
+  let got = ref "" and at = ref 0 in
+  Sim.Kernel.spawn k (fun () ->
+      got := Bytes.to_string (Memory.read m ~bus:b ~master:"cpu" ~addr:0 ~len:4);
+      at := Sim.Time.to_ns (Sim.Process.now ()));
+  Sim.Kernel.run k;
+  Alcotest.(check string) "data" "abcd" !got;
+  (* 3 bus cycles (30ns) + 2 access cycles (20ns) *)
+  check "latency" 50 !at;
+  Alcotest.(check (pair int int)) "accesses" (1, 0) (Memory.accesses m)
+
+let memory_bus_write () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let m = Memory.create ~size:64 "mem" in
+  Sim.Kernel.spawn k (fun () ->
+      Memory.write m ~bus:b ~master:"cpu" ~addr:8 (Bytes.of_string "xy"));
+  Sim.Kernel.run k;
+  Alcotest.(check string) "stored" "xy"
+    (Bytes.to_string (Memory.peek m ~addr:8 ~len:2))
+
+(* --- Annotation --- *)
+
+let annotation_targets () =
+  let a = Annotation.default in
+  check "sw" 120 (Annotation.cycles a ~target:Annotation.Sw ~weight:10);
+  check "hw" 10 (Annotation.cycles a ~target:Annotation.Hw ~weight:10);
+  check "fpga" 20 (Annotation.cycles a ~target:Annotation.Fpga ~weight:10)
+
+let annotation_rejects_bad () =
+  Alcotest.(check bool) "negative weight" true
+    (try
+       ignore
+         (Annotation.cycles Annotation.default ~target:Annotation.Sw
+            ~weight:(-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero factor" true
+    (try
+       ignore (Annotation.make ~sw_cycles_per_unit:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let profile_ranking () =
+  let p = Annotation.Profile.create () in
+  Annotation.Profile.record p ~task:"small" ~units:10;
+  Annotation.Profile.record p ~task:"big" ~units:500;
+  Annotation.Profile.record p ~task:"big" ~units:500;
+  Annotation.Profile.record p ~task:"mid" ~units:100;
+  Alcotest.(check (list (pair string int)))
+    "ranking" [ ("big", 1000); ("mid", 100); ("small", 10) ]
+    (Annotation.Profile.ranking p);
+  check "units per firing" 500 (Annotation.Profile.units_per_firing p "big");
+  check "unknown task" 0 (Annotation.Profile.units_per_firing p "nope")
+
+(* --- Cpu --- *)
+
+let cpu_accounts_cycles () =
+  let k = Sim.Kernel.create () in
+  let c = Cpu.create ~period_ns:20 "arm" in
+  Sim.Kernel.spawn k (fun () ->
+      Cpu.execute c ~cycles:100;
+      Cpu.execute c ~cycles:50);
+  Sim.Kernel.run k;
+  let s = Cpu.stats c in
+  check "cycles" 150 s.Cpu.executed_cycles;
+  check "busy" 3000 s.Cpu.busy_ns;
+  check "firings" 2 s.Cpu.firings;
+  check "sim time" 3000 (Sim.Time.to_ns (Sim.Kernel.stats k).Sim.Kernel.final_time)
+
+(* --- Integration: the face database in the nonvolatile memory model --- *)
+
+let database_in_flash_memory () =
+  (* serialise the enrolled database into the bus-attached memory (the
+     flash device of the case study) and read it back over the bus *)
+  let db = Symbad_image.Pipeline.enroll ~size:32 ~identities:4 () in
+  let image = Symbad_image.Database.serialize db in
+  let m = Memory.create ~size:(Bytes.length image + 16) "flash" in
+  Memory.poke m ~addr:8 image;
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let roundtrip = ref None in
+  Sim.Kernel.spawn k (fun () ->
+      let bytes =
+        Memory.read m ~bus:b ~master:"cpu" ~addr:8 ~len:(Bytes.length image)
+      in
+      roundtrip := Some (Symbad_image.Database.deserialize bytes));
+  Sim.Kernel.run k;
+  (match !roundtrip with
+  | Some db' ->
+      Alcotest.(check bool) "db roundtrip over the bus" true
+        (Symbad_image.Database.equal db db')
+  | None -> Alcotest.fail "read never completed");
+  (* the transfer size shows up in the bus report *)
+  let r = Bus.report b in
+  check "bytes over the bus" (Bytes.length image) r.Bus.data_bytes
+
+let qcheck_transfer_monotone =
+  QCheck.Test.make ~name:"bus transfer cost monotone in size" ~count:200
+    QCheck.(pair (int_bound 4096) (int_bound 4096))
+    (fun (a, b) ->
+      let bus = Bus.create "bus" in
+      let ca = Bus.transfer_cycles bus a and cb = Bus.transfer_cycles bus b in
+      if a <= b then ca <= cb else ca >= cb)
+
+let suite =
+  [
+    Alcotest.test_case "transfer cost model" `Quick transfer_cost;
+    Alcotest.test_case "bus serialises masters" `Quick bus_serialises;
+    Alcotest.test_case "bus priority arbitration" `Quick bus_priority_grant;
+    Alcotest.test_case "bus report accounting" `Quick bus_report_accounts;
+    Alcotest.test_case "bus FIFO within priority" `Quick
+      bus_fifo_within_priority;
+    Alcotest.test_case "bus wait accounting" `Quick bus_wait_accounted;
+    Alcotest.test_case "memory poke/peek" `Quick memory_poke_peek;
+    Alcotest.test_case "memory bounds check" `Quick memory_bounds;
+    Alcotest.test_case "memory bus read latency" `Quick memory_bus_read_latency;
+    Alcotest.test_case "memory bus write" `Quick memory_bus_write;
+    Alcotest.test_case "annotation per-target cost" `Quick annotation_targets;
+    Alcotest.test_case "annotation input validation" `Quick
+      annotation_rejects_bad;
+    Alcotest.test_case "profile ranking" `Quick profile_ranking;
+    Alcotest.test_case "cpu accounts cycles" `Quick cpu_accounts_cycles;
+    Alcotest.test_case "database in flash memory over the bus" `Quick
+      database_in_flash_memory;
+    QCheck_alcotest.to_alcotest qcheck_transfer_monotone;
+  ]
