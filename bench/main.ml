@@ -5,7 +5,8 @@
 
    Usage:  dune exec bench/main.exe            (everything)
            dune exec bench/main.exe -- tables  (only the tables)
-           dune exec bench/main.exe -- micro   (only the micro-benches) *)
+           dune exec bench/main.exe -- micro   (only the micro-benches)
+           dune exec bench/main.exe -- guard   (telemetry smoke guard) *)
 
 open Symbad_core
 module Sim = Symbad_sim
@@ -480,6 +481,48 @@ let micro_benchmarks () =
   in
   List.iter (fun (name, t) -> Format.printf "%-36s %a@." name pp_ns t) rows
 
+(* ---------------------------------------------------------------- *)
+(* Guard: the instrumentation stays wired.  Runs a small flow with    *)
+(* telemetry on and fails if the key signals are missing — the smoke  *)
+(* test CI runs so a refactor cannot silently sever the telemetry.    *)
+
+let guard () =
+  let module Obs = Symbad_obs.Obs in
+  let module Tracer = Symbad_obs.Tracer in
+  let module Metrics = Symbad_obs.Metrics in
+  section "GUARD" "telemetry wiring smoke test";
+  Obs.reset ();
+  Obs.set_enabled true;
+  let w =
+    { Face_app.size = 32; identities = 6; frames = [ (0, 1); (3, 2) ] }
+  in
+  let report = Flow.run ~workload:w () in
+  Obs.set_enabled false;
+  let m = Obs.metrics () in
+  let tracer = Obs.tracer () in
+  let counter name = Option.value ~default:0 (Metrics.find_counter m name) in
+  let failures = ref [] in
+  let check what ok = if not ok then failures := what :: !failures in
+  check "flow verdicts all passed" report.Flow.all_passed;
+  check "sim.events_dispatched > 0" (counter "sim.events_dispatched" > 0);
+  check "bus.transactions > 0" (counter "bus.transactions" > 0);
+  check "bus.grant_wait_ns histogram populated"
+    (match Metrics.find_histogram m "bus.grant_wait_ns" with
+    | Some h -> Symbad_obs.Histogram.count h > 0
+    | None -> false);
+  check ">= 4 level spans"
+    (List.length (Tracer.spans_with_cat tracer "level") >= 4);
+  check "bus spans present" (Tracer.spans_with_cat tracer "bus" <> []);
+  Format.printf "events=%d transactions=%d spans=%d@."
+    (counter "sim.events_dispatched")
+    (counter "bus.transactions")
+    (Tracer.span_count tracer);
+  match !failures with
+  | [] -> Format.printf "guard: telemetry wired.@."
+  | fs ->
+      List.iter (fun f -> Format.printf "guard FAILURE: %s@." f) fs;
+      exit 1
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let tables () =
@@ -498,6 +541,7 @@ let () =
   (match mode with
   | "tables" -> tables ()
   | "micro" -> micro_benchmarks ()
+  | "guard" -> guard ()
   | _ ->
       tables ();
       micro_benchmarks ());

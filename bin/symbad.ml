@@ -2,14 +2,33 @@
    on the face recognition case study from a shell.
 
      symbad flow [--frames N] [--size S] [--identities N]
+                 [--trace FILE] [--metrics FILE] [--json FILE]
      symbad level (1|2|3) [...]         run one refinement level
      symbad verify (deadlock|timing|symbc|rtl)
      symbad explore [...]
      symbad recognize --identity I --pose P
+     symbad stats [...]                 flow + telemetry summary table
 *)
 
 open Cmdliner
 open Symbad_core
+module Obs = Symbad_obs.Obs
+module Tracer = Symbad_obs.Tracer
+module Metrics = Symbad_obs.Metrics
+
+(* Every report artefact ("--markdown", "--json", "--trace", "--metrics")
+   goes through this one path; "-" means stdout. *)
+let write_artefact ~what path content =
+  if String.equal path "-" then print_string content
+  else
+    match open_out path with
+    | oc ->
+        output_string oc content;
+        close_out oc;
+        Format.printf "%s written to %s@." what path
+    | exception Sys_error msg ->
+        Format.eprintf "symbad: cannot write %s: %s@." what msg;
+        exit 1
 
 let workload frames size identities =
   {
@@ -29,27 +48,56 @@ let identities_arg =
 
 (* --- flow --- *)
 
-let run_flow frames size identities markdown =
+let run_flow frames size identities markdown json trace metrics =
+  (* telemetry stays off (and off the hot paths) unless an export asks
+     for it *)
+  if trace <> None || metrics <> None then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
   let w = workload frames size identities in
   let report = Flow.run ~workload:w () in
   Format.printf "%a@." Flow.pp report;
-  (match markdown with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Flow.to_markdown report);
-      close_out oc;
-      Format.printf "markdown report written to %s@." path
-  | None -> ());
+  let artefact what serialise = function
+    | Some path -> write_artefact ~what path (serialise ())
+    | None -> ()
+  in
+  artefact "markdown report" (fun () -> Flow.to_markdown report) markdown;
+  artefact "json report" (fun () -> Flow.to_json report) json;
+  artefact "chrome trace"
+    (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
+    trace;
+  artefact "metrics" (fun () -> Metrics.to_jsonl (Obs.metrics ())) metrics;
   if report.Flow.all_passed then 0 else 1
 
 let flow_cmd =
   let doc = "Run the complete four-level design and verification flow." in
   let markdown_arg =
     Arg.(value & opt (some string) None
-         & info [ "markdown" ] ~docv:"FILE" ~doc:"Write the report as markdown.")
+         & info [ "markdown" ] ~docv:"FILE"
+             ~doc:"Write the report as markdown (\"-\" for stdout).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the report as JSON (\"-\" for stdout).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write a Chrome trace_event JSON \
+                   timeline (load in chrome://tracing or Perfetto; \"-\" \
+                   for stdout).")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Enable telemetry and write metrics as JSON lines (\"-\" \
+                   for stdout).")
   in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run_flow $ frames_arg $ size_arg $ identities_arg $ markdown_arg)
+    Term.(const run_flow $ frames_arg $ size_arg $ identities_arg
+          $ markdown_arg $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- level --- *)
 
@@ -183,6 +231,31 @@ let recognize_cmd =
   Cmd.v (Cmd.info "recognize" ~doc)
     Term.(const run_recognize $ identity_arg $ pose_arg $ size_arg $ identities_arg)
 
+(* --- stats (telemetry summary) --- *)
+
+let run_stats frames size identities =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let w = workload frames size identities in
+  let report = Flow.run ~workload:w () in
+  let tracer = Obs.tracer () in
+  Format.printf "%s@." (Metrics.to_table (Obs.metrics ()));
+  Format.printf "spans: %d (levels %d, bus %d, sat %d, mc %d)@."
+    (Tracer.span_count tracer)
+    (List.length (Tracer.spans_with_cat tracer "level"))
+    (List.length (Tracer.spans_with_cat tracer "bus"))
+    (List.length (Tracer.spans_with_cat tracer "sat"))
+    (List.length (Tracer.spans_with_cat tracer "mc"));
+  if report.Flow.all_passed then 0 else 1
+
+let stats_cmd =
+  let doc =
+    "Run the flow with telemetry enabled and print the metrics table \
+     (counters, gauges, histograms) plus a span census."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ frames_arg $ size_arg $ identities_arg)
+
 (* --- wrapper (automated interface synthesis) --- *)
 
 let run_wrapper data_width depth dump_vcd =
@@ -228,4 +301,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ flow_cmd; level_cmd; verify_cmd; explore_cmd; recognize_cmd;
-            wrapper_cmd ]))
+            stats_cmd; wrapper_cmd ]))

@@ -9,6 +9,7 @@
    mutation. *)
 
 module Rng = Symbad_image.Rng
+module Obs = Symbad_obs.Obs
 
 type params = {
   population : int;
@@ -92,6 +93,12 @@ let generate ?(params = default_params) model =
       done;
       fst !best
     in
+    (* coverage-over-vectors curve: x = suite size so far, y = coverage *)
+    if Obs.enabled () && total > 0 then
+      Obs.set_gauge
+        ~x:(float_of_int (List.length !suite))
+        "atpg.coverage"
+        (float_of_int (Hashtbl.length covered) /. float_of_int total);
     population :=
       List.init params.population (fun i ->
           (* immigrants keep diversity; one of them probes boundaries *)

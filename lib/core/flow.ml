@@ -8,6 +8,8 @@
 
 module Sim = Symbad_sim
 module Annotation = Symbad_tlm.Annotation
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
 
 type verification = { check : string; passed : bool; detail : string }
 
@@ -61,11 +63,33 @@ let atpg_verification () =
               (100. *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
           evals))
 
+(* One "flow.verdict" event per verification: a failing check surfaces on
+   every sink at [Error] severity without grepping the report. *)
+let emit_verdicts level verifications =
+  if Obs.enabled () then
+    List.iter
+      (fun v ->
+        Obs.event
+          ~severity:
+            (if v.passed then Symbad_obs.Severity.Info
+             else Symbad_obs.Severity.Error)
+          ~args:
+            [
+              ("level", Json.Int level);
+              ("check", Json.Str v.check);
+              ("passed", Json.Bool v.passed);
+              ("detail", Json.Str v.detail);
+            ]
+          "flow.verdict")
+      verifications
+
 let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
     =
   let graph = Face_app.graph workload in
   let reference = Face_app.reference_trace workload in
   (* ---- Level 1: functional model + functional verification ---- *)
+  let l1, level1 =
+    Obs.span ~cat:"level" "level1" @@ fun () ->
   let t0 = Sys.time () in
   let l1 = Level1.run graph in
   let l1_seconds = Sys.time () -. t0 in
@@ -96,7 +120,12 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
         ];
     }
   in
+  emit_verdicts 1 level1.verifications;
+  (l1, level1)
+  in
   (* ---- Level 2: architecture mapping + timing verification ---- *)
+  let l2, level2, mapping2 =
+    Obs.span ~cat:"level" "level2" @@ fun () ->
   let mapping2 = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
   let t0 = Sys.time () in
   let l2 = Level2.run graph mapping2 in
@@ -135,7 +164,12 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
         ];
     }
   in
+  emit_verdicts 2 level2.verifications;
+  (l2, level2, mapping2)
+  in
   (* ---- Level 3: reconfigurable refinement + consistency ---- *)
+  let level3, mapping3 =
+    Obs.span ~cat:"level" "level3" @@ fun () ->
   let mapping3 = Mapping.refine_to_fpga mapping2 Face_app.level3_refinement in
   let t0 = Sys.time () in
   let l3 = Level3.run graph mapping3 in
@@ -171,7 +205,12 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
         ];
     }
   in
+  emit_verdicts 3 level3.verifications;
+  (level3, mapping3)
+  in
   (* ---- Level 4: RTL + model checking + PCC ---- *)
+  let level4 =
+    Obs.span ~cat:"level" "level4" @@ fun () ->
   let t0 = Sys.time () in
   let l4 = Level4.run () in
   let l4_seconds = Sys.time () -. t0 in
@@ -205,6 +244,9 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
       sim_speed_khz = None;
       verifications = mc_ver @ pcc_ver;
     }
+  in
+  emit_verdicts 4 level4.verifications;
+  level4
   in
   let levels = [ level1; level2; level3; level4 ] in
   {
@@ -265,6 +307,55 @@ let to_markdown t =
     t.levels;
   add "Overall: **%s**\n" (if t.all_passed then "ALL PASSED" else "FAILURES");
   Buffer.contents buf
+
+(* JSON rendering of the same report, for machine consumption (CI
+   dashboards, the [stats] subcommand, regression diffing). *)
+let to_json t =
+  let verification_json v =
+    Json.Obj
+      [
+        ("check", Json.Str v.check);
+        ("passed", Json.Bool v.passed);
+        ("detail", Json.Str v.detail);
+      ]
+  in
+  let level_json l =
+    Json.Obj
+      [
+        ("level", Json.Int l.level);
+        ("title", Json.Str l.title);
+        ("host_seconds", Json.Float l.host_seconds);
+        ( "latency_ns",
+          match l.latency_ns with Some ns -> Json.Int ns | None -> Json.Null );
+        ( "sim_speed_khz",
+          match l.sim_speed_khz with
+          | Some khz when khz <> infinity -> Json.Float khz
+          | Some _ | None -> Json.Null );
+        ("verifications", Json.List (List.map verification_json l.verifications));
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Obj
+             [
+               ( "frames",
+                 Json.List
+                   (List.map
+                      (fun (identity, pose) ->
+                        Json.Obj
+                          [
+                            ("identity", Json.Int identity);
+                            ("pose", Json.Int pose);
+                          ])
+                      t.workload.Face_app.frames) );
+               ("size", Json.Int t.workload.Face_app.size);
+               ("identities", Json.Int t.workload.Face_app.identities);
+             ] );
+         ("levels", Json.List (List.map level_json t.levels));
+         ("all_passed", Json.Bool t.all_passed);
+       ])
 
 let pp fmt t =
   Fmt.pf fmt "Symbad flow on %d frames, %d identities@."

@@ -27,5 +27,9 @@ val run : ?workload:Face_app.workload -> ?deadline_ns:int -> unit -> t
 val to_markdown : t -> string
 (** The report as a markdown document (CI artefacts, experiment logs). *)
 
+val to_json : t -> string
+(** The same report as a JSON document: workload, per-level figures and
+    verification verdicts, overall outcome. *)
+
 val pp_level : Format.formatter -> level_report -> unit
 val pp : Format.formatter -> t -> unit

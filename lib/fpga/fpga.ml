@@ -11,6 +11,8 @@ module Proc = Symbad_sim.Process
 module Time = Symbad_sim.Time
 module Bus = Symbad_tlm.Bus
 module Transaction = Symbad_tlm.Transaction
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
 
 exception Inconsistent of { resource : string; loaded : string option }
 
@@ -74,6 +76,14 @@ let reconfigure f ~bus ~master ctx_name =
   if not already then begin
     let bytes = Context.bitstream_bytes ctx in
     let t0 = Time.to_ns (Proc.now ()) in
+    let sp =
+      if Obs.enabled () then
+        Obs.begin_span ~track:master ~cat:"fpga"
+          ~args:
+            [ ("context", Json.Str ctx_name); ("bytes", Json.Int bytes) ]
+          ~sim_ns:t0 "fpga.reconfigure"
+      else Obs.null_span
+    in
     (* the download is real bus traffic: one burst-sized transaction per
        chunk, each arbitrated — this fine-grained modelling is what makes
        level-3 simulation markedly slower than level 2 *)
@@ -90,7 +100,22 @@ let reconfigure f ~bus ~master ctx_name =
     f.reconfigurations <- f.reconfigurations + 1;
     f.bitstream_bytes_total <- f.bitstream_bytes_total + bytes;
     f.reconfig_ns_total <-
-      f.reconfig_ns_total + (Time.to_ns (Proc.now ()) - t0)
+      f.reconfig_ns_total + (Time.to_ns (Proc.now ()) - t0);
+    if Obs.enabled () then begin
+      let now_ns = Time.to_ns (Proc.now ()) in
+      Obs.event
+        ~args:
+          [
+            ("fpga", Json.Str f.name);
+            ("context", Json.Str ctx_name);
+            ("bitstream_bytes", Json.Int bytes);
+            ("download_ns", Json.Int (now_ns - t0));
+          ]
+        ~sim_ns:now_ns "fpga.context_switch";
+      Obs.incr_counter "fpga.reconfigurations";
+      Obs.incr_counter ~by:bytes "fpga.bitstream_bytes";
+      Obs.end_span ~sim_ns:now_ns sp
+    end
   end
 
 (* Check that [resource] is available; the actual computation timing is

@@ -10,6 +10,8 @@ module Solver = Symbad_sat.Solver
 module Hdl = Symbad_hdl
 module Unroll = Symbad_hdl.Unroll
 module Netlist = Symbad_hdl.Netlist
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
 
 type check_result =
   | Holds  (* no counterexample up to the given depth *)
@@ -49,15 +51,29 @@ let check ?(max_conflicts = max_int) ~depth nl prop =
   let rec at k =
     if k > depth then Holds
     else begin
-      let solver = Solver.create 0 in
-      let u = Unroll.create ~init:Unroll.Reset solver nl in
-      Unroll.unroll_to u (k + 1);
-      Solver.add_clause solver [ -(prop_lit u prop k) ];
-      match Solver.solve ~max_conflicts solver with
-      | Solver.Sat ->
-          Counterexample (extract_trace solver u (trace_span prop k) nl)
-      | Solver.Unsat -> at (k + 1)
-      | Solver.Unknown -> Resource_out
+      (* one span per bound: the timeline shows where BMC effort goes *)
+      Obs.span ~cat:"mc"
+        ~args:
+          [
+            ("module", Json.Str (Netlist.name nl));
+            ("property", Json.Str (Prop.name prop));
+            ("bound", Json.Int k);
+          ]
+        "bmc.bound"
+        (fun () ->
+          let solver = Solver.create 0 in
+          let u = Unroll.create ~init:Unroll.Reset solver nl in
+          Unroll.unroll_to u (k + 1);
+          Solver.add_clause solver [ -(prop_lit u prop k) ];
+          match Solver.solve ~max_conflicts solver with
+          | Solver.Sat ->
+              `Stop
+                (Counterexample (extract_trace solver u (trace_span prop k) nl))
+          | Solver.Unsat -> `Next
+          | Solver.Unknown -> `Stop Resource_out)
+      |> function
+      | `Stop r -> r
+      | `Next -> at (k + 1)
     end
   in
   at 0
@@ -70,14 +86,23 @@ type induction_result = Inductive | Cti of Trace.t | Induction_resource_out
 let inductive_step ?(max_conflicts = max_int) ~k nl prop =
   if k < 1 then invalid_arg "Bmc.inductive_step: k must be >= 1";
   let prop = Prop.validate nl prop in
-  let solver = Solver.create 0 in
-  let u = Unroll.create ~init:Unroll.Free solver nl in
-  Unroll.unroll_to u (k + 1);
-  for i = 0 to k - 1 do
-    Solver.add_clause solver [ prop_lit u prop i ]
-  done;
-  Solver.add_clause solver [ -(prop_lit u prop k) ];
-  match Solver.solve ~max_conflicts solver with
-  | Solver.Unsat -> Inductive
-  | Solver.Sat -> Cti (extract_trace solver u (trace_span prop k) nl)
-  | Solver.Unknown -> Induction_resource_out
+  Obs.span ~cat:"mc"
+    ~args:
+      [
+        ("module", Json.Str (Netlist.name nl));
+        ("property", Json.Str (Prop.name prop));
+        ("k", Json.Int k);
+      ]
+    "bmc.induction"
+    (fun () ->
+      let solver = Solver.create 0 in
+      let u = Unroll.create ~init:Unroll.Free solver nl in
+      Unroll.unroll_to u (k + 1);
+      for i = 0 to k - 1 do
+        Solver.add_clause solver [ prop_lit u prop i ]
+      done;
+      Solver.add_clause solver [ -(prop_lit u prop k) ];
+      match Solver.solve ~max_conflicts solver with
+      | Solver.Unsat -> Inductive
+      | Solver.Sat -> Cti (extract_trace solver u (trace_span prop k) nl)
+      | Solver.Unknown -> Induction_resource_out)

@@ -1,0 +1,38 @@
+(* Structured events: a severity, a name, a key/value payload, the host
+   timestamp and (when emitted from inside a simulation) the simulated
+   time.  Events flow to sinks; warnings and errors also become instants
+   on the trace timeline. *)
+
+type t = {
+  severity : Severity.t;
+  name : string;
+  args : (string * Json.t) list;
+  host_us : float;
+  sim_ns : int option;
+}
+
+let make ?(severity = Severity.Info) ?(args = []) ?sim_ns ~host_us name =
+  { severity; name; args; host_us; sim_ns }
+
+let to_json e =
+  let base =
+    [
+      ("severity", Json.Str (Severity.to_string e.severity));
+      ("name", Json.Str e.name);
+      ("host_us", Json.Float e.host_us);
+    ]
+  in
+  let sim =
+    match e.sim_ns with None -> [] | Some ns -> [ ("sim_ns", Json.Int ns) ]
+  in
+  let args =
+    match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ]
+  in
+  Json.Obj (base @ sim @ args)
+
+let pp fmt e =
+  Fmt.pf fmt "[%a] %s" Severity.pp e.severity e.name;
+  (match e.sim_ns with
+  | Some ns -> Fmt.pf fmt " @@%dns" ns
+  | None -> ());
+  List.iter (fun (k, v) -> Fmt.pf fmt " %s=%a" k Json.pp v) e.args

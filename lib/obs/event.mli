@@ -1,0 +1,20 @@
+(** Severity-tagged structured events with key/value payloads. *)
+
+type t = {
+  severity : Severity.t;
+  name : string;
+  args : (string * Json.t) list;
+  host_us : float;  (** host wall-clock, microseconds since the epoch *)
+  sim_ns : int option;  (** simulated time, when emitted from a simulation *)
+}
+
+val make :
+  ?severity:Severity.t ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  host_us:float ->
+  string ->
+  t
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Log-scale (power-of-two bucket) histogram over non-negative ints.
+
+    Bucket 0 holds the value 0; bucket [i >= 1] the range
+    [[2^(i-1), 2^i - 1]].  Negative observations clamp to 0; [max_int]
+    lands in the last bucket. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+
+val count : t -> int
+val sum : t -> float
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+val mean : t -> float
+
+val bucket_index : int -> int
+val bucket_bounds : int -> int * int
+(** [bucket_bounds i] is the inclusive value range of bucket [i]. *)
+
+val nonempty_buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] per populated bucket, ascending. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

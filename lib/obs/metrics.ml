@@ -1,0 +1,184 @@
+(* The metrics registry: named counters, gauges (with sample series) and
+   log-scale histograms, registered on first use and exported as
+   JSON-lines or a human-readable table.
+
+   Registration is a hashtable lookup; instrumentation sites that sit on
+   a truly hot path should accumulate locally and flush deltas at a
+   quiescent point (as the simulation kernel does at the end of [run]). *)
+
+type counter = { mutable c_value : int }
+
+type gauge = {
+  mutable g_samples : (float * float) list;  (* (x, value), newest first *)
+  mutable g_last : float option;
+}
+
+type histogram = { h_hist : Histogram.t }
+
+type metric = Counter of counter | Gauge of gauge | Hist of histogram
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  mutable names : string list;  (* registration order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 32; names = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add t.table name m;
+      t.names <- name :: t.names;
+      m
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Metrics: %s is not a %s" name want)
+
+let counter t name =
+  match register t name (fun () -> Counter { c_value = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name "counter"
+
+let gauge t name =
+  match
+    register t name (fun () ->
+        Gauge { g_samples = []; g_last = None })
+  with
+  | Gauge g -> g
+  | _ -> kind_error name "gauge"
+
+let histogram t name =
+  match
+    register t name (fun () ->
+        Hist { h_hist = Histogram.create () })
+  with
+  | Hist h -> h
+  | _ -> kind_error name "histogram"
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let set ?x g v =
+  let x =
+    match x with
+    | Some x -> x
+    | None -> float_of_int (List.length g.g_samples)
+  in
+  g.g_samples <- (x, v) :: g.g_samples;
+  g.g_last <- Some v
+
+let last g = g.g_last
+let samples g = List.rev g.g_samples
+
+let observe h v = Histogram.observe h.h_hist v
+let hist h = h.h_hist
+
+(* --- lookups (for guards and tests) --- *)
+
+let find_counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> Some c.c_value
+  | _ -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g.g_last
+  | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Hist h) -> Some h.h_hist
+  | _ -> None
+
+let names t = List.rev t.names
+
+let reset t =
+  Hashtbl.reset t.table;
+  t.names <- []
+
+(* --- export --- *)
+
+let metric_jsonl buf name metric =
+  let line j =
+    Buffer.add_string buf (Json.to_string j);
+    Buffer.add_char buf '\n'
+  in
+  match metric with
+  | Counter c ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "counter");
+             ("name", Json.Str name);
+             ("value", Json.Int c.c_value);
+           ])
+  | Gauge g ->
+      List.iter
+        (fun (x, v) ->
+          line
+            (Json.Obj
+               [
+                 ("type", Json.Str "gauge");
+                 ("name", Json.Str name);
+                 ("x", Json.Float x);
+                 ("value", Json.Float v);
+               ]))
+        (samples g)
+  | Hist h ->
+      let hh = h.h_hist in
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "histogram");
+             ("name", Json.Str name);
+             ("count", Json.Int (Histogram.count hh));
+             ("sum", Json.Float (Histogram.sum hh));
+             ("min", Json.Int (Histogram.min_value hh));
+             ("max", Json.Int (Histogram.max_value hh));
+             ( "buckets",
+               Json.List
+                 (List.map
+                    (fun (lo, hi, c) ->
+                      Json.Obj
+                        [
+                          ("lo", Json.Int lo);
+                          ("hi", Json.Int hi);
+                          ("count", Json.Int c);
+                        ])
+                    (Histogram.nonempty_buckets hh)) );
+           ])
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.table name with
+      | Some m -> metric_jsonl buf name m
+      | None -> ())
+    (names t);
+  Buffer.contents buf
+
+let to_table t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%-36s %-10s %s\n" "metric" "kind" "value";
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Counter c) -> add "%-36s %-10s %d\n" name "counter" c.c_value
+      | Some (Gauge g) ->
+          add "%-36s %-10s %s (%d samples)\n" name "gauge"
+            (match g.g_last with
+            | Some v -> Printf.sprintf "%.3f" v
+            | None -> "-")
+            (List.length g.g_samples)
+      | Some (Hist h) ->
+          let hh = h.h_hist in
+          add "%-36s %-10s n=%d mean=%.1f min=%d max=%d\n" name "histogram"
+            (Histogram.count hh) (Histogram.mean hh) (Histogram.min_value hh)
+            (Histogram.max_value hh)
+      | None -> ())
+    (names t);
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Metrics registry: named counters, gauges and log-scale histograms.
+
+    Metrics are registered on first use; re-requesting a name returns
+    the same instrument ([Invalid_argument] if the kinds disagree).
+    Handles are plain records, so hot call sites can look one up once
+    and update it without further registry traffic. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : ?x:float -> gauge -> float -> unit
+(** Record a sample; [x] defaults to the sample index, so repeated [set]
+    calls trace a curve (e.g. coverage over committed vectors). *)
+
+val last : gauge -> float option
+val samples : gauge -> (float * float) list
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+val hist : histogram -> Histogram.t
+
+(** {1 Lookup} *)
+
+val find_counter : t -> string -> int option
+val find_gauge : t -> string -> float option
+val find_histogram : t -> string -> Histogram.t option
+val names : t -> string list
+
+val reset : t -> unit
+
+(** {1 Export} *)
+
+val to_jsonl : t -> string
+(** One JSON object per line: counters and histograms one line each,
+    gauges one line per sample. *)
+
+val to_table : t -> string
+(** Human-readable summary table. *)

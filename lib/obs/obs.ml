@@ -1,0 +1,72 @@
+(* The process-wide telemetry switchboard.
+
+   Instrumentation all over the stack (kernel, bus, solver, FPGA, flow)
+   talks to one global tracer, one global metrics registry and one list
+   of event sinks, all behind a single [enabled] flag.  When telemetry
+   is off every instrumentation site reduces to one branch on
+   [Obs.enabled ()] — no allocation, no registry traffic — which keeps
+   the simulation hot paths at their uninstrumented speed. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let tracer_ref = ref (Tracer.create ())
+let metrics_ref = ref (Metrics.create ())
+let sinks : Sink.t list ref = ref []
+
+let tracer () = !tracer_ref
+let metrics () = !metrics_ref
+let add_sink s = sinks := s :: !sinks
+let sink_list () = !sinks
+
+let reset () =
+  tracer_ref := Tracer.create ();
+  metrics_ref := Metrics.create ();
+  sinks := []
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* --- events --- *)
+
+let event ?(severity = Severity.Info) ?(args = []) ?sim_ns name =
+  if !enabled_flag then begin
+    let e = Event.make ~severity ~args ?sim_ns ~host_us:(now_us ()) name in
+    List.iter (fun (s : Sink.t) -> s.Sink.emit e) !sinks;
+    (* warnings and errors also land on the timeline *)
+    if Severity.compare severity Severity.Info >= 0 then
+      Tracer.instant !tracer_ref ~severity ~args ?sim_ns name
+  end
+
+(* --- spans --- *)
+
+type span = Tracer.span option
+
+let null_span : span = None
+
+let begin_span ?track ?cat ?args ?sim_ns name =
+  if !enabled_flag then
+    Some (Tracer.begin_span !tracer_ref ?track ?cat ?args ?sim_ns name)
+  else None
+
+let end_span ?args ?sim_ns (s : span) =
+  match s with
+  | None -> ()
+  | Some s -> Tracer.end_span !tracer_ref ?args ?sim_ns s
+
+let span ?track ?cat ?args ?sim_ns name f =
+  if not !enabled_flag then f ()
+  else Tracer.with_span !tracer_ref ?track ?cat ?args ?sim_ns name f
+
+(* --- metric conveniences (registry lookup per call; fine off the hot
+   path, hot paths should flush deltas at quiescent points) --- *)
+
+let incr_counter ?(by = 1) name =
+  if !enabled_flag then Metrics.incr ~by (Metrics.counter !metrics_ref name)
+
+let set_gauge ?x name v =
+  if !enabled_flag then Metrics.set ?x (Metrics.gauge !metrics_ref name) v
+
+let observe name v =
+  if !enabled_flag then
+    Metrics.observe (Metrics.histogram !metrics_ref name) v

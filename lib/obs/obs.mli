@@ -1,0 +1,64 @@
+(** Process-wide telemetry: one tracer, one metrics registry, one sink
+    list, behind a single enable flag.
+
+    Everything is a no-op while disabled; instrumentation sites on hot
+    paths should still guard with [if Obs.enabled () then ...] so that
+    argument lists are not even allocated. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val tracer : unit -> Tracer.t
+val metrics : unit -> Metrics.t
+
+val add_sink : Sink.t -> unit
+val sink_list : unit -> Sink.t list
+
+val reset : unit -> unit
+(** Fresh tracer, fresh registry, no sinks.  Does not change the
+    enabled flag. *)
+
+(** {1 Events} *)
+
+val event :
+  ?severity:Severity.t ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  unit
+(** Emit a structured event to every sink; [Info] and graver also become
+    instants on the trace timeline. *)
+
+(** {1 Spans} *)
+
+type span
+
+val null_span : span
+(** What a site that guards [begin_span] behind [enabled] uses as the
+    disabled arm; [end_span] on it is a no-op. *)
+
+val begin_span :
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  span
+
+val end_span : ?args:(string * Json.t) list -> ?sim_ns:int -> span -> unit
+
+val span :
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Scoped span around a computation; transparent while disabled. *)
+
+(** {1 Metric shorthands} *)
+
+val incr_counter : ?by:int -> string -> unit
+val set_gauge : ?x:float -> string -> float -> unit
+val observe : string -> int -> unit

@@ -1,0 +1,9 @@
+(** Event severities, ordered [Debug < Info < Warn < Error]. *)
+
+type t = Debug | Info | Warn | Error
+
+val to_int : t -> int
+val to_string : t -> string
+val of_string : string -> t option
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(* Pluggable event sinks.  A sink is just a pair of closures, so callers
+   can build their own (a socket, a ring buffer, ...) without this
+   library knowing. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+let null = { emit = ignore; flush = ignore }
+
+let buffer () =
+  let events = ref [] in
+  ( { emit = (fun e -> events := e :: !events); flush = ignore },
+    fun () -> List.rev !events )
+
+let formatter ?(min_severity = Severity.Debug) fmt =
+  {
+    emit =
+      (fun e ->
+        if Severity.compare e.Event.severity min_severity >= 0 then
+          Fmt.pf fmt "%a@." Event.pp e);
+    flush = (fun () -> Format.pp_print_flush fmt ());
+  }
+
+let stderr ?min_severity () = formatter ?min_severity Fmt.stderr

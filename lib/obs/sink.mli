@@ -1,0 +1,16 @@
+(** Pluggable destinations for structured events. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+val null : t
+(** Discards everything. *)
+
+val buffer : unit -> t * (unit -> Event.t list)
+(** In-memory sink; the second component returns the events received so
+    far, oldest first. *)
+
+val formatter : ?min_severity:Severity.t -> Format.formatter -> t
+(** Human-readable rendering of each event at or above [min_severity]
+    (default: everything). *)
+
+val stderr : ?min_severity:Severity.t -> unit -> t

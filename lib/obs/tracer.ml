@@ -1,0 +1,210 @@
+(* Nestable timed spans plus instant markers, exported in the Chrome
+   trace_event JSON format so a whole flow run opens as a timeline in
+   chrome://tracing or Perfetto.
+
+   Spans carry the host clock (the [ts]/[dur] fields, microseconds) and,
+   when begun from inside a simulation, the simulated clock (in the
+   [args]).  Spans live on named tracks, one Chrome "thread" per track:
+   the default track carries the sequential flow (levels, verifications,
+   solver calls), while each bus master gets its own track so that the
+   interleaved transactions of concurrent simulation processes still
+   render as properly nested rectangles. *)
+
+type track = { tid : int; label : string; mutable depth : int }
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_track : track;
+  s_depth : int;
+  s_start_us : float;
+  s_sim_start_ns : int option;
+  s_args : (string * Json.t) list;
+}
+
+type completed = {
+  name : string;
+  cat : string;
+  track : string;
+  depth : int;
+  start_us : float;
+  dur_us : float;
+  sim_start_ns : int option;
+  sim_dur_ns : int option;
+  args : (string * Json.t) list;
+}
+
+type instant = {
+  i_name : string;
+  i_severity : Severity.t;
+  i_ts_us : float;
+  i_track : track;
+  i_sim_ns : int option;
+  i_args : (string * Json.t) list;
+}
+
+type t = {
+  epoch_us : float;
+  tracks : (string, track) Hashtbl.t;
+  mutable next_tid : int;
+  mutable completed : completed list;  (* newest first *)
+  mutable instants : instant list;
+  mutable completed_count : int;
+}
+
+let default_track = "flow"
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let create () =
+  {
+    epoch_us = now_us ();
+    tracks = Hashtbl.create 8;
+    next_tid = 1;
+    completed = [];
+    instants = [];
+    completed_count = 0;
+  }
+
+let track_of t label =
+  match Hashtbl.find_opt t.tracks label with
+  | Some tr -> tr
+  | None ->
+      let tr = { tid = t.next_tid; label; depth = 0 } in
+      t.next_tid <- t.next_tid + 1;
+      Hashtbl.add t.tracks label tr;
+      tr
+
+let begin_span t ?(track = default_track) ?(cat = "app") ?(args = []) ?sim_ns
+    name =
+  let tr = track_of t track in
+  let s =
+    {
+      s_name = name;
+      s_cat = cat;
+      s_track = tr;
+      s_depth = tr.depth;
+      s_start_us = now_us ();
+      s_sim_start_ns = sim_ns;
+      s_args = args;
+    }
+  in
+  tr.depth <- tr.depth + 1;
+  s
+
+let end_span t ?(args = []) ?sim_ns s =
+  let tr = s.s_track in
+  if tr.depth > 0 then tr.depth <- tr.depth - 1;
+  let sim_dur_ns =
+    match (s.s_sim_start_ns, sim_ns) with
+    | Some a, Some b -> Some (b - a)
+    | _ -> None
+  in
+  t.completed <-
+    {
+      name = s.s_name;
+      cat = s.s_cat;
+      track = tr.label;
+      depth = s.s_depth;
+      start_us = s.s_start_us;
+      dur_us = now_us () -. s.s_start_us;
+      sim_start_ns = s.s_sim_start_ns;
+      sim_dur_ns;
+      args = s.s_args @ args;
+    }
+    :: t.completed;
+  t.completed_count <- t.completed_count + 1
+
+let with_span t ?track ?cat ?args ?sim_ns name f =
+  let s = begin_span t ?track ?cat ?args ?sim_ns name in
+  match f () with
+  | v ->
+      end_span t s;
+      v
+  | exception e ->
+      end_span t s;
+      raise e
+
+let instant t ?(track = default_track) ?(severity = Severity.Info)
+    ?(args = []) ?sim_ns name =
+  t.instants <-
+    {
+      i_name = name;
+      i_severity = severity;
+      i_ts_us = now_us ();
+      i_track = track_of t track;
+      i_sim_ns = sim_ns;
+      i_args = args;
+    }
+    :: t.instants
+
+let span_count t = t.completed_count
+
+let completed_spans t = List.rev t.completed
+
+let spans_with_cat t cat =
+  List.filter (fun c -> String.equal c.cat cat) (completed_spans t)
+
+(* --- Chrome trace_event export --- *)
+
+let sim_args sim_start_ns sim_dur_ns =
+  (match sim_start_ns with
+  | Some ns -> [ ("sim_ns", Json.Int ns) ]
+  | None -> [])
+  @
+  match sim_dur_ns with
+  | Some ns -> [ ("sim_dur_ns", Json.Int ns) ]
+  | None -> []
+
+let to_chrome_json t =
+  let rel us = us -. t.epoch_us in
+  let span_event (c : completed) =
+    Json.Obj
+      [
+        ("name", Json.Str c.name);
+        ("cat", Json.Str c.cat);
+        ("ph", Json.Str "X");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int (track_of t c.track).tid);
+        ("ts", Json.Float (rel c.start_us));
+        ("dur", Json.Float c.dur_us);
+        ("args", Json.Obj (sim_args c.sim_start_ns c.sim_dur_ns @ c.args));
+      ]
+  in
+  let instant_event (i : instant) =
+    Json.Obj
+      [
+        ("name", Json.Str i.i_name);
+        ("cat", Json.Str (Severity.to_string i.i_severity));
+        ("ph", Json.Str "i");
+        ("s", Json.Str "t");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int i.i_track.tid);
+        ("ts", Json.Float (rel i.i_ts_us));
+        ("args", Json.Obj (sim_args i.i_sim_ns None @ i.i_args));
+      ]
+  in
+  let thread_name tr =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tr.tid);
+        ("args", Json.Obj [ ("name", Json.Str tr.label) ]);
+      ]
+  in
+  let tracks =
+    Hashtbl.fold (fun _ tr acc -> tr :: acc) t.tracks []
+    |> List.sort (fun a b -> Int.compare a.tid b.tid)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("displayTimeUnit", Json.Str "ns");
+         ( "traceEvents",
+           Json.List
+             (List.map thread_name tracks
+             @ List.map span_event (completed_spans t)
+             @ List.map instant_event (List.rev t.instants)) );
+       ])

@@ -1,0 +1,72 @@
+(** Nestable timed spans and instant markers, exported as Chrome
+    trace_event JSON (loadable in chrome://tracing or Perfetto).
+
+    Spans carry host time always, and simulated time when the caller
+    passes [sim_ns].  Spans are grouped on named {e tracks} (Chrome
+    threads): the default track serialises the flow itself, while
+    concurrent simulation processes (e.g. bus masters) should each use
+    their own track so their interleaved spans still nest. *)
+
+type t
+
+type span
+
+type completed = {
+  name : string;
+  cat : string;
+  track : string;
+  depth : int;  (** nesting depth within the track at begin time *)
+  start_us : float;
+  dur_us : float;
+  sim_start_ns : int option;
+  sim_dur_ns : int option;
+  args : (string * Json.t) list;
+}
+
+val default_track : string
+(** ["flow"]. *)
+
+val create : unit -> t
+
+val begin_span :
+  t ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  span
+
+val end_span : t -> ?args:(string * Json.t) list -> ?sim_ns:int -> span -> unit
+(** Close the span; [sim_ns] here yields a simulated duration in the
+    exported args.  Spans on the same track must close in LIFO order. *)
+
+val with_span :
+  t ->
+  ?track:string ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Scoped span; closes on normal return and on exception. *)
+
+val instant :
+  t ->
+  ?track:string ->
+  ?severity:Severity.t ->
+  ?args:(string * Json.t) list ->
+  ?sim_ns:int ->
+  string ->
+  unit
+(** A zero-duration marker on the timeline. *)
+
+val span_count : t -> int
+val completed_spans : t -> completed list
+(** Completed spans, oldest first. *)
+
+val spans_with_cat : t -> string -> completed list
+
+val to_chrome_json : t -> string
+(** The whole timeline as a Chrome trace_event JSON document. *)

@@ -30,6 +30,7 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable learned : int;
+  mutable restarts : int;
   seen : (int, unit) Hashtbl.t;
 }
 
@@ -59,6 +60,7 @@ let create nvars =
     decisions = 0;
     propagations = 0;
     learned = 0;
+    restarts = 0;
     seen = Hashtbl.create 64;
   }
 
@@ -333,7 +335,7 @@ let rec luby i =
   if (1 lsl k) - 1 = i then 1 lsl (k - 1)
   else luby (i - (1 lsl (k - 1)) + 1)
 
-let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -374,6 +376,7 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
                   result := Some Unknown
                 else if !conflicts_this_restart >= !restart_limit then begin
                   incr restart_count;
+                  s.restarts <- s.restarts + 1;
                   conflicts_this_restart := 0;
                   restart_limit := conflicts_until_restart ();
                   cancel_until s (List.length assumptions)
@@ -418,6 +421,53 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
     end
   end
 
+let result_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unknown"
+
+(* Telemetry shell around the search: a span per [solve] call and the
+   effort deltas (conflicts, propagations, restarts, ...) flushed to the
+   metrics registry once the call returns. *)
+let solve ?assumptions ?max_conflicts s =
+  let module Obs = Symbad_obs.Obs in
+  let module Metrics = Symbad_obs.Metrics in
+  let module Json = Symbad_obs.Json in
+  if not (Obs.enabled ()) then solve_search ?assumptions ?max_conflicts s
+  else begin
+    let c0 = s.conflicts
+    and p0 = s.propagations
+    and d0 = s.decisions
+    and r0 = s.restarts in
+    let sp =
+      Obs.begin_span ~cat:"sat"
+        ~args:[ ("vars", Json.Int s.nvars); ("clauses", Json.Int s.nclauses) ]
+        "sat.solve"
+    in
+    let finish result =
+      let m = Obs.metrics () in
+      let flush name v = Metrics.incr ~by:v (Metrics.counter m name) in
+      flush "sat.solves" 1;
+      flush "sat.conflicts" (s.conflicts - c0);
+      flush "sat.propagations" (s.propagations - p0);
+      flush "sat.decisions" (s.decisions - d0);
+      flush "sat.restarts" (s.restarts - r0);
+      Obs.end_span
+        ~args:
+          [
+            ("result", Json.Str (match result with
+              | Some r -> result_string r
+              | None -> "exception"));
+            ("conflicts", Json.Int (s.conflicts - c0));
+          ]
+        sp
+    in
+    match solve_search ?assumptions ?max_conflicts s with
+    | r ->
+        finish (Some r);
+        r
+    | exception e ->
+        finish None;
+        raise e
+  end
+
 (* Model access: only meaningful right after [solve] returned [Sat]. *)
 let model_value s v =
   if v < 1 || v > s.nvars then invalid_arg "Solver.model_value";
@@ -430,6 +480,7 @@ type stats = {
   decisions : int;
   propagations : int;
   learned : int;
+  restarts : int;
 }
 
 let stats (s : t) =
@@ -438,4 +489,5 @@ let stats (s : t) =
     decisions = s.decisions;
     propagations = s.propagations;
     learned = s.learned;
+    restarts = s.restarts;
   }

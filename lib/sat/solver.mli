@@ -37,6 +37,7 @@ type stats = {
   decisions : int;
   propagations : int;
   learned : int;
+  restarts : int;
 }
 
 val stats : t -> stats

@@ -6,6 +6,10 @@
    corresponding event fires.  This mirrors the SystemC process model the
    paper's level-1..3 descriptions are written in. *)
 
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+module Metrics = Symbad_obs.Metrics
+
 type action = unit -> unit
 
 type t = {
@@ -68,10 +72,16 @@ let exec_fiber k body =
           | Suspend register ->
               Some
                 (fun (cont : (a, _) continuation) ->
+                  if Obs.enabled () then
+                    Obs.event ~severity:Symbad_obs.Severity.Debug
+                      ~sim_ns:(Time.to_ns k.now) "sim.park";
                   let resumed = ref false in
                   register (fun () ->
                       if not !resumed then begin
                         resumed := true;
+                        if Obs.enabled () then
+                          Obs.event ~severity:Symbad_obs.Severity.Debug
+                            ~sim_ns:(Time.to_ns k.now) "sim.resume";
                         schedule_at k k.now (fun () -> continue cont ())
                       end))
           | Get_kernel ->
@@ -80,12 +90,24 @@ let exec_fiber k body =
     }
 
 let spawn k ?(name = "proc") body =
-  ignore name;
   k.processes_spawned <- k.processes_spawned + 1;
+  if Obs.enabled () then begin
+    Obs.event ~severity:Symbad_obs.Severity.Debug
+      ~args:[ ("name", Json.Str name) ]
+      ~sim_ns:(Time.to_ns k.now) "sim.spawn";
+    Obs.incr_counter "sim.processes_spawned"
+  end;
   schedule k (fun () -> exec_fiber k body)
 
 let run ?until k =
   let t0 = Sys.time () in
+  let events0 = k.events_processed in
+  let sim0 = Time.to_ns k.now in
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span ~cat:"sim" ~sim_ns:sim0 "kernel.run"
+    else Obs.null_span
+  in
   let within time =
     match until with None -> true | Some limit -> Time.(time <= limit)
   in
@@ -107,8 +129,31 @@ let run ?until k =
             | Some limit -> k.now <- limit
             | None -> ()
   in
-  loop ();
-  k.run_cpu_seconds <- k.run_cpu_seconds +. (Sys.time () -. t0)
+  (* accumulate host time even when an action escapes with [Halted],
+     an uncaught model exception, or a [stop] request *)
+  let finish () =
+    let dt = Sys.time () -. t0 in
+    k.run_cpu_seconds <- k.run_cpu_seconds +. dt;
+    if Obs.enabled () then begin
+      let dispatched = k.events_processed - events0 in
+      let sim_ns = Time.to_ns k.now in
+      let m = Obs.metrics () in
+      Metrics.incr ~by:dispatched (Metrics.counter m "sim.events_dispatched");
+      if dt > 0. then
+        Metrics.set
+          (Metrics.gauge m "sim.wall_sim_ratio")
+          (float_of_int (sim_ns - sim0) /. 1e9 /. dt);
+      Obs.end_span
+        ~args:[ ("events", Json.Int dispatched) ]
+        ~sim_ns sp
+    end
+  in
+  Fun.protect ~finally:finish loop
+
+let reset_stats k =
+  k.events_processed <- 0;
+  k.processes_spawned <- 0;
+  k.run_cpu_seconds <- 0.
 
 let stats k =
   {

@@ -48,4 +48,9 @@ val stop : t -> unit
 (** Request that {!run} return after the current event. *)
 
 val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the event, process and CPU-time accumulators (the clock is
+    kept), so benchmarks can measure steady state after a warm-up run. *)
+
 val pp_stats : Format.formatter -> stats -> unit

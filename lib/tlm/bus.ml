@@ -9,6 +9,8 @@
 
 module Proc = Symbad_sim.Process
 module Time = Symbad_sim.Time
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
 
 type master_stats = {
   mutable transactions : int;
@@ -108,6 +110,22 @@ let release b =
 let transfer ?(priority = 8) b (txn : Transaction.t) =
   let t_request = Time.to_ns (Proc.now ()) in
   if b.start_ns = None then b.start_ns <- Some t_request;
+  (* one span per transaction, on the master's own track so interleaved
+     masters still render as nested rectangles on the timeline *)
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span ~track:txn.Transaction.master ~cat:"bus"
+        ~args:
+          [
+            ("master", Json.Str txn.Transaction.master);
+            ("target", Json.Str txn.Transaction.target);
+            ("bytes", Json.Int txn.Transaction.bytes);
+            ("priority", Json.Int priority);
+          ]
+        ~sim_ns:t_request
+        ("bus." ^ Transaction.kind_to_string txn.Transaction.kind)
+    else Obs.null_span
+  in
   acquire b ~priority;
   let t_grant = Time.to_ns (Proc.now ()) in
   let duration = transfer_time b txn.Transaction.bytes in
@@ -124,7 +142,17 @@ let transfer ?(priority = 8) b (txn : Transaction.t) =
   ms.transactions <- ms.transactions + 1;
   ms.bytes <- ms.bytes + txn.Transaction.bytes;
   ms.busy_ns <- ms.busy_ns + dur_ns;
-  ms.wait_ns <- ms.wait_ns + (t_grant - t_request);
+  let wait_ns = t_grant - t_request in
+  ms.wait_ns <- ms.wait_ns + wait_ns;
+  if Obs.enabled () then begin
+    Obs.incr_counter "bus.transactions";
+    Obs.incr_counter ~by:txn.Transaction.bytes "bus.bytes";
+    Obs.observe "bus.grant_wait_ns" wait_ns;
+    Obs.end_span
+      ~args:[ ("grant_wait_ns", Json.Int wait_ns) ]
+      ~sim_ns:(Time.to_ns (Proc.now ()))
+      sp
+  end;
   release b
 
 type report = {
@@ -137,10 +165,13 @@ type report = {
 }
 
 let report b =
+  (* observed activity window: first request to last release.  With no
+     transactions (or a degenerate zero-length window) utilisation is
+     0.0 by definition, never a division by zero. *)
   let window =
     match b.start_ns with
     | None -> 0
-    | Some start -> Stdlib.max 1 (b.last_release_ns - start)
+    | Some start -> b.last_release_ns - start
   in
   {
     transactions = b.total_transactions;
@@ -148,7 +179,7 @@ let report b =
     data_bytes = b.data_bytes;
     bitstream_bytes = b.bitstream_bytes;
     utilisation =
-      (if b.total_transactions = 0 then 0.
+      (if b.total_transactions = 0 || window <= 0 then 0.
        else float_of_int b.busy_ns /. float_of_int window);
     per_master =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.masters []

@@ -13,4 +13,5 @@ let () =
       ("symbc", Test_symbc.suite);
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
     ]
