@@ -234,13 +234,9 @@ let e7_symbc () =
 (* ---------------------------------------------------------------- *)
 (* E8: model checking + property coverage.                           *)
 
-let e8_mc_pcc () =
-  section "E8" "model checking and PCC completeness (level 4)";
-  let l4, secs = host_time (fun () -> Level4.run ()) in
-  Format.printf "%a" Level4.pp l4;
-  Format.printf "level-4 host time: %.1fs@." secs;
-  (* the PCC refinement story: initial (weak) plan vs refined plan *)
-  let fifo = Symbad_hdl.Rtl_lib.fifo_ctrl ~addr_width:2 () in
+(* The FIFO-controller property plans of the E8 refinement story; the
+   refined plan is also the PCC load of the parallel-speedup bench. *)
+let fifo_property_plans fifo =
   let module E = Symbad_hdl.Expr in
   let module P = Symbad_mc.Prop in
   let weak =
@@ -264,6 +260,16 @@ let e8_mc_pcc () =
           (P.implies (E.eq push_ok pop_ok) (E.eq delta (E.const ~width:3 0)));
       ]
   in
+  (weak, strong)
+
+let e8_mc_pcc () =
+  section "E8" "model checking and PCC completeness (level 4)";
+  let l4, secs = host_time (fun () -> Level4.run ()) in
+  Format.printf "%a" Level4.pp l4;
+  Format.printf "level-4 host time: %.1fs@." secs;
+  (* the PCC refinement story: initial (weak) plan vs refined plan *)
+  let fifo = Symbad_hdl.Rtl_lib.fifo_ctrl ~addr_width:2 () in
+  let weak, strong = fifo_property_plans fifo in
   Format.printf "PCC refinement loop on the FIFO controller:@.";
   List.iter
     (fun (label, props) ->
@@ -368,6 +374,74 @@ let a2_static_vs_reconfig () =
     (fun g -> Format.printf "  %a@." Explore.pp_grade g)
     (Explore.sweep_hw_sets ~task_area ~profile ~pinned_sw:Face_app.pinned_sw
        ~max_hw:6 graph)
+
+(* ---------------------------------------------------------------- *)
+(* PAR: the parallel verification-job engine — wall-clock speedup of  *)
+(* the fan-outs at jobs=4 over jobs=1, with the results cross-checked *)
+(* for identity.  `dune exec bench/main.exe -- par_speedup [FILE]`    *)
+(* also writes the figures as JSON (the committed BENCH_par.json      *)
+(* baseline).                                                         *)
+
+let par_speedup out =
+  let module Par = Symbad_par.Par in
+  let module Json = Symbad_obs.Json in
+  section "PAR" "parallel verification speedup (wall clock, jobs=1 vs jobs=4)";
+  (* Sys.time is CPU time summed over all domains; speedup needs wall
+     clock. *)
+  let wall_time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure name run =
+    let seq, t1 = wall_time (fun () -> Par.with_pool ~jobs:1 run) in
+    let par, t4 = wall_time (fun () -> Par.with_pool ~jobs:4 run) in
+    let identical = seq = par in
+    let speedup = t1 /. t4 in
+    Format.printf "%-28s jobs=1 %7.2fs   jobs=4 %7.2fs   speedup %.2fx   %s@."
+      name t1 t4 speedup
+      (if identical then "identical results" else "RESULTS DIFFER");
+    ( name,
+      Json.Obj
+        [
+          ("seconds_jobs1", Json.Float t1);
+          ("seconds_jobs4", Json.Float t4);
+          ("speedup", Json.Float speedup);
+          ("identical", Json.Bool identical);
+        ] )
+  in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "host cores: %d%s@." cores
+    (if cores < 4 then
+       " (jobs=4 oversubscribes; expect overhead, not speedup — the \
+        identity check is the meaningful result here)"
+     else "");
+  let fifo = Symbad_hdl.Rtl_lib.fifo_ctrl ~addr_width:2 () in
+  let _, strong = fifo_property_plans fifo in
+  let rows =
+    [
+      (* one SAT job per fault: the flagship fan-out *)
+      measure "pcc_fifo_refined_plan" (fun pool ->
+          Symbad_pcc.Pcc.run ~pool ~depth:8 fifo strong);
+      (* the whole level-4 portfolio: MC windows + per-module PCC *)
+      measure "level4_rtl_verification" (fun pool -> Level4.run ~pool ());
+      (* the architecture-exploration sweep *)
+      measure "explore_hw_set_sweep" (fun pool ->
+          Explore.sweep_hw_sets ~pool ~task_area:Level3.default_task_area
+            ~profile ~pinned_sw:Face_app.pinned_sw ~max_hw:6 graph);
+    ]
+  in
+  let json =
+    Json.to_string (Json.Obj (("host_cores", Json.Int cores) :: rows))
+  in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per experiment id.       *)
@@ -542,6 +616,8 @@ let () =
   | "tables" -> tables ()
   | "micro" -> micro_benchmarks ()
   | "guard" -> guard ()
+  | "par_speedup" ->
+      par_speedup (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | _ ->
       tables ();
       micro_benchmarks ());

@@ -2,19 +2,27 @@
    on the face recognition case study from a shell.
 
      symbad flow [--frames N] [--size S] [--identities N]
-                 [--trace FILE] [--metrics FILE] [--json FILE]
+                 [--jobs N] [--seed N] [--no-timings]
+                 [--trace FILE] [--metrics FILE]
+                 [--json FILE] [--markdown FILE]
      symbad level (1|2|3) [...]         run one refinement level
      symbad verify (deadlock|timing|symbc|rtl)
      symbad explore [...]
      symbad recognize --identity I --pose P
      symbad stats [...]                 flow + telemetry summary table
-*)
+
+   Every subcommand that does verification work shares the same option
+   vocabulary: [--jobs] (worker domains, also $SYMBAD_JOBS), [--seed]
+   (test-generation seed), [--json]/[--markdown] (report artefacts,
+   "-" for stdout). *)
 
 open Cmdliner
 open Symbad_core
 module Obs = Symbad_obs.Obs
 module Tracer = Symbad_obs.Tracer
 module Metrics = Symbad_obs.Metrics
+module Json = Symbad_obs.Json
+module Par = Symbad_par.Par
 
 (* Every report artefact ("--markdown", "--json", "--trace", "--metrics")
    goes through this one path; "-" means stdout. *)
@@ -30,12 +38,19 @@ let write_artefact ~what path content =
         Format.eprintf "symbad: cannot write %s: %s@." what msg;
         exit 1
 
-let workload frames size identities =
-  {
-    Face_app.size;
-    identities;
-    frames = List.init frames (fun i -> (i * 2 mod identities, 1 + (i mod 4)));
-  }
+let artefact ~what serialise = function
+  | Some path -> write_artefact ~what path (serialise ())
+  | None -> ()
+
+(* --- the shared option vocabulary --- *)
+
+type common = {
+  frames : int;
+  size : int;
+  identities : int;
+  jobs : int;  (* 0 = auto (one lane per core) *)
+  seed : int;
+}
 
 let frames_arg =
   Arg.(value & opt int 8 & info [ "frames" ] ~docv:"N" ~doc:"Camera frames to process.")
@@ -46,41 +61,88 @@ let size_arg =
 let identities_arg =
   Arg.(value & opt int 20 & info [ "identities" ] ~docv:"N" ~doc:"Database population.")
 
+let jobs_arg =
+  let env = Cmd.Env.info "SYMBAD_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 0
+       & info [ "jobs"; "j" ] ~docv:"N" ~env
+           ~doc:"Worker domains for the parallel verification fan-outs \
+                 (0 = one per core).  Results are identical at any width.")
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"N" ~doc:"Seed for the test-generation engines.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the report as JSON (\"-\" for stdout).")
+
+let markdown_arg =
+  Arg.(value & opt (some string) None
+       & info [ "markdown" ] ~docv:"FILE"
+           ~doc:"Write the report as markdown (\"-\" for stdout).")
+
+let common_term =
+  let mk frames size identities jobs seed =
+    { frames; size; identities; jobs; seed }
+  in
+  Term.(const mk $ frames_arg $ size_arg $ identities_arg $ jobs_arg $ seed_arg)
+
+let with_pool c f =
+  Par.with_pool ?jobs:(if c.jobs > 0 then Some c.jobs else None) f
+
+let workload c =
+  {
+    Face_app.size = c.size;
+    identities = c.identities;
+    frames =
+      List.init c.frames (fun i -> (i * 2 mod c.identities, 1 + (i mod 4)));
+  }
+
+(* Markdown verdict table shared by [verify] and ad-hoc reports. *)
+let verdicts_markdown title verdicts =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# %s\n\n| check | verdict | detail |\n|---|---|---|\n" title;
+  List.iter
+    (fun v ->
+      add "| %s | %s | %s |\n" v.Verdict.name
+        (if v.Verdict.passed then "PASS" else "FAIL")
+        v.Verdict.detail)
+    verdicts;
+  Buffer.contents buf
+
 (* --- flow --- *)
 
-let run_flow frames size identities markdown json trace metrics =
+let run_flow c markdown json no_timings trace metrics =
   (* telemetry stays off (and off the hot paths) unless an export asks
      for it *)
   if trace <> None || metrics <> None then begin
     Obs.reset ();
     Obs.set_enabled true
   end;
-  let w = workload frames size identities in
-  let report = Flow.run ~workload:w () in
-  Format.printf "%a@." Flow.pp report;
-  let artefact what serialise = function
-    | Some path -> write_artefact ~what path (serialise ())
-    | None -> ()
+  let w = workload c in
+  let report =
+    with_pool c (fun pool -> Flow.run ~pool ~seed:c.seed ~workload:w ())
   in
-  artefact "markdown report" (fun () -> Flow.to_markdown report) markdown;
-  artefact "json report" (fun () -> Flow.to_json report) json;
-  artefact "chrome trace"
+  Format.printf "%a@." Flow.pp report;
+  artefact ~what:"markdown report" (fun () -> Flow.to_markdown report) markdown;
+  artefact ~what:"json report"
+    (fun () -> Flow.to_json ~timings:(not no_timings) report)
+    json;
+  artefact ~what:"chrome trace"
     (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
     trace;
-  artefact "metrics" (fun () -> Metrics.to_jsonl (Obs.metrics ())) metrics;
+  artefact ~what:"metrics" (fun () -> Metrics.to_jsonl (Obs.metrics ())) metrics;
   if report.Flow.all_passed then 0 else 1
 
 let flow_cmd =
   let doc = "Run the complete four-level design and verification flow." in
-  let markdown_arg =
-    Arg.(value & opt (some string) None
-         & info [ "markdown" ] ~docv:"FILE"
-             ~doc:"Write the report as markdown (\"-\" for stdout).")
-  in
-  let json_arg =
-    Arg.(value & opt (some string) None
-         & info [ "json" ] ~docv:"FILE"
-             ~doc:"Write the report as JSON (\"-\" for stdout).")
+  let no_timings_arg =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Zero host times in the JSON report, making reports \
+                   byte-comparable across runs and $(b,--jobs) widths.")
   in
   let trace_arg =
     Arg.(value & opt (some string) None
@@ -96,46 +158,87 @@ let flow_cmd =
                    for stdout).")
   in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run_flow $ frames_arg $ size_arg $ identities_arg
-          $ markdown_arg $ json_arg $ trace_arg $ metrics_arg)
+    Term.(const run_flow $ common_term $ markdown_arg $ json_arg
+          $ no_timings_arg $ trace_arg $ metrics_arg)
 
 (* --- level --- *)
 
-let run_level level frames size identities =
-  let w = workload frames size identities in
+let run_level level c markdown json =
+  let w = workload c in
   let graph = Face_app.graph w in
   let l1 = Level1.run graph in
-  (match level with
-  | 1 ->
-      Format.printf "level 1: %a@." Symbad_sim.Kernel.pp_stats
-        l1.Level1.kernel_stats;
-      Format.printf "profiling ranking:@.%a@."
-        Symbad_tlm.Annotation.Profile.pp l1.Level1.profile
-  | 2 ->
-      let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
-      let r = Level2.run graph m in
-      Format.printf "mapping:@.%a" Mapping.pp m;
-      Format.printf "latency: %dns; %.0f kHz; cpu %a@.bus %a@."
-        r.Level2.latency_ns
-        (Level2.simulation_speed_khz ~bus_period_ns:10 r)
-        Symbad_tlm.Cpu.pp_stats r.Level2.cpu_stats
-        Symbad_tlm.Bus.pp_report r.Level2.bus_report
-  | 3 ->
-      let m =
-        Mapping.refine_to_fpga
-          (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
-          Face_app.level3_refinement
-      in
-      let r = Level3.run graph m in
-      Format.printf "latency: %dns; %.0f kHz@.fpga %a@.bus %a@."
-        r.Level3.latency_ns
-        (Level3.simulation_speed_khz ~bus_period_ns:10 r)
-        Symbad_fpga.Fpga.pp_stats r.Level3.fpga_stats
-        Symbad_tlm.Bus.pp_report r.Level3.bus_report;
-      Format.printf "instrumented SW:@.%a@." Symbad_symbc.Ast.pp
-        r.Level3.instrumented_sw
-  | n -> Format.printf "no such level: %d (use 1, 2 or 3)@." n);
-  0
+  let report =
+    match level with
+    | 1 ->
+        Format.printf "level 1: %a@." Symbad_sim.Kernel.pp_stats
+          l1.Level1.kernel_stats;
+        Format.printf "profiling ranking:@.%a@."
+          Symbad_tlm.Annotation.Profile.pp l1.Level1.profile;
+        Some
+          (Json.Obj
+             [
+               ("level", Json.Int 1);
+               ( "ranking",
+                 Json.List
+                   (List.map
+                      (fun (task, units) ->
+                        Json.Obj
+                          [ ("task", Json.Str task); ("units", Json.Int units) ])
+                      (Symbad_tlm.Annotation.Profile.ranking l1.Level1.profile))
+               );
+             ])
+    | 2 ->
+        let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+        let r = Level2.run graph m in
+        Format.printf "mapping:@.%a" Mapping.pp m;
+        Format.printf "latency: %dns; %.0f kHz; cpu %a@.bus %a@."
+          r.Level2.latency_ns
+          (Level2.simulation_speed_khz ~bus_period_ns:10 r)
+          Symbad_tlm.Cpu.pp_stats r.Level2.cpu_stats
+          Symbad_tlm.Bus.pp_report r.Level2.bus_report;
+        Some
+          (Json.Obj
+             [
+               ("level", Json.Int 2);
+               ("latency_ns", Json.Int r.Level2.latency_ns);
+               ( "bus_utilisation",
+                 Json.Float r.Level2.bus_report.Symbad_tlm.Bus.utilisation );
+             ])
+    | 3 ->
+        let m =
+          Mapping.refine_to_fpga
+            (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+            Face_app.level3_refinement
+        in
+        let r = Level3.run graph m in
+        Format.printf "latency: %dns; %.0f kHz@.fpga %a@.bus %a@."
+          r.Level3.latency_ns
+          (Level3.simulation_speed_khz ~bus_period_ns:10 r)
+          Symbad_fpga.Fpga.pp_stats r.Level3.fpga_stats
+          Symbad_tlm.Bus.pp_report r.Level3.bus_report;
+        Format.printf "instrumented SW:@.%a@." Symbad_symbc.Ast.pp
+          r.Level3.instrumented_sw;
+        Some
+          (Json.Obj
+             [
+               ("level", Json.Int 3);
+               ("latency_ns", Json.Int r.Level3.latency_ns);
+               ( "bitstream_bytes",
+                 Json.Int r.Level3.bus_report.Symbad_tlm.Bus.bitstream_bytes );
+             ])
+    | n ->
+        Format.printf "no such level: %d (use 1, 2 or 3)@." n;
+        None
+  in
+  match report with
+  | None -> 1
+  | Some j ->
+      artefact ~what:"json report" (fun () -> Json.to_string j) json;
+      artefact ~what:"markdown report"
+        (fun () ->
+          Printf.sprintf "# Level %d\n\n```\n%s\n```\n" level (Json.to_string j))
+        markdown;
+      0
 
 let level_cmd =
   let doc = "Run one refinement level of the case study." in
@@ -143,41 +246,79 @@ let level_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"LEVEL")
   in
   Cmd.v (Cmd.info "level" ~doc)
-    Term.(const run_level $ level_arg $ frames_arg $ size_arg $ identities_arg)
+    Term.(const run_level $ level_arg $ common_term $ markdown_arg $ json_arg)
 
 (* --- verify --- *)
 
-let run_verify what frames size identities =
-  let w = workload frames size identities in
+let run_verify what c markdown json =
+  let w = workload c in
   let graph = Face_app.graph w in
-  (match what with
-  | "deadlock" ->
-      Format.printf "%a@." Symbad_lpv.Deadlock.pp_verdict
-        (Lpv_bridge.check_deadlock graph)
-  | "timing" ->
-      let l1 = Level1.run graph in
-      let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
-      let verdict, met =
-        Lpv_bridge.check_deadline ~deadline_ns:40_000_000
-          ~timing:Lpv_bridge.default_timing ~mapping:m
-          ~profile:l1.Level1.profile graph
-      in
-      Format.printf "%a; 40ms deadline met: %b@." Symbad_lpv.Timing.pp_verdict
-        verdict met
-  | "symbc" ->
-      let l1 = Level1.run graph in
-      let m =
-        Mapping.refine_to_fpga
-          (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
-          Face_app.level3_refinement
-      in
-      let r = Level3.run graph m in
-      Format.printf "%a@." Symbad_symbc.Check.pp_verdict
-        (Symbad_symbc.Check.check r.Level3.config_info r.Level3.instrumented_sw)
-  | "rtl" -> Format.printf "%a@." Level4.pp (Level4.run ())
-  | other ->
-      Format.printf "unknown check %S (deadlock|timing|symbc|rtl)@." other);
-  0
+  let verdicts =
+    match what with
+    | "deadlock" ->
+        Some [ Verdict.of_lpv_deadlock (Lpv_bridge.check_deadlock graph) ]
+    | "timing" ->
+        let l1 = Level1.run graph in
+        let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+        let verdict, met =
+          Lpv_bridge.check_deadline ~deadline_ns:40_000_000
+            ~timing:Lpv_bridge.default_timing ~mapping:m
+            ~profile:l1.Level1.profile graph
+        in
+        Some [ Verdict.of_lpv_timing ~deadline_ns:40_000_000 ~met verdict ]
+    | "symbc" ->
+        let l1 = Level1.run graph in
+        let m =
+          Mapping.refine_to_fpga
+            (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+            Face_app.level3_refinement
+        in
+        let r = Level3.run graph m in
+        Some
+          [
+            Verdict.of_symbc
+              (Symbad_symbc.Check.check r.Level3.config_info
+                 r.Level3.instrumented_sw);
+          ]
+    | "rtl" ->
+        let l4 = with_pool c (fun pool -> Level4.run ~pool ()) in
+        Format.printf "%a@." Level4.pp l4;
+        Some
+          (List.concat_map
+             (fun (m : Level4.module_report) ->
+               [
+                 Verdict.make
+                   ~name:
+                     (Printf.sprintf "model checking %s" m.Level4.module_name)
+                   ~passed:m.Level4.all_proved
+                   ~detail:
+                     (Printf.sprintf "%d properties"
+                        (List.length m.Level4.mc_reports))
+                   (if m.Level4.all_proved then Verdict.Proved
+                    else Verdict.Inconclusive "not all properties proved");
+                 {
+                   (Verdict.of_pcc m.Level4.pcc) with
+                   Verdict.name =
+                     Printf.sprintf "PCC completeness %s" m.Level4.module_name;
+                 };
+               ])
+             l4.Level4.modules)
+    | other ->
+        Format.printf "unknown check %S (deadlock|timing|symbc|rtl)@." other;
+        None
+  in
+  match verdicts with
+  | None -> 1
+  | Some vs ->
+      List.iter (fun v -> Format.printf "%a@." Verdict.pp v) vs;
+      artefact ~what:"json report"
+        (fun () ->
+          Json.to_string (Json.List (List.map (Verdict.to_json ~timings:true) vs)))
+        json;
+      artefact ~what:"markdown report"
+        (fun () -> verdicts_markdown ("Verification: " ^ what) vs)
+        markdown;
+      if List.for_all (fun v -> v.Verdict.passed) vs then 0 else 1
 
 let verify_cmd =
   let doc = "Run one verification technology of the flow." in
@@ -185,22 +326,46 @@ let verify_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECK")
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run_verify $ what_arg $ frames_arg $ size_arg $ identities_arg)
+    Term.(const run_verify $ what_arg $ common_term $ markdown_arg $ json_arg)
 
 (* --- explore --- *)
 
-let run_explore frames size identities max_hw =
-  let w = workload frames size identities in
+let run_explore c max_hw json =
+  let w = workload c in
   let graph = Face_app.graph w in
   let l1 = Level1.run graph in
   let grades =
-    Explore.sweep_hw_sets ~task_area:Level3.default_task_area
-      ~profile:l1.Level1.profile ~pinned_sw:Face_app.pinned_sw ~max_hw graph
+    with_pool c (fun pool ->
+        Explore.sweep_hw_sets ~pool ~task_area:Level3.default_task_area
+          ~profile:l1.Level1.profile ~pinned_sw:Face_app.pinned_sw ~max_hw
+          graph)
   in
   List.iter (fun g -> Format.printf "%a@." Explore.pp_grade g) grades;
   Format.printf "pareto:@.";
-  List.iter (fun g -> Format.printf "  %a@." Explore.pp_grade g)
-    (Explore.pareto grades);
+  let pareto = Explore.pareto grades in
+  List.iter (fun g -> Format.printf "  %a@." Explore.pp_grade g) pareto;
+  artefact ~what:"json report"
+    (fun () ->
+      let grade_json (g : Explore.grade) =
+        Json.Obj
+          [
+            ("label", Json.Str g.Explore.label);
+            ("latency_ns", Json.Int g.Explore.latency_ns);
+            ("area", Json.Int g.Explore.area);
+            ("bus_utilisation", Json.Float g.Explore.bus_utilisation);
+            ("bitstream_bytes", Json.Int g.Explore.bitstream_bytes);
+            ("energy_proxy", Json.Float g.Explore.energy_proxy);
+          ]
+      in
+      Json.to_string
+        (Json.Obj
+           [
+             ("grades", Json.List (List.map grade_json grades));
+             ( "pareto",
+               Json.List
+                 (List.map (fun g -> Json.Str g.Explore.label) pareto) );
+           ]))
+    json;
   0
 
 let explore_cmd =
@@ -209,7 +374,7 @@ let explore_cmd =
     Arg.(value & opt int 6 & info [ "max-hw" ] ~docv:"N" ~doc:"Largest HW set.")
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run_explore $ frames_arg $ size_arg $ identities_arg $ max_hw_arg)
+    Term.(const run_explore $ common_term $ max_hw_arg $ json_arg)
 
 (* --- recognize --- *)
 
@@ -233,19 +398,22 @@ let recognize_cmd =
 
 (* --- stats (telemetry summary) --- *)
 
-let run_stats frames size identities =
+let run_stats c =
   Obs.reset ();
   Obs.set_enabled true;
-  let w = workload frames size identities in
-  let report = Flow.run ~workload:w () in
+  let w = workload c in
+  let report =
+    with_pool c (fun pool -> Flow.run ~pool ~seed:c.seed ~workload:w ())
+  in
   let tracer = Obs.tracer () in
   Format.printf "%s@." (Metrics.to_table (Obs.metrics ()));
-  Format.printf "spans: %d (levels %d, bus %d, sat %d, mc %d)@."
+  Format.printf "spans: %d (levels %d, bus %d, sat %d, mc %d, par %d)@."
     (Tracer.span_count tracer)
     (List.length (Tracer.spans_with_cat tracer "level"))
     (List.length (Tracer.spans_with_cat tracer "bus"))
     (List.length (Tracer.spans_with_cat tracer "sat"))
-    (List.length (Tracer.spans_with_cat tracer "mc"));
+    (List.length (Tracer.spans_with_cat tracer "mc"))
+    (List.length (Tracer.spans_with_cat tracer "par"));
   if report.Flow.all_passed then 0 else 1
 
 let stats_cmd =
@@ -253,8 +421,7 @@ let stats_cmd =
     "Run the flow with telemetry enabled and print the metrics table \
      (counters, gauges, histograms) plus a span census."
   in
-  Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ frames_arg $ size_arg $ identities_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ common_term)
 
 (* --- wrapper (automated interface synthesis) --- *)
 

@@ -54,6 +54,8 @@ type report = {
   condition : float;
   bit : float;
   total : float;
+  hit_points : int;
+  total_points : int;
   missed : point list;
 }
 
@@ -75,6 +77,8 @@ let report ~universe c =
     condition = ratio c_hit c_tot;
     bit = ratio x_hit x_tot;
     total = ratio (s_hit + b_hit + c_hit + x_hit) (s_tot + b_tot + c_tot + x_tot);
+    hit_points = s_hit + b_hit + c_hit + x_hit;
+    total_points = s_tot + b_tot + c_tot + x_tot;
     missed = List.filter (fun p -> not (is_hit c p)) universe;
   }
 

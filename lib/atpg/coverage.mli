@@ -36,6 +36,8 @@ type report = {
   condition : float;
   bit : float;
   total : float;
+  hit_points : int;  (** points hit, across all four kinds *)
+  total_points : int;  (** universe size *)
   missed : point list;  (** the coverage frontier *)
 }
 

@@ -23,17 +23,19 @@ let default_params =
   { population = 32; generations = 60; mutation_permille = 80; tournament = 3;
     seed = 1 }
 
-let new_points_of model covered test =
+(* The expensive half of fitness — running the model — depends only on
+   the vector, so it parallelises; the cheap half (which of the hit
+   points are new) depends on the committed set and stays sequential. *)
+let hit_points_of model test =
   let c = Coverage.create () in
   ignore (Model.run ~cover:c model test);
-  let fresh = ref [] in
-  List.iter
-    (fun p -> if Coverage.is_hit c p && not (Hashtbl.mem covered p) then
-        fresh := p :: !fresh)
-    model.Model.universe;
-  !fresh
+  List.filter (Coverage.is_hit c) model.Model.universe
 
-let generate ?(params = default_params) model =
+let fresh_of covered hits =
+  List.rev (List.filter (fun p -> not (Hashtbl.mem covered p)) hits)
+
+let generate ?pool ?(params = default_params) model =
+  let pool = Symbad_par.Par.get pool in
   let rng = Rng.create params.seed in
   let widths = Array.of_list (List.map snd model.Model.inputs) in
   let random_vector () = Array.map (fun w -> Rng.int rng (1 lsl w)) widths in
@@ -74,14 +76,21 @@ let generate ?(params = default_params) model =
   let generation = ref 0 in
   while !generation < params.generations && Hashtbl.length covered < total do
     incr generation;
-    (* evaluate: fitness = number of new points; commit progress *)
+    (* evaluate: chunked population scoring on the pool (model runs are
+       pure), then fitness = number of new points committed in
+       population order — the same suite as the sequential loop *)
+    let runs =
+      Symbad_par.Par.map ~label:"atpg.population" pool
+        (fun v -> (v, hit_points_of model v))
+        !population
+    in
     let scored =
       List.map
-        (fun v ->
-          let fresh = new_points_of model covered v in
+        (fun (v, hits) ->
+          let fresh = fresh_of covered hits in
           if fresh <> [] then commit v fresh;
           (v, List.length fresh))
-        !population
+        runs
     in
     let pick () =
       (* tournament selection over the scored population *)

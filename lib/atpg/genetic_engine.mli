@@ -16,6 +16,9 @@ type params = {
 
 val default_params : params
 
-val generate : ?params:params -> Model.t -> Model.test list
+val generate :
+  ?pool:Symbad_par.Par.pool -> ?params:params -> Model.t -> Model.test list
 (** The committed suite, in discovery order (only coverage-increasing
-    vectors are kept). *)
+    vectors are kept).  Population scoring — the model runs — fans out
+    in chunks on [pool]; commits happen in population order on the
+    calling domain, so the suite is identical at any pool width. *)

@@ -27,25 +27,40 @@ let mask_inputs m (test : test) =
 
 let run ?cover ?fault m test = m.run ?cover ?fault (mask_inputs m test)
 
-(* Coverage accumulated by a test suite. *)
-let coverage m tests =
+(* Coverage accumulated by a test suite: per-test hit sets are pure, so
+   they fan out on the pool; the in-order merge keeps the accumulated
+   table identical to the sequential loop. *)
+let coverage ?pool m tests =
+  let pool = Symbad_par.Par.get pool in
+  let covs =
+    Symbad_par.Par.map ~label:"atpg.coverage" pool
+      (fun t ->
+        let c = Coverage.create () in
+        ignore (run ~cover:c m t);
+        c)
+      tests
+  in
   let c = Coverage.create () in
-  List.iter (fun t -> ignore (run ~cover:c m t)) tests;
+  List.iter (fun ci -> Coverage.merge ~into:c ci) covs;
   c
 
-let coverage_report m tests =
-  Coverage.report ~universe:m.universe (coverage m tests)
+let coverage_report ?pool m tests =
+  Coverage.report ~universe:m.universe (coverage ?pool m tests)
 
-(* Fault simulation: which faults does the suite detect? *)
-let detected_faults m tests =
-  List.filter
+(* Fault simulation: which faults does the suite detect?  One job per
+   fault; each job replays the fault-free and faulty runs itself, so the
+   jobs share nothing mutable. *)
+let detected_faults ?pool m tests =
+  let pool = Symbad_par.Par.get pool in
+  Symbad_par.Par.map ~label:"atpg.fault_sim" pool
     (fun fault ->
-      List.exists (fun t -> run m t <> run ~fault m t) tests)
+      (fault, List.exists (fun t -> run m t <> run ~fault m t) tests))
     m.faults
+  |> List.filter_map (fun (f, detected) -> if detected then Some f else None)
 
-let fault_coverage m tests =
+let fault_coverage ?pool m tests =
   match m.faults with
   | [] -> 1.
   | faults ->
-      float_of_int (List.length (detected_faults m tests))
+      float_of_int (List.length (detected_faults ?pool m tests))
       /. float_of_int (List.length faults)

@@ -22,12 +22,14 @@ val mask_inputs : t -> test -> test
 
 val run : ?cover:Coverage.t -> ?fault:fault -> t -> test -> int array
 
-val coverage : t -> test list -> Coverage.t
-(** Coverage accumulated over a suite. *)
+val coverage : ?pool:Symbad_par.Par.pool -> t -> test list -> Coverage.t
+(** Coverage accumulated over a suite (per-test runs fan out on [pool];
+    the in-order merge keeps the result identical at any width). *)
 
-val coverage_report : t -> test list -> Coverage.report
+val coverage_report : ?pool:Symbad_par.Par.pool -> t -> test list -> Coverage.report
 
-val detected_faults : t -> test list -> fault list
-(** A test detects a fault when outputs differ from the fault-free run. *)
+val detected_faults : ?pool:Symbad_par.Par.pool -> t -> test list -> fault list
+(** A test detects a fault when outputs differ from the fault-free run;
+    fault simulation runs one job per fault on [pool]. *)
 
-val fault_coverage : t -> test list -> float
+val fault_coverage : ?pool:Symbad_par.Par.pool -> t -> test list -> float

@@ -12,28 +12,34 @@ type evaluation = {
   undetected : string list;  (* fault ids the suite misses *)
 }
 
-let evaluate ~engine model tests =
-  let coverage = Model.coverage_report model tests in
-  let detected = Model.detected_faults model tests in
+let evaluate ?pool ~engine model tests =
+  let coverage = Model.coverage_report ?pool model tests in
+  let detected = Model.detected_faults ?pool model tests in
   let undetected =
     List.filter (fun f -> not (List.memq f detected)) model.Model.faults
     |> List.map (fun f -> f.Model.fid)
+  in
+  let fault_coverage =
+    match model.Model.faults with
+    | [] -> 1.
+    | faults ->
+        float_of_int (List.length detected) /. float_of_int (List.length faults)
   in
   {
     model = model.Model.name;
     engine;
     tests = List.length tests;
     coverage;
-    fault_coverage = Model.fault_coverage model tests;
+    fault_coverage;
     undetected;
   }
 
 (* Head-to-head of the engines at equal pattern budget, the shape the
    ATPG experiment reports: formal/guided engines beat random. *)
-let compare_engines ?(budget = 64) ?(seed = 1) model =
+let compare_engines ?pool ?(budget = 64) ?(seed = 1) model =
   let random = Random_engine.generate ~seed ~count:budget model in
   let genetic =
-    Genetic_engine.generate
+    Genetic_engine.generate ?pool
       ~params:
         {
           Genetic_engine.default_params with
@@ -46,8 +52,8 @@ let compare_engines ?(budget = 64) ?(seed = 1) model =
   (* GA commits only coverage-increasing vectors; cap at the same budget *)
   let genetic = List.filteri (fun i _ -> i < budget) genetic in
   [
-    evaluate ~engine:"random" model random;
-    evaluate ~engine:"genetic" model genetic;
+    evaluate ?pool ~engine:"random" model random;
+    evaluate ?pool ~engine:"genetic" model genetic;
   ]
 
 let pp_evaluation fmt e =

@@ -10,9 +10,17 @@ type evaluation = {
   undetected : string list;  (** fault ids the suite misses *)
 }
 
-val evaluate : engine:string -> Model.t -> Model.test list -> evaluation
+val evaluate :
+  ?pool:Symbad_par.Par.pool ->
+  engine:string ->
+  Model.t ->
+  Model.test list ->
+  evaluation
+(** Coverage and fault simulation fan out on [pool]; the evaluation is
+    identical at any pool width. *)
 
-val compare_engines : ?budget:int -> ?seed:int -> Model.t -> evaluation list
+val compare_engines :
+  ?pool:Symbad_par.Par.pool -> ?budget:int -> ?seed:int -> Model.t -> evaluation list
 (** Random vs genetic at equal pattern budget. *)
 
 val pp_evaluation : Format.formatter -> evaluation -> unit

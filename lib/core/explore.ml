@@ -87,12 +87,25 @@ let grade_level3 ?(config = Level3.default_config) ~task_area ~label graph
 
 (* Sweep HW-set sizes: map the [n] heaviest tasks to HW for n in
    [0, max_hw], grading each candidate — the II-III-IV iteration of the
-   architecture-exploration loop. *)
-let sweep_hw_sets ?config ~task_area ~profile ~pinned_sw ?(max_hw = 6) graph =
-  List.init (max_hw + 1) (fun n ->
+   architecture-exploration loop.  Candidates simulate independently, so
+   they fan out on the pool; progress goes through [symbad_obs] events
+   (never stdout), emitted from the calling domain only. *)
+let sweep_hw_sets ?pool ?config ~task_area ~profile ~pinned_sw ?(max_hw = 6)
+    graph =
+  let module Obs = Symbad_obs.Obs in
+  let module Json = Symbad_obs.Json in
+  let progress ~completed ~total =
+    Obs.event
+      ~args:[ ("completed", Json.Int completed); ("total", Json.Int total) ]
+      "explore.progress"
+  in
+  Symbad_par.Par.map ~label:"explore.hw_sets" ~progress
+    (Symbad_par.Par.get pool)
+    (fun n ->
       let mapping = Mapping.of_ranking ~pinned_sw ~top_n:n profile graph in
       grade_level2 ?config ~task_area ~label:(Printf.sprintf "hw%d" n) graph
         mapping)
+    (List.init (max_hw + 1) Fun.id)
 
 (* Pareto filter over (latency, area, energy): keep points not dominated
    on all three axes. *)

@@ -37,6 +37,7 @@ val grade_level3 :
   grade
 
 val sweep_hw_sets :
+  ?pool:Symbad_par.Par.pool ->
   ?config:Level2.config ->
   task_area:(string -> int) ->
   profile:Symbad_tlm.Annotation.Profile.t ->
@@ -44,7 +45,10 @@ val sweep_hw_sets :
   ?max_hw:int ->
   Task_graph.t ->
   grade list
-(** Map the [n] heaviest tasks to HW for [n] in [0, max_hw]. *)
+(** Map the [n] heaviest tasks to HW for [n] in [0, max_hw].
+    Candidates are graded in parallel on [pool] (results are in [n]
+    order at any width); progress is reported through
+    ["explore.progress"] observability events. *)
 
 val pareto : grade list -> grade list
 (** Points not dominated on (latency, area, energy). *)

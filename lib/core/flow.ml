@@ -11,7 +11,10 @@ module Annotation = Symbad_tlm.Annotation
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
 
-type verification = { check : string; passed : bool; detail : string }
+(* The historical per-flow result record is now the stack-wide
+   [Verdict.t]; the alias (and the [verification] constructor below)
+   stay for one release so existing callers keep compiling. *)
+type verification = Verdict.t
 
 type level_report = {
   level : int;
@@ -29,39 +32,69 @@ type t = {
   all_passed : bool;
 }
 
-let verification ~check ~passed detail = { check; passed; detail }
+let verification ~check ~passed detail =
+  (* deprecated shim: callers should construct Verdict.t directly *)
+  Verdict.make ~name:check ~passed ~detail
+    (if passed then Verdict.Proved else Verdict.Disproved detail)
+
+(* Time one verification step; the seconds land in the verdict. *)
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
 
 let compare_traces ~check ~reference ~actual =
-  let mismatches = Sim.Trace.compare_data ~reference ~actual in
-  verification ~check
-    ~passed:(mismatches = [])
-    (match mismatches with
-    | [] -> Printf.sprintf "%d streams match" (List.length (Sim.Trace.sources actual))
-    | ms -> Printf.sprintf "%d stream mismatches" (List.length ms))
+  let mismatches, host_seconds =
+    timed (fun () -> Sim.Trace.compare_data ~reference ~actual)
+  in
+  match mismatches with
+  | [] ->
+      Verdict.make ~name:check ~host_seconds
+        ~detail:
+          (Printf.sprintf "%d streams match"
+             (List.length (Sim.Trace.sources actual)))
+        Verdict.Proved
+  | ms ->
+      Verdict.make ~name:check ~host_seconds
+        (Verdict.Disproved (Printf.sprintf "%d stream mismatches" (List.length ms)))
 
-let atpg_verification () =
+let atpg_verification ?pool ~seed () =
   (* Laerte++ on the behavioural hot spots: genetic engine, report the
-     worst coverage across models *)
-  let evals =
-    List.map
-      (fun m ->
-        let tests = Symbad_atpg.Genetic_engine.generate m in
-        Symbad_atpg.Testbench.evaluate ~engine:"genetic" m tests)
-      (Symbad_atpg.Models.all ())
+     worst coverage across models.  Model runs fan out on the pool. *)
+  let evals, host_seconds =
+    timed (fun () ->
+        List.map
+          (fun m ->
+            let params =
+              { Symbad_atpg.Genetic_engine.default_params with
+                Symbad_atpg.Genetic_engine.seed }
+            in
+            let tests = Symbad_atpg.Genetic_engine.generate ?pool ~params m in
+            Symbad_atpg.Testbench.evaluate ?pool ~engine:"genetic" m tests)
+          (Symbad_atpg.Models.all ()))
   in
   let worst =
     List.fold_left
       (fun acc e -> min acc e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total)
       1. evals
   in
-  verification ~check:"ATPG coverage (Laerte++)"
+  let hit, total =
+    List.fold_left
+      (fun (h, t) (e : Symbad_atpg.Testbench.evaluation) ->
+        ( h + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.hit_points,
+          t + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total_points ))
+      (0, 0) evals
+  in
+  Verdict.make ~name:"ATPG coverage (Laerte++)" ~host_seconds
     ~passed:(worst > 0.85)
-    (String.concat "; "
-       (List.map
-          (fun e ->
-            Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
-              (100. *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
-          evals))
+    ~detail:
+      (String.concat "; "
+         (List.map
+            (fun e ->
+              Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
+                (100. *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
+            evals))
+    (Verdict.Coverage { hit; total })
 
 (* One "flow.verdict" event per verification: a failing check surfaces on
    every sink at [Error] severity without grepping the report. *)
@@ -71,20 +104,21 @@ let emit_verdicts level verifications =
       (fun v ->
         Obs.event
           ~severity:
-            (if v.passed then Symbad_obs.Severity.Info
+            (if v.Verdict.passed then Symbad_obs.Severity.Info
              else Symbad_obs.Severity.Error)
           ~args:
             [
               ("level", Json.Int level);
-              ("check", Json.Str v.check);
-              ("passed", Json.Bool v.passed);
-              ("detail", Json.Str v.detail);
+              ("check", Json.Str v.Verdict.name);
+              ("outcome", Json.Str (Verdict.outcome_label v.Verdict.outcome));
+              ("passed", Json.Bool v.Verdict.passed);
+              ("detail", Json.Str v.Verdict.detail);
             ]
           "flow.verdict")
       verifications
 
-let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
-    =
+let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
+    ?(deadline_ns = 40_000_000) () =
   let graph = Face_app.graph workload in
   let reference = Face_app.reference_trace workload in
   (* ---- Level 1: functional model + functional verification ---- *)
@@ -94,15 +128,8 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
   let l1 = Level1.run graph in
   let l1_seconds = Sys.time () -. t0 in
   let deadlock =
-    match Lpv_bridge.check_deadlock graph with
-    | Symbad_lpv.Deadlock.Deadlock_free { min_cycle_tokens } ->
-        verification ~check:"LPV deadlock freeness" ~passed:true
-          (Fmt.str "min cycle tokens %a" Symbad_lpv.Rat.pp min_cycle_tokens)
-    | Symbad_lpv.Deadlock.Potential_deadlock { witness } ->
-        verification ~check:"LPV deadlock freeness" ~passed:false
-          (String.concat "," witness)
-    | Symbad_lpv.Deadlock.Not_analyzable why ->
-        verification ~check:"LPV deadlock freeness" ~passed:false why
+    let v, secs = timed (fun () -> Lpv_bridge.check_deadlock graph) in
+    Verdict.of_lpv_deadlock ~host_seconds:secs v
   in
   let level1 =
     {
@@ -115,7 +142,7 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
         [
           compare_traces ~check:"trace match vs C reference model"
             ~reference ~actual:l1.Level1.trace;
-          atpg_verification ();
+          atpg_verification ?pool ~seed ();
           deadlock;
         ];
     }
@@ -153,14 +180,15 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
         [
           compare_traces ~check:"trace match vs level 1"
             ~reference:l1.Level1.trace ~actual:l2.Level2.trace;
-          verification ~check:"LPV timing deadline" ~passed:deadline_ok
-            (Fmt.str "%a vs deadline %dns" Symbad_lpv.Timing.pp_verdict
-               period_verdict deadline_ns);
-          verification ~check:"LPV FIFO dimensioning"
-            ~passed:(fifo_dim <> None)
-            (match fifo_dim with
-            | Some c -> Printf.sprintf "minimal uniform capacity %d" c
-            | None -> "no capacity meets the deadline");
+          Verdict.of_lpv_timing ~deadline_ns ~met:deadline_ok period_verdict;
+          (match fifo_dim with
+          | Some c ->
+              Verdict.make ~name:"LPV FIFO dimensioning"
+                ~detail:(Printf.sprintf "minimal uniform capacity %d" c)
+                Verdict.Proved
+          | None ->
+              Verdict.make ~name:"LPV FIFO dimensioning"
+                (Verdict.Disproved "no capacity meets the deadline"));
         ];
     }
   in
@@ -175,15 +203,12 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
   let l3 = Level3.run graph mapping3 in
   let l3_seconds = Sys.time () -. t0 in
   let symbc =
-    match
-      Symbad_symbc.Check.check l3.Level3.config_info l3.Level3.instrumented_sw
-    with
-    | Symbad_symbc.Check.Consistent { calls_checked; _ } ->
-        verification ~check:"SymbC reconfiguration consistency" ~passed:true
-          (Printf.sprintf "certificate, %d call sites" calls_checked)
-    | Symbad_symbc.Check.Inconsistent cex ->
-        verification ~check:"SymbC reconfiguration consistency" ~passed:false
-          (cex.Symbad_symbc.Check.failing_call ^ " unavailable")
+    let v, secs =
+      timed (fun () ->
+          Symbad_symbc.Check.check l3.Level3.config_info
+            l3.Level3.instrumented_sw)
+    in
+    Verdict.of_symbc ~host_seconds:secs v
   in
   let level3 =
     {
@@ -200,8 +225,9 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
           compare_traces ~check:"trace match vs level 2"
             ~reference:l2.Level2.trace ~actual:l3.Level3.trace;
           symbc;
-          verification ~check:"FPGA reconfiguration activity" ~passed:true
-            (Fmt.str "%a" Symbad_fpga.Fpga.pp_stats l3.Level3.fpga_stats);
+          Verdict.make ~name:"FPGA reconfiguration activity"
+            ~detail:(Fmt.str "%a" Symbad_fpga.Fpga.pp_stats l3.Level3.fpga_stats)
+            Verdict.Proved;
         ];
     }
   in
@@ -212,27 +238,27 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
   let level4 =
     Obs.span ~cat:"level" "level4" @@ fun () ->
   let t0 = Sys.time () in
-  let l4 = Level4.run () in
+  let l4 = Level4.run ?pool () in
   let l4_seconds = Sys.time () -. t0 in
   let mc_ver =
     List.map
       (fun (m : Level4.module_report) ->
-        verification
-          ~check:(Printf.sprintf "model checking %s" m.Level4.module_name)
+        Verdict.make
+          ~name:(Printf.sprintf "model checking %s" m.Level4.module_name)
           ~passed:m.Level4.all_proved
-          (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports)))
+          ~detail:
+            (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports))
+          (if m.Level4.all_proved then Verdict.Proved
+           else Verdict.Inconclusive "not all properties proved"))
       l4.Level4.modules
   in
   let pcc_ver =
     List.map
       (fun (m : Level4.module_report) ->
-        let p = m.Level4.pcc in
-        verification
-          ~check:(Printf.sprintf "PCC completeness %s" m.Level4.module_name)
-          ~passed:(p.Symbad_pcc.Pcc.coverage >= 0.75)
-          (Printf.sprintf "%.0f%% of %d detectable faults"
-             (100. *. p.Symbad_pcc.Pcc.coverage)
-             p.Symbad_pcc.Pcc.detectable))
+        (* the adapter names the netlist; the flow names the module *)
+        { (Verdict.of_pcc m.Level4.pcc) with
+          Verdict.name =
+            Printf.sprintf "PCC completeness %s" m.Level4.module_name })
       l4.Level4.modules
   in
   let level4 =
@@ -255,7 +281,7 @@ let run ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000) ()
     mapping = mapping3;
     all_passed =
       List.for_all
-        (fun l -> List.for_all (fun v -> v.passed) l.verifications)
+        (fun l -> List.for_all (fun v -> v.Verdict.passed) l.verifications)
         levels;
   }
 
@@ -269,12 +295,7 @@ let pp_level fmt l =
       Fmt.pf fmt "  simulation speed: %.1f kHz@." khz
   | Some _ | None -> ());
   Fmt.pf fmt "  host time: %.3fs@." l.host_seconds;
-  List.iter
-    (fun v ->
-      Fmt.pf fmt "  [%s] %-38s %s@."
-        (if v.passed then "PASS" else "FAIL")
-        v.check v.detail)
-    l.verifications
+  List.iter (fun v -> Fmt.pf fmt "  %a@." Verdict.pp v) l.verifications
 
 (* Markdown rendering of a flow report, for CI artefacts and the
    experiment log. *)
@@ -299,9 +320,9 @@ let to_markdown t =
       add "| check | verdict | detail |\n|---|---|---|\n";
       List.iter
         (fun v ->
-          add "| %s | %s | %s |\n" v.check
-            (if v.passed then "PASS" else "FAIL")
-            v.detail)
+          add "| %s | %s | %s |\n" v.Verdict.name
+            (if v.Verdict.passed then "PASS" else "FAIL")
+            v.Verdict.detail)
         l.verifications;
       add "\n")
     t.levels;
@@ -309,29 +330,25 @@ let to_markdown t =
   Buffer.contents buf
 
 (* JSON rendering of the same report, for machine consumption (CI
-   dashboards, the [stats] subcommand, regression diffing). *)
-let to_json t =
-  let verification_json v =
-    Json.Obj
-      [
-        ("check", Json.Str v.check);
-        ("passed", Json.Bool v.passed);
-        ("detail", Json.Str v.detail);
-      ]
-  in
+   dashboards, the [stats] subcommand, regression diffing).
+   [~timings:false] zeroes host timing and simulation speed — the only
+   run-dependent fields — so two runs of the same flow at any [--jobs]
+   width serialise byte-identically. *)
+let to_json ?(timings = true) t =
   let level_json l =
     Json.Obj
       [
         ("level", Json.Int l.level);
         ("title", Json.Str l.title);
-        ("host_seconds", Json.Float l.host_seconds);
+        ("host_seconds", Json.Float (if timings then l.host_seconds else 0.));
         ( "latency_ns",
           match l.latency_ns with Some ns -> Json.Int ns | None -> Json.Null );
         ( "sim_speed_khz",
           match l.sim_speed_khz with
-          | Some khz when khz <> infinity -> Json.Float khz
+          | Some khz when timings && khz <> infinity -> Json.Float khz
           | Some _ | None -> Json.Null );
-        ("verifications", Json.List (List.map verification_json l.verifications));
+        ( "verifications",
+          Json.List (List.map (Verdict.to_json ~timings) l.verifications) );
       ]
   in
   Json.to_string

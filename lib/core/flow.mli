@@ -2,7 +2,9 @@
     recognition case study with every verification the methodology
     prescribes, carrying all reports. *)
 
-type verification = { check : string; passed : bool; detail : string }
+type verification = Verdict.t
+(** Every flow check is a stack-wide {!Verdict.t}; the alias keeps the
+    historical name compiling. *)
 
 type level_report = {
   level : int;
@@ -20,16 +22,32 @@ type t = {
   all_passed : bool;
 }
 
-val run : ?workload:Face_app.workload -> ?deadline_ns:int -> unit -> t
+val verification : check:string -> passed:bool -> string -> verification
+[@@ocaml.deprecated "construct Verdict.t directly (Verdict.make)"]
+(** Pre-[Verdict] constructor, kept for one release. *)
+
+val run :
+  ?pool:Symbad_par.Par.pool ->
+  ?seed:int ->
+  ?workload:Face_app.workload ->
+  ?deadline_ns:int ->
+  unit ->
+  t
 (** [deadline_ns] (default 40 ms, i.e. 25 frames/s) is the level-2
-    real-time requirement checked by LPV. *)
+    real-time requirement checked by LPV.  [pool] fans the
+    fault-detectability, ATPG and model-checking work out across
+    domains; results are identical at any width (defaults to the
+    sequential pool).  [seed] (default 1) drives the ATPG engines. *)
 
 val to_markdown : t -> string
 (** The report as a markdown document (CI artefacts, experiment logs). *)
 
-val to_json : t -> string
+val to_json : ?timings:bool -> t -> string
 (** The same report as a JSON document: workload, per-level figures and
-    verification verdicts, overall outcome. *)
+    verification verdicts, overall outcome.  [~timings:false] zeroes
+    host times and simulation speeds — the only run-dependent fields —
+    so reports compare byte-identically across runs and [--jobs]
+    widths. *)
 
 val pp_level : Format.formatter -> level_report -> unit
 val pp : Format.formatter -> t -> unit

@@ -208,18 +208,25 @@ type module_report = {
 
 type result = { modules : module_report list }
 
-let verify_module ?(max_depth = 12) ?(pcc_depth = 6) ?(max_reg_bits = 4) m =
-  let mc_reports = Mc.Engine.check_all ~max_depth m.netlist m.properties in
+let verify_module ?pool ?(max_depth = 12) ?(pcc_depth = 6) ?(max_reg_bits = 4) m
+    =
+  let mc_reports = Mc.Engine.check_all ?pool ~max_depth m.netlist m.properties in
   {
     module_name = m.module_name;
     mc_reports;
     all_proved = Mc.Engine.all_proved mc_reports;
     pcc =
-      Symbad_pcc.Pcc.run ~depth:pcc_depth ~max_reg_bits m.netlist m.properties;
+      Symbad_pcc.Pcc.run ?pool ~depth:pcc_depth ~max_reg_bits m.netlist
+        m.properties;
   }
 
-let run ?max_depth ?pcc_depth ?max_reg_bits () =
-  { modules = List.map (verify_module ?max_depth ?pcc_depth ?max_reg_bits) (modules ()) }
+let run ?pool ?max_depth ?pcc_depth ?max_reg_bits () =
+  {
+    modules =
+      List.map
+        (verify_module ?pool ?max_depth ?pcc_depth ?max_reg_bits)
+        (modules ());
+  }
 
 let pp_module_report fmt r =
   Fmt.pf fmt "RTL module %s:@." r.module_name;

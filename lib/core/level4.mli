@@ -29,9 +29,22 @@ type module_report = {
 type result = { modules : module_report list }
 
 val verify_module :
-  ?max_depth:int -> ?pcc_depth:int -> ?max_reg_bits:int -> rtl_module -> module_report
+  ?pool:Symbad_par.Par.pool ->
+  ?max_depth:int ->
+  ?pcc_depth:int ->
+  ?max_reg_bits:int ->
+  rtl_module ->
+  module_report
+(** [pool] fans the per-fault PCC checks and per-property model-checking
+    runs across domains; verdicts are identical at any pool width. *)
 
-val run : ?max_depth:int -> ?pcc_depth:int -> ?max_reg_bits:int -> unit -> result
+val run :
+  ?pool:Symbad_par.Par.pool ->
+  ?max_depth:int ->
+  ?pcc_depth:int ->
+  ?max_reg_bits:int ->
+  unit ->
+  result
 
 val pp_module_report : Format.formatter -> module_report -> unit
 val pp : Format.formatter -> result -> unit

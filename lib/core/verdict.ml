@@ -1,0 +1,160 @@
+(* The uniform verification-result contract (OS-VVM style: heterogeneous
+   checks, one reporting shape).  Producers keep their rich native
+   reports; these adapters compress each into the four-outcome verdict
+   the flow aggregates and serialises. *)
+
+module Json = Symbad_obs.Json
+
+type outcome =
+  | Proved
+  | Disproved of string
+  | Coverage of { hit : int; total : int }
+  | Inconclusive of string
+
+type t = {
+  name : string;
+  outcome : outcome;
+  passed : bool;
+  host_seconds : float;
+  detail : string;
+}
+
+let coverage_ratio = function
+  | Coverage { hit; total } ->
+      Some (if total = 0 then 1. else float_of_int hit /. float_of_int total)
+  | Proved | Disproved _ | Inconclusive _ -> None
+
+let default_passed = function
+  | Proved -> true
+  | Disproved _ | Inconclusive _ -> false
+  | Coverage { hit; total } -> hit = total
+
+let make ?passed ?(host_seconds = 0.) ?(detail = "") ~name outcome =
+  {
+    name;
+    outcome;
+    passed = (match passed with Some p -> p | None -> default_passed outcome);
+    host_seconds;
+    detail;
+  }
+
+(* --- adapters --------------------------------------------------------- *)
+
+let of_mc ?host_seconds (r : Symbad_mc.Engine.report) =
+  let name = r.Symbad_mc.Engine.property in
+  match r.Symbad_mc.Engine.verdict with
+  | Symbad_mc.Engine.Proved { method_; depth } ->
+      make ?host_seconds ~name
+        ~detail:(Printf.sprintf "proved (%s, k=%d)" method_ depth)
+        Proved
+  | Symbad_mc.Engine.Falsified tr ->
+      make ?host_seconds ~name
+        (Disproved
+           (Printf.sprintf "%d-cycle counterexample trace"
+              (Symbad_mc.Trace.length tr)))
+  | Symbad_mc.Engine.Unknown { reason } ->
+      make ?host_seconds ~name (Inconclusive reason)
+
+let of_pcc ?host_seconds ?(threshold = 0.75) (r : Symbad_pcc.Pcc.report) =
+  let outcome =
+    Coverage { hit = r.Symbad_pcc.Pcc.covered; total = r.Symbad_pcc.Pcc.detectable }
+  in
+  make ?host_seconds
+    ~name:(Printf.sprintf "PCC completeness %s" r.Symbad_pcc.Pcc.design)
+    ~passed:(r.Symbad_pcc.Pcc.coverage >= threshold)
+    ~detail:
+      (Printf.sprintf "%.0f%% of %d detectable faults"
+         (100. *. r.Symbad_pcc.Pcc.coverage)
+         r.Symbad_pcc.Pcc.detectable)
+    outcome
+
+let of_atpg ?host_seconds ?(threshold = 0.85)
+    (e : Symbad_atpg.Testbench.evaluation) =
+  let c = e.Symbad_atpg.Testbench.coverage in
+  make ?host_seconds
+    ~name:
+      (Printf.sprintf "ATPG coverage %s (%s)" e.Symbad_atpg.Testbench.model
+         e.Symbad_atpg.Testbench.engine)
+    ~passed:(c.Symbad_atpg.Coverage.total > threshold)
+    ~detail:
+      (Printf.sprintf "%d tests, %.0f%% of %d points, faults %.0f%%"
+         e.Symbad_atpg.Testbench.tests
+         (100. *. c.Symbad_atpg.Coverage.total)
+         c.Symbad_atpg.Coverage.total_points
+         (100. *. e.Symbad_atpg.Testbench.fault_coverage))
+    (Coverage
+       {
+         hit = c.Symbad_atpg.Coverage.hit_points;
+         total = c.Symbad_atpg.Coverage.total_points;
+       })
+
+let of_lpv_deadlock ?host_seconds (v : Symbad_lpv.Deadlock.verdict) =
+  let name = "LPV deadlock freeness" in
+  match v with
+  | Symbad_lpv.Deadlock.Deadlock_free { min_cycle_tokens } ->
+      make ?host_seconds ~name
+        ~detail:(Fmt.str "min cycle tokens %a" Symbad_lpv.Rat.pp min_cycle_tokens)
+        Proved
+  | Symbad_lpv.Deadlock.Potential_deadlock { witness } ->
+      make ?host_seconds ~name (Disproved (String.concat "," witness))
+  | Symbad_lpv.Deadlock.Not_analyzable why ->
+      make ?host_seconds ~name (Inconclusive why)
+
+let of_lpv_timing ?host_seconds ~deadline_ns ~met
+    (v : Symbad_lpv.Timing.verdict) =
+  let detail =
+    Fmt.str "%a vs deadline %dns" Symbad_lpv.Timing.pp_verdict v deadline_ns
+  in
+  make ?host_seconds ~name:"LPV timing deadline" ~detail
+    (if met then Proved else Disproved detail)
+
+let of_symbc ?host_seconds (v : Symbad_symbc.Check.verdict) =
+  let name = "SymbC reconfiguration consistency" in
+  match v with
+  | Symbad_symbc.Check.Consistent { calls_checked; _ } ->
+      make ?host_seconds ~name
+        ~detail:(Printf.sprintf "certificate, %d call sites" calls_checked)
+        Proved
+  | Symbad_symbc.Check.Inconsistent cex ->
+      make ?host_seconds ~name
+        (Disproved (cex.Symbad_symbc.Check.failing_call ^ " unavailable"))
+
+(* --- rendering -------------------------------------------------------- *)
+
+let outcome_label = function
+  | Proved -> "proved"
+  | Disproved _ -> "disproved"
+  | Coverage _ -> "coverage"
+  | Inconclusive _ -> "inconclusive"
+
+let to_json ?(timings = true) t =
+  let base =
+    [
+      ("check", Json.Str t.name);
+      ("passed", Json.Bool t.passed);
+      ("detail", Json.Str t.detail);
+      ("outcome", Json.Str (outcome_label t.outcome));
+      ("host_seconds", Json.Float (if timings then t.host_seconds else 0.));
+    ]
+  in
+  let extra =
+    match t.outcome with
+    | Coverage { hit; total } ->
+        [ ("hit", Json.Int hit); ("total", Json.Int total) ]
+    | Disproved w -> [ ("counterexample", Json.Str w) ]
+    | Inconclusive reason -> [ ("reason", Json.Str reason) ]
+    | Proved -> []
+  in
+  Json.Obj (base @ extra)
+
+let pp fmt t =
+  Fmt.pf fmt "[%s] %-38s %s"
+    (if t.passed then "PASS" else "FAIL")
+    t.name
+    (if String.equal t.detail "" then
+       match t.outcome with
+       | Proved -> "proved"
+       | Disproved w -> w
+       | Coverage { hit; total } -> Printf.sprintf "%d/%d" hit total
+       | Inconclusive reason -> reason
+     else t.detail)

@@ -1,0 +1,64 @@
+(** The one verification-result type of the flow.
+
+    Every verification technology in the stack — model checking, PCC,
+    ATPG, LPV, SymbC — historically reported through its own record;
+    [Verdict.t] is the uniform contract they all adapt to, so the flow
+    report, the CLI JSON surface and the parallel job engine handle one
+    shape.  The adapters live here (and not in the producer libraries)
+    because [symbad_core] is the one library that sees them all. *)
+
+type outcome =
+  | Proved  (** certificate obtained *)
+  | Disproved of string  (** counterexample / witness summary *)
+  | Coverage of { hit : int; total : int }  (** coverage-style result *)
+  | Inconclusive of string  (** reason: resource-out, not analyzable… *)
+
+type t = {
+  name : string;  (** the check, e.g. ["PCC completeness ROOT"] *)
+  outcome : outcome;
+  passed : bool;  (** the pass/fail gate the flow aggregates *)
+  host_seconds : float;  (** 0. when the producer did not time itself *)
+  detail : string;  (** one human-readable line *)
+}
+
+val make :
+  ?passed:bool -> ?host_seconds:float -> ?detail:string -> name:string -> outcome -> t
+(** [passed] defaults from the outcome: [Proved] passes,
+    [Disproved]/[Inconclusive] fail, [Coverage] passes at full
+    coverage — give [~passed] explicitly for thresholded gates. *)
+
+val coverage_ratio : outcome -> float option
+(** [hit / total] ([1.] when [total = 0]); [None] for non-coverage
+    outcomes. *)
+
+(** {1 Adapters} *)
+
+val of_mc : ?host_seconds:float -> Symbad_mc.Engine.report -> t
+
+val of_pcc : ?host_seconds:float -> ?threshold:float -> Symbad_pcc.Pcc.report -> t
+(** [Coverage] over detectable faults; passes at [threshold] (default
+    [0.75], the flow's completeness gate). *)
+
+val of_atpg :
+  ?host_seconds:float -> ?threshold:float -> Symbad_atpg.Testbench.evaluation -> t
+(** [Coverage] over the point universe; passes when total coverage
+    exceeds [threshold] (default [0.85], the flow's gate). *)
+
+val of_lpv_deadlock : ?host_seconds:float -> Symbad_lpv.Deadlock.verdict -> t
+
+val of_lpv_timing :
+  ?host_seconds:float -> deadline_ns:int -> met:bool -> Symbad_lpv.Timing.verdict -> t
+
+val of_symbc : ?host_seconds:float -> Symbad_symbc.Check.verdict -> t
+
+(** {1 Rendering} *)
+
+val outcome_label : outcome -> string
+(** ["proved"], ["disproved"], ["coverage"] or ["inconclusive"]. *)
+
+val to_json : ?timings:bool -> t -> Symbad_obs.Json.t
+(** The uniform JSON shape ([check]/[passed]/[detail] plus [outcome],
+    [host_seconds] and coverage counts).  [~timings:false] zeroes
+    [host_seconds] for byte-stable comparison across runs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -84,13 +84,32 @@ type evaluation = {
   bitstream_bytes : int;
 }
 
-let best_partition ~capacity ~max_contexts ~calls resources =
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+
+(* Sweep progress goes through [symbad_obs] events — never stdout — so a
+   parallel sweep cannot interleave progress text with other output; the
+   events are emitted from the calling domain only. *)
+let progress_event what ~completed ~total =
+  Obs.event
+    ~args:[ ("completed", Json.Int completed); ("total", Json.Int total) ]
+    what
+
+(* Replay one candidate per pool job; evaluation is a pure fold over the
+   call sequence, so the fan-out is deterministic at any pool width. *)
+let evaluate_all ?pool ~label ~calls candidates =
+  let pool = Symbad_par.Par.get pool in
+  Symbad_par.Par.map ~label
+    ~progress:(progress_event label)
+    pool
+    (fun p ->
+      let reconfigurations, bitstream_bytes = evaluate ~calls p in
+      { partition = p; reconfigurations; bitstream_bytes })
+    candidates
+
+let best_partition ?pool ~capacity ~max_contexts ~calls resources =
   let candidates = feasible_partitions ~capacity ~max_contexts resources in
-  let evaluate_one p =
-    let reconfigurations, bitstream_bytes = evaluate ~calls p in
-    { partition = p; reconfigurations; bitstream_bytes }
-  in
-  match candidates with
+  match evaluate_all ?pool ~label:"placement.exhaustive" ~calls candidates with
   | [] -> None
   | first :: rest ->
       let better a b =
@@ -98,20 +117,13 @@ let best_partition ~capacity ~max_contexts ~calls resources =
         || (a.reconfigurations = b.reconfigurations
             && a.bitstream_bytes < b.bitstream_bytes)
       in
-      let best =
-        List.fold_left
-          (fun acc p ->
-            let e = evaluate_one p in
-            if better e acc then e else acc)
-          (evaluate_one first) rest
-      in
-      Some best
+      Some (List.fold_left (fun acc e -> if better e acc then e else acc) first rest)
 
-let sweep ~capacity ~max_contexts ~calls resources =
+let exhaustive = best_partition
+
+let sweep ?pool ~capacity ~max_contexts ~calls resources =
   feasible_partitions ~capacity ~max_contexts resources
-  |> List.map (fun p ->
-         let reconfigurations, bitstream_bytes = evaluate ~calls p in
-         { partition = p; reconfigurations; bitstream_bytes })
+  |> evaluate_all ?pool ~label:"placement.sweep" ~calls
   |> List.sort (fun a b ->
          compare
            (a.reconfigurations, a.bitstream_bytes)

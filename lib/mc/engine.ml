@@ -5,9 +5,16 @@
    k-induction (proof attempts) for increasing k; fall back to explicit
    reachability when the design is small enough and induction fails.
    Every property receives either a proof certificate or a counter
-   example, as the flow requires. *)
+   example, as the flow requires.
+
+   Parallel portfolio: bounds are checked in windows of [jobs pool]
+   depths fanned out on the pool, and the sequential decision procedure
+   is replayed over the window results in ascending k — so the verdict
+   (method, depth, trace) is identical to the one-core run at any pool
+   width; a window of one depth IS the one-core run. *)
 
 module Netlist = Symbad_hdl.Netlist
+module Par = Symbad_par.Par
 
 type verdict =
   | Proved of { method_ : string; depth : int }
@@ -20,50 +27,81 @@ type report = {
   checked_depth : int;
 }
 
-let check ?(max_depth = 20) ?(max_conflicts = 200_000) nl prop =
+(* One bound of the portfolio: the BMC base case at depth k, plus the
+   inductive step when the base holds (exactly what the sequential loop
+   would go on to run at that k). *)
+let check_bound ~max_conflicts nl prop k =
+  let base = Bmc.check ~max_conflicts ~depth:k nl prop in
+  let induction =
+    match base with
+    | Bmc.Holds when k > 0 -> Some (Bmc.inductive_step ~max_conflicts ~k nl prop)
+    | Bmc.Holds | Bmc.Counterexample _ | Bmc.Resource_out -> None
+  in
+  (base, induction)
+
+let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) nl prop =
+  let pool = Par.get pool in
+  let name = Prop.name prop in
+  let fallback () =
+    (* last resort: exact reachability if tractable *)
+    match Explicit.check nl prop with
+    | Explicit.Proved { states } ->
+        { property = name;
+          verdict = Proved { method_ = Printf.sprintf "reachability(%d states)" states; depth = max_depth };
+          checked_depth = max_depth }
+    | Explicit.Falsified tr ->
+        { property = name; verdict = Falsified tr; checked_depth = max_depth }
+    | Explicit.Too_large ->
+        { property = name;
+          verdict = Unknown { reason = Printf.sprintf "no proof within k=%d" max_depth };
+          checked_depth = max_depth }
+  in
   let rec loop k =
-    if k > max_depth then
-      (* last resort: exact reachability if tractable *)
-      match Explicit.check nl prop with
-      | Explicit.Proved { states } ->
-          { property = Prop.name prop;
-            verdict = Proved { method_ = Printf.sprintf "reachability(%d states)" states; depth = max_depth };
-            checked_depth = max_depth }
-      | Explicit.Falsified tr ->
-          { property = Prop.name prop; verdict = Falsified tr;
-            checked_depth = max_depth }
-      | Explicit.Too_large ->
-          { property = Prop.name prop;
-            verdict = Unknown { reason = Printf.sprintf "no proof within k=%d" max_depth };
-            checked_depth = max_depth }
+    if k > max_depth then fallback ()
     else begin
-      match Bmc.check ~max_conflicts ~depth:k nl prop with
-      | Bmc.Counterexample tr ->
-          { property = Prop.name prop; verdict = Falsified tr;
-            checked_depth = k }
-      | Bmc.Resource_out ->
-          { property = Prop.name prop;
-            verdict = Unknown { reason = "SAT budget exhausted in BMC" };
-            checked_depth = k }
-      | Bmc.Holds -> (
-          if k = 0 then loop (k + 1)
-          else
-            match Bmc.inductive_step ~max_conflicts ~k nl prop with
-            | Bmc.Inductive ->
-                { property = Prop.name prop;
-                  verdict = Proved { method_ = "k-induction"; depth = k };
+      let hi = min max_depth (k + Par.jobs pool - 1) in
+      let window = List.init (hi - k + 1) (fun i -> k + i) in
+      let results =
+        Par.map ~label:"mc.bounds" pool
+          (fun k -> (k, check_bound ~max_conflicts nl prop k))
+          window
+      in
+      (* replay the sequential decision in ascending k *)
+      let rec scan = function
+        | [] -> loop (hi + 1)
+        | (k, (base, induction)) :: rest -> (
+            match base with
+            | Bmc.Counterexample tr ->
+                { property = name; verdict = Falsified tr; checked_depth = k }
+            | Bmc.Resource_out ->
+                { property = name;
+                  verdict = Unknown { reason = "SAT budget exhausted in BMC" };
                   checked_depth = k }
-            | Bmc.Cti _ -> loop (k + 1)
-            | Bmc.Induction_resource_out ->
-                { property = Prop.name prop;
-                  verdict = Unknown { reason = "SAT budget exhausted in induction" };
-                  checked_depth = k })
+            | Bmc.Holds -> (
+                match induction with
+                | None -> scan rest  (* k = 0: nothing to induct on yet *)
+                | Some Bmc.Inductive ->
+                    { property = name;
+                      verdict = Proved { method_ = "k-induction"; depth = k };
+                      checked_depth = k }
+                | Some (Bmc.Cti _) -> scan rest
+                | Some Bmc.Induction_resource_out ->
+                    { property = name;
+                      verdict = Unknown { reason = "SAT budget exhausted in induction" };
+                      checked_depth = k }))
+      in
+      scan results
     end
   in
   loop 0
 
-let check_all ?max_depth ?max_conflicts nl props =
-  List.map (check ?max_depth ?max_conflicts nl) props
+let check_all ?pool ?max_depth ?max_conflicts nl props =
+  (* per-property fan-out; each job replays the sequential engine, so
+     the report list is identical at any pool width *)
+  let pool = Par.get pool in
+  Par.map ~label:"mc.properties" pool
+    (check ?max_depth ?max_conflicts nl)
+    props
 
 let all_proved reports =
   List.for_all

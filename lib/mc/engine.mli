@@ -1,7 +1,12 @@
 (** The level-4 model-checking engine: interleaves BMC (counterexample
     hunting) and k-induction (proof attempts) for increasing k, falling
     back to exact reachability when tractable.  Every property gets a
-    proof certificate or a counterexample, as the flow requires. *)
+    proof certificate or a counterexample, as the flow requires.
+
+    [check ~pool] runs a bound portfolio (windows of [jobs pool] depths
+    fanned out in parallel); [check_all ~pool] fans out one job per
+    property.  Both replay the sequential decision order, so reports
+    are identical at any pool width. *)
 
 type verdict =
   | Proved of { method_ : string; depth : int }
@@ -11,9 +16,15 @@ type verdict =
 type report = { property : string; verdict : verdict; checked_depth : int }
 
 val check :
-  ?max_depth:int -> ?max_conflicts:int -> Symbad_hdl.Netlist.t -> Prop.t -> report
+  ?pool:Symbad_par.Par.pool ->
+  ?max_depth:int ->
+  ?max_conflicts:int ->
+  Symbad_hdl.Netlist.t ->
+  Prop.t ->
+  report
 
 val check_all :
+  ?pool:Symbad_par.Par.pool ->
   ?max_depth:int ->
   ?max_conflicts:int ->
   Symbad_hdl.Netlist.t ->

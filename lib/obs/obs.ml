@@ -8,8 +8,19 @@
    the simulation hot paths at their uninstrumented speed. *)
 
 let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+
+(* The tracer, registry and sinks are not safe for concurrent mutation,
+   so the switchboard belongs to one domain: the one that last called
+   [set_enabled true].  On every other domain (e.g. Par pool workers)
+   [enabled] reads false and all instrumentation is a no-op — parallel
+   jobs cannot corrupt the timeline, and pool-level telemetry is
+   recorded by the owning domain at the fan-in instead. *)
+let owner = ref (Domain.self ())
+let enabled () = !enabled_flag && Domain.self () = !owner
+
+let set_enabled b =
+  if b then owner := Domain.self ();
+  enabled_flag := b
 
 let tracer_ref = ref (Tracer.create ())
 let metrics_ref = ref (Metrics.create ())
@@ -30,7 +41,7 @@ let now_us () = Unix.gettimeofday () *. 1e6
 (* --- events --- *)
 
 let event ?(severity = Severity.Info) ?(args = []) ?sim_ns name =
-  if !enabled_flag then begin
+  if enabled () then begin
     let e = Event.make ~severity ~args ?sim_ns ~host_us:(now_us ()) name in
     List.iter (fun (s : Sink.t) -> s.Sink.emit e) !sinks;
     (* warnings and errors also land on the timeline *)
@@ -45,7 +56,7 @@ type span = Tracer.span option
 let null_span : span = None
 
 let begin_span ?track ?cat ?args ?sim_ns name =
-  if !enabled_flag then
+  if enabled () then
     Some (Tracer.begin_span !tracer_ref ?track ?cat ?args ?sim_ns name)
   else None
 
@@ -55,18 +66,18 @@ let end_span ?args ?sim_ns (s : span) =
   | Some s -> Tracer.end_span !tracer_ref ?args ?sim_ns s
 
 let span ?track ?cat ?args ?sim_ns name f =
-  if not !enabled_flag then f ()
+  if not (enabled ()) then f ()
   else Tracer.with_span !tracer_ref ?track ?cat ?args ?sim_ns name f
 
 (* --- metric conveniences (registry lookup per call; fine off the hot
    path, hot paths should flush deltas at quiescent points) --- *)
 
 let incr_counter ?(by = 1) name =
-  if !enabled_flag then Metrics.incr ~by (Metrics.counter !metrics_ref name)
+  if enabled () then Metrics.incr ~by (Metrics.counter !metrics_ref name)
 
 let set_gauge ?x name v =
-  if !enabled_flag then Metrics.set ?x (Metrics.gauge !metrics_ref name) v
+  if enabled () then Metrics.set ?x (Metrics.gauge !metrics_ref name) v
 
 let observe name v =
-  if !enabled_flag then
+  if enabled () then
     Metrics.observe (Metrics.histogram !metrics_ref name) v

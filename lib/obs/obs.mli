@@ -6,7 +6,13 @@
     argument lists are not even allocated. *)
 
 val enabled : unit -> bool
+(** True only on the owning domain (see [set_enabled]): worker domains
+    of a [Symbad_par] pool always read false, so instrumentation inside
+    parallel jobs is a safe no-op. *)
+
 val set_enabled : bool -> unit
+(** [set_enabled true] also makes the calling domain the owner of the
+    switchboard — the tracer and registry are single-domain state. *)
 
 val tracer : unit -> Tracer.t
 val metrics : unit -> Metrics.t

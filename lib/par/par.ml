@@ -1,0 +1,242 @@
+(* A Domain-based work pool with deterministic in-order reduction.
+
+   One shared FIFO of chunk jobs, [width - 1] worker domains, and a
+   calling domain that is itself a full lane: [map] enqueues its chunks
+   and then drains the queue until its own batch completes, so a
+   [jobs = 1] pool runs the identical code with zero workers and the
+   parallel result is the sequential result by construction.  Workers
+   never touch [Symbad_obs] (the switchboard is owned by one domain);
+   all pool telemetry is recorded by the caller after the fan-in. *)
+
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+
+type job = { run : unit -> unit  (* must not raise *) }
+
+type pool = {
+  width : int;
+  mutable workers : unit Domain.t list;
+  q : job Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable live : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "SYMBAD_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Take the next job, blocking while the pool is live; [None] signals
+   the worker to exit. *)
+let next_job pool =
+  Mutex.lock pool.lock;
+  let rec take () =
+    match Queue.take_opt pool.q with
+    | Some j -> Some j
+    | None ->
+        if pool.live then begin
+          Condition.wait pool.work_available pool.lock;
+          take ()
+        end
+        else None
+  in
+  let j = take () in
+  Mutex.unlock pool.lock;
+  j
+
+let rec worker pool =
+  match next_job pool with
+  | Some j ->
+      j.run ();
+      worker pool
+  | None -> ()
+
+let create ?jobs () =
+  let width = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let pool =
+    {
+      width;
+      workers = [];
+      q = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      live = true;
+    }
+  in
+  pool.workers <-
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.width
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.live <- false;
+  pool.workers <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let sequential = create ~jobs:1 ()
+let get = function Some pool -> pool | None -> sequential
+
+(* --- batched execution ------------------------------------------------ *)
+
+type batch = {
+  total : int;
+  mutable remaining : int;
+  finished : Condition.t;
+  waits_us : float array;  (* per-chunk queue wait, for the histogram *)
+}
+
+(* Enqueue [thunks] (which record their own results and never raise) and
+   drain until they are all done.  The caller keeps taking jobs — of any
+   batch, which is what makes nested [map]s on one pool deadlock-free —
+   and only blocks when the queue is momentarily empty. *)
+let run_chunks pool ?progress thunks =
+  if not pool.live then invalid_arg "Par: pool is shut down";
+  let total = Array.length thunks in
+  let batch =
+    {
+      total;
+      remaining = total;
+      finished = Condition.create ();
+      waits_us = Array.make total 0.;
+    }
+  in
+  let now_us () = Unix.gettimeofday () *. 1e6 in
+  let jobs =
+    Array.mapi
+      (fun i thunk ->
+        let enqueued_us = now_us () in
+        {
+          run =
+            (fun () ->
+              batch.waits_us.(i) <- now_us () -. enqueued_us;
+              thunk ();
+              Mutex.lock pool.lock;
+              batch.remaining <- batch.remaining - 1;
+              if batch.remaining = 0 then Condition.broadcast batch.finished;
+              Mutex.unlock pool.lock);
+        })
+      thunks
+  in
+  Mutex.lock pool.lock;
+  Array.iter (fun j -> Queue.add j pool.q) jobs;
+  Condition.broadcast pool.work_available;
+  let reported = ref 0 in
+  let report () =
+    (* progress runs on the calling domain, outside the pool lock *)
+    let completed = batch.total - batch.remaining in
+    if completed > !reported then begin
+      reported := completed;
+      match progress with
+      | Some f ->
+          Mutex.unlock pool.lock;
+          f ~completed ~total;
+          Mutex.lock pool.lock
+      | None -> ()
+    end
+  in
+  while batch.remaining > 0 do
+    match Queue.take_opt pool.q with
+    | Some j ->
+        Mutex.unlock pool.lock;
+        j.run ();
+        Mutex.lock pool.lock;
+        report ()
+    | None ->
+        Condition.wait batch.finished pool.lock;
+        report ()
+  done;
+  report ();
+  Mutex.unlock pool.lock;
+  batch.waits_us
+
+(* --- deterministic fan-out -------------------------------------------- *)
+
+let map_array ?(label = "par.map") ?progress pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* contiguous balanced chunks; a few per lane so uneven jobs still
+       load-balance, reassembled by index so order never depends on the
+       pool width *)
+    let nchunks = min n (4 * pool.width) in
+    let results = Array.make n None in
+    let errors = Array.make nchunks None in
+    let thunks =
+      Array.init nchunks (fun c ->
+          let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+          fun () ->
+            try
+              for i = lo to hi - 1 do
+                results.(i) <- Some (f xs.(i))
+              done
+            with e -> errors.(c) <- Some (e, Printexc.get_raw_backtrace ()))
+    in
+    let sp =
+      if Obs.enabled () then
+        Obs.begin_span ~track:"par" ~cat:"par"
+          ~args:
+            [
+              ("jobs", Json.Int pool.width);
+              ("chunks", Json.Int nchunks);
+              ("items", Json.Int n);
+            ]
+          label
+      else Obs.null_span
+    in
+    let waits = run_chunks pool ?progress thunks in
+    if Obs.enabled () then begin
+      Obs.incr_counter ~by:nchunks "par.jobs_dispatched";
+      Array.iter
+        (fun w -> Obs.observe "par.queue_wait_us" (int_of_float w))
+        waits
+    end;
+    Obs.end_span sp;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map ?label ?progress pool f xs =
+  Array.to_list (map_array ?label ?progress pool f (Array.of_list xs))
+
+let mapi ?label pool f xs =
+  map ?label pool (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let map_reduce ?label pool ~map:f ~fold ~init xs =
+  List.fold_left fold init (map ?label pool f xs)
+
+(* --- seed splitting ---------------------------------------------------- *)
+
+(* splitmix64 finalizer over a (seed, lane) mix: independent streams per
+   lane, a function of the indices alone — never of the pool width. *)
+let split_seed ~seed i =
+  let open Int64 in
+  let z =
+    add
+      (mul (of_int seed) 0x9E3779B97F4A7C15L)
+      (mul (of_int (i + 1)) 0xBF58476D1CE4E5B9L)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (* keep 62 bits: [to_int] of anything wider can wrap negative *)
+  let v = to_int (shift_right_logical z 2) in
+  if v = 0 then 1 else v
+
+let map_seeded ?label pool ~seed f xs =
+  mapi ?label pool (fun i x -> f ~seed:(split_seed ~seed i) x) xs

@@ -1,0 +1,82 @@
+(** A Domain-based work pool for the embarrassingly parallel
+    verification fan-outs (PCC fault injection, ATPG population scoring,
+    BMC bound portfolios, architecture sweeps).
+
+    Design contract: {e parallelism never changes results}.  [map]
+    chunks its input, fans the chunks out to the pool and reassembles
+    the results in input order, so [map pool f xs] equals
+    [List.map f xs] for any pure [f] at any pool width — a [jobs = 1]
+    pool runs the very same queue/drain code with zero worker domains.
+    Exceptions raised inside jobs are captured and re-raised on the
+    calling domain (first failing chunk in input order wins).
+
+    Telemetry: every parallel section is a span on the ["par"] track,
+    with [par.jobs_dispatched] counting chunks and [par.queue_wait_us]
+    a histogram of chunk queue-wait times.  All of it is recorded from
+    the calling domain — worker domains never touch [Symbad_obs]. *)
+
+type pool
+
+val default_jobs : unit -> int
+(** [$SYMBAD_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> pool
+(** A pool of [jobs] lanes: the calling domain plus [jobs - 1] worker
+    domains ([jobs] defaults to [default_jobs ()]; values below 1 are
+    clamped to 1). *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Join the worker domains.  Idempotent; subsequent [map] calls raise
+    [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (pool -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val sequential : pool
+(** The shared one-lane pool: same code path, no worker domains, never
+    shut down.  What [?pool] call sites use when handed [None]. *)
+
+val get : pool option -> pool
+(** [get (Some p)] is [p]; [get None] is [sequential]. *)
+
+(** {1 Deterministic fan-out} *)
+
+val map :
+  ?label:string ->
+  ?progress:(completed:int -> total:int -> unit) ->
+  pool ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map pool f xs = List.map f xs] for pure [f], computed on up to
+    [jobs pool] domains.  [label] names the telemetry span; [progress]
+    is invoked on the {e calling} domain as chunks complete (counts in
+    chunks), the safe place to emit progress events from. *)
+
+val mapi : ?label:string -> pool -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val map_reduce :
+  ?label:string ->
+  pool ->
+  map:('a -> 'b) ->
+  fold:('c -> 'b -> 'c) ->
+  init:'c ->
+  'a list ->
+  'c
+(** Parallel [map] then a sequential in-order [fold] on the calling
+    domain: equals [List.fold_left (fun acc x -> fold acc (map x)) init xs]. *)
+
+(** {1 Seed splitting} *)
+
+val split_seed : seed:int -> int -> int
+(** [split_seed ~seed i] is a statistically independent, non-zero seed
+    for lane [i], via a splitmix64-style hash.  Depends only on
+    [(seed, i)] — never on the pool width — so seeded parallel runs
+    reproduce seeded sequential runs exactly. *)
+
+val map_seeded :
+  ?label:string -> pool -> seed:int -> (seed:int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map] where item [i] also receives [split_seed ~seed i]. *)

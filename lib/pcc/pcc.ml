@@ -46,9 +46,17 @@ let check_fault ~depth ~max_conflicts nl props fault =
       | Some name -> { fault; status = Covered name }
       | None -> { fault; status = Uncovered })
 
-let run ?(depth = 10) ?(max_conflicts = 100_000) ?max_reg_bits nl props =
+let run ?pool ?(depth = 10) ?(max_conflicts = 100_000) ?max_reg_bits nl props =
+  let pool = Symbad_par.Par.get pool in
   let faults = Fault.enumerate ?max_reg_bits nl in
-  let reports = List.map (check_fault ~depth ~max_conflicts nl props) faults in
+  (* one job per injected fault: each check builds its own mutant,
+     miter and solvers, so the fan-out is pure and the in-order
+     reduction makes the parallel report equal the sequential one *)
+  let reports =
+    Symbad_par.Par.map ~label:"pcc.faults" pool
+      (check_fault ~depth ~max_conflicts nl props)
+      faults
+  in
   let detectable =
     List.length
       (List.filter

@@ -22,12 +22,16 @@ type report = {
 }
 
 val run :
+  ?pool:Symbad_par.Par.pool ->
   ?depth:int ->
   ?max_conflicts:int ->
   ?max_reg_bits:int ->
   Symbad_hdl.Netlist.t ->
   Symbad_mc.Prop.t list ->
   report
+(** Fault detectability checks run one job per fault on [pool]
+    (sequential when omitted); the report is identical at any pool
+    width. *)
 
 val uncovered_faults : report -> Fault.t list
 (** The faults demanding new properties. *)

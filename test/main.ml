@@ -14,4 +14,5 @@ let () =
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,230 @@
+(* Tests for the parallel job engine: the determinism contract (map at
+   any pool width equals List.map), exception propagation, shutdown
+   semantics, seed splitting, pool telemetry, and the
+   parallel-equals-sequential property for the verification fan-outs
+   that ride on it (PCC, model checking, exploration sweeps). *)
+
+open Symbad_obs
+open Symbad_core
+module Par = Symbad_par.Par
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+let widths = [ 1; 2; 8 ]
+
+(* --- the determinism contract --- *)
+
+let map_determinism () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 37) mod 91 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun pool ->
+          check_ints (Printf.sprintf "jobs=%d" jobs) expect (Par.map pool f xs)))
+    widths;
+  Par.with_pool ~jobs:4 (fun pool ->
+      check_ints "empty" [] (Par.map pool f []);
+      check_ints "singleton" [ f 7 ] (Par.map pool f [ 7 ]))
+
+let mapi_and_map_reduce () =
+  let xs = List.init 50 (fun i -> i + 1) in
+  Par.with_pool ~jobs:3 (fun pool ->
+      check_ints "mapi"
+        (List.mapi (fun i x -> i * x) xs)
+        (Par.mapi pool (fun i x -> i * x) xs);
+      check_int "map_reduce"
+        (List.fold_left ( + ) 0 (List.map (fun x -> x * x) xs))
+        (Par.map_reduce pool ~map:(fun x -> x * x) ~fold:( + ) ~init:0 xs))
+
+(* nested maps share the one queue; the inner map's caller keeps taking
+   jobs, so this must complete at width 2 (regression for deadlock) *)
+let nested_maps () =
+  Par.with_pool ~jobs:2 (fun pool ->
+      let triangle x =
+        List.fold_left ( + ) 0 (Par.map pool Fun.id (List.init x Fun.id))
+      in
+      check_ints "nested"
+        (List.map (fun x -> x * (x - 1) / 2) (List.init 8 (fun i -> i + 1)))
+        (Par.map pool triangle (List.init 8 (fun i -> i + 1))))
+
+(* --- failure semantics --- *)
+
+exception Boom of int
+
+let exception_propagation () =
+  Par.with_pool ~jobs:4 (fun pool ->
+      (match
+         Par.map pool
+           (fun x -> if x = 13 then raise (Boom x) else x)
+           (List.init 64 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 13 -> ());
+      (* the pool survives a failed batch *)
+      check_ints "pool survives" [ 2; 4 ] (Par.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let shutdown_semantics () =
+  let pool = Par.create ~jobs:2 () in
+  check_int "width" 2 (Par.jobs pool);
+  check_ints "before shutdown" [ 1; 2; 3 ] (Par.map pool Fun.id [ 1; 2; 3 ]);
+  Par.shutdown pool;
+  Par.shutdown pool;
+  (* idempotent *)
+  match Par.map pool Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+(* --- seed splitting --- *)
+
+let seed_split_independence () =
+  let seeds = List.init 1000 (Par.split_seed ~seed:42) in
+  List.iter (fun s -> check_bool "positive" true (s > 0)) seeds;
+  let module S = Set.Make (Int) in
+  check_int "all lanes distinct" 1000 (S.cardinal (S.of_list seeds));
+  check_bool "master-seed dependent" true
+    (Par.split_seed ~seed:1 0 <> Par.split_seed ~seed:2 0);
+  (* map_seeded equals its sequential definition at every width *)
+  let xs = List.init 20 Fun.id in
+  let f ~seed x = (seed lxor x) land 0xFFFF in
+  let expect = List.mapi (fun i x -> f ~seed:(Par.split_seed ~seed:7 i) x) xs in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun pool ->
+          check_ints
+            (Printf.sprintf "map_seeded jobs=%d" jobs)
+            expect
+            (Par.map_seeded pool ~seed:7 f xs)))
+    widths
+
+(* --- telemetry --- *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let pool_telemetry () =
+  with_obs (fun () ->
+      Par.with_pool ~jobs:2 (fun pool ->
+          ignore (Par.map ~label:"test.batch" pool Fun.id (List.init 16 Fun.id)));
+      let m = Obs.metrics () in
+      (match Metrics.find_counter m "par.jobs_dispatched" with
+      | Some n -> check_bool "chunks dispatched" true (n > 0)
+      | None -> Alcotest.fail "par.jobs_dispatched not recorded");
+      (match Metrics.find_histogram m "par.queue_wait_us" with
+      | Some _ -> ()
+      | None -> Alcotest.fail "par.queue_wait_us not recorded");
+      check_int "one span on the par track" 1
+        (List.length (Tracer.spans_with_cat (Obs.tracer ()) "par")))
+
+let progress_reaches_caller () =
+  let calls = ref [] in
+  Par.with_pool ~jobs:2 (fun pool ->
+      ignore
+        (Par.map
+           ~progress:(fun ~completed ~total ->
+             calls := (completed, total) :: !calls)
+           pool Fun.id (List.init 32 Fun.id)));
+  check_bool "progress called" true (!calls <> []);
+  let completed, total = List.hd !calls in
+  check_int "final completed" total completed;
+  check_bool "monotone" true
+    (let cs = List.rev_map fst !calls in
+     List.sort compare cs = cs)
+
+(* --- parallel equals sequential on the real fan-outs --- *)
+
+let find_module name =
+  List.find
+    (fun (m : Level4.rtl_module) -> String.equal m.Level4.module_name name)
+    (Level4.modules ())
+
+let pcc_parallel_equals_sequential () =
+  let m = find_module "WRAPPER" in
+  let seq = Symbad_pcc.Pcc.run ~depth:4 m.Level4.netlist m.Level4.properties in
+  Par.with_pool ~jobs:3 (fun pool ->
+      let par =
+        Symbad_pcc.Pcc.run ~pool ~depth:4 m.Level4.netlist m.Level4.properties
+      in
+      check_bool "identical PCC reports" true (par = seq))
+
+let mc_parallel_equals_sequential () =
+  let m = find_module "DISTANCE" in
+  let seq =
+    Symbad_mc.Engine.check_all ~max_depth:12 m.Level4.netlist
+      m.Level4.properties
+  in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun pool ->
+          let par =
+            Symbad_mc.Engine.check_all ~pool ~max_depth:12 m.Level4.netlist
+              m.Level4.properties
+          in
+          check_bool
+            (Printf.sprintf "identical MC reports jobs=%d" jobs)
+            true (par = seq)))
+    [ 2; 5 ]
+
+let atpg_parallel_equals_sequential () =
+  let model = List.hd (Symbad_atpg.Models.all ()) in
+  let params =
+    {
+      Symbad_atpg.Genetic_engine.default_params with
+      Symbad_atpg.Genetic_engine.generations = 60;
+      population = 8;
+    }
+  in
+  let seq = Symbad_atpg.Genetic_engine.generate ~params model in
+  Par.with_pool ~jobs:3 (fun pool ->
+      let par = Symbad_atpg.Genetic_engine.generate ~pool ~params model in
+      check_bool "identical ATPG suites" true (par = seq);
+      check_bool "identical evaluations" true
+        (Symbad_atpg.Testbench.evaluate ~pool ~engine:"genetic" model par
+        = Symbad_atpg.Testbench.evaluate ~engine:"genetic" model seq))
+
+(* qcheck: the PCC verdict is pool-width invariant for arbitrary widths
+   and analysis depths — the acceptance property of the engine *)
+let qcheck_pcc_width_invariant =
+  QCheck.Test.make ~count:6 ~name:"PCC report is pool-width invariant"
+    QCheck.(pair (int_range 2 6) (int_range 2 3))
+    (fun (jobs, depth) ->
+      let m = find_module "WRAPPER" in
+      let seq = Symbad_pcc.Pcc.run ~depth m.Level4.netlist m.Level4.properties in
+      Par.with_pool ~jobs (fun pool ->
+          Symbad_pcc.Pcc.run ~pool ~depth m.Level4.netlist m.Level4.properties
+          = seq))
+
+let qcheck_map_is_list_map =
+  QCheck.Test.make ~count:50 ~name:"Par.map equals List.map"
+    QCheck.(pair (list small_int) (int_range 1 8))
+    (fun (xs, jobs) ->
+      let f x = (x * x) + 1 in
+      Par.with_pool ~jobs (fun pool -> Par.map pool f xs = List.map f xs))
+
+let suite =
+  [
+    Alcotest.test_case "map determinism across widths" `Quick map_determinism;
+    Alcotest.test_case "mapi and map_reduce" `Quick mapi_and_map_reduce;
+    Alcotest.test_case "nested maps do not deadlock" `Quick nested_maps;
+    Alcotest.test_case "exception propagation" `Quick exception_propagation;
+    Alcotest.test_case "shutdown semantics" `Quick shutdown_semantics;
+    Alcotest.test_case "seed split independence" `Quick seed_split_independence;
+    Alcotest.test_case "pool telemetry" `Quick pool_telemetry;
+    Alcotest.test_case "progress reaches the caller" `Quick
+      progress_reaches_caller;
+    Alcotest.test_case "parallel PCC equals sequential" `Quick
+      pcc_parallel_equals_sequential;
+    Alcotest.test_case "parallel MC equals sequential" `Quick
+      mc_parallel_equals_sequential;
+    Alcotest.test_case "parallel ATPG equals sequential" `Quick
+      atpg_parallel_equals_sequential;
+    QCheck_alcotest.to_alcotest qcheck_pcc_width_invariant;
+    QCheck_alcotest.to_alcotest qcheck_map_is_list_map;
+  ]
