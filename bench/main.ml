@@ -174,7 +174,8 @@ let e6_lpv_timing () =
       match Symbad_lpv.Timing.min_cycle_ratio net with
       | Symbad_lpv.Timing.Period p ->
           Format.printf "%-10d %-18.0f@." cap (Symbad_lpv.Rat.to_float p)
-      | Symbad_lpv.Timing.Unschedulable why ->
+      | Symbad_lpv.Timing.Unschedulable why
+      | Symbad_lpv.Timing.Not_analyzable why ->
           Format.printf "%-10d unschedulable (%s)@." cap why)
     [ 1; 2; 4; 8 ];
   List.iter
@@ -444,6 +445,195 @@ let par_speedup out =
   | None -> Format.printf "%s@." json
 
 (* ---------------------------------------------------------------- *)
+(* GOV: resource-governed verification — what a deadline buys.        *)
+(* Sweeps the flow under shrinking budgets and reports how run time   *)
+(* and verdict mix degrade.  `dune exec bench/main.exe -- gov_deadline *)
+(* [FILE]` also writes the figures as JSON (the committed             *)
+(* BENCH_gov.json baseline).                                          *)
+
+let gov_deadline out =
+  let module Json = Symbad_obs.Json in
+  let module Budget = Symbad_gov.Budget in
+  section "GOV" "graceful degradation under deadline / budget pressure";
+  let w = Face_app.smoke_workload in
+  let wall_time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let verdict_mix report =
+    List.fold_left
+      (fun (p, f, i) l ->
+        List.fold_left
+          (fun (p, f, i) v ->
+            match v.Verdict.outcome with
+            | Verdict.Inconclusive _ -> (p, f, i + 1)
+            | _ when v.Verdict.passed -> (p + 1, f, i)
+            | _ -> (p, f + 1, i))
+          (p, f, i) l.Flow.verifications)
+      (0, 0, 0) report.Flow.levels
+  in
+  let measure label budget_of =
+    (* budgets are built lazily: Budget.make anchors ~deadline_s to an
+       absolute instant, so a deadline budget must be created just
+       before its run, not when the sweep list is declared *)
+    let budget = budget_of () in
+    let report, secs = wall_time (fun () -> Flow.run ~workload:w ?budget ()) in
+    let passed, failed, inconclusive = verdict_mix report in
+    Format.printf "%-26s %8.2fs   passed %2d   failed %2d   inconclusive %2d@."
+      label secs passed failed inconclusive;
+    ( label,
+      Json.Obj
+        [
+          ("seconds", Json.Float secs);
+          ("passed", Json.Int passed);
+          ("failed", Json.Int failed);
+          ("inconclusive", Json.Int inconclusive);
+        ] )
+  in
+  Format.printf "%-26s %9s   %s@." "budget" "wall" "verdicts";
+  let logical n () = Some (Budget.make ~conflicts:n ~patterns:n ()) in
+  let deadline s () = Some (Budget.make ~deadline_s:s ()) in
+  let sweep =
+    [
+      ("unlimited", fun () -> None);
+      (* logical allowances: deterministic degradation points *)
+      ("conflicts+patterns 100k", logical 100_000);
+      ("conflicts+patterns 10k", logical 10_000);
+      ("conflicts+patterns 1k", logical 1_000);
+      ("conflicts+patterns 0", logical 0);
+      (* wall-clock deadlines: best-effort, the headline knob *)
+      ("deadline 5s", deadline 5.0);
+      ("deadline 0.5s", deadline 0.5);
+      ("deadline 0s (instant)", deadline 0.0);
+    ]
+  in
+  let rows = List.map (fun (label, budget_of) -> measure label budget_of) sweep in
+  Format.printf
+    "shape: shrinking budget trades verdicts for time — checks degrade to \
+     inconclusive@.partial results instead of running long; the zero-budget \
+     row is the floor cost of@.the flow itself.@.";
+  let json = Json.to_string (Json.Obj rows) in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json
+
+(* ---------------------------------------------------------------- *)
+(* Gov guard: every engine must degrade instantly — never raise,      *)
+(* never run long — when handed an already-exhausted governor.  CI    *)
+(* runs this via the @gov-guard alias.                                *)
+
+let gov_guard () =
+  let module Gov = Symbad_gov.Gov in
+  let module Budget = Symbad_gov.Budget in
+  section "GOV-GUARD" "zero-budget degradation smoke test";
+  let zero () = Gov.create ~label:"guard" (Budget.make ~conflicts:0 ~patterns:0 ()) in
+  let failures = ref [] in
+  let check what ~max_s ok_of =
+    let t0 = Unix.gettimeofday () in
+    let outcome = try ok_of () with e -> `Raised (Printexc.to_string e) in
+    let secs = Unix.gettimeofday () -. t0 in
+    let verdict =
+      match outcome with
+      | `Raised msg -> Printf.sprintf "RAISED %s" msg
+      | `Bad msg -> Printf.sprintf "WRONG %s" msg
+      | `Ok when secs > max_s -> Printf.sprintf "TOO SLOW %.2fs" secs
+      | `Ok -> "ok"
+    in
+    Format.printf "%-34s %8.3fs  %s@." what secs verdict;
+    if verdict <> "ok" then failures := what :: !failures
+  in
+  let fifo = Symbad_hdl.Rtl_lib.fifo_ctrl ~addr_width:2 () in
+  let _, strong = fifo_property_plans fifo in
+  let prop = List.hd strong in
+  check "sat: solve" ~max_s:1.0 (fun () ->
+      let s = Symbad_sat.Solver.create 2 in
+      Symbad_sat.Solver.add_clause s [ 1; 2 ];
+      Symbad_sat.Solver.add_clause s [ -1; 2 ];
+      Symbad_sat.Solver.add_clause s [ 1; -2 ];
+      match Symbad_sat.Solver.solve ~gov:(zero ()) s with
+      | Symbad_sat.Solver.Unknown -> `Ok
+      | Symbad_sat.Solver.Sat -> `Bad "Sat"
+      | Symbad_sat.Solver.Unsat -> `Bad "Unsat");
+  check "mc: bmc" ~max_s:1.0 (fun () ->
+      match Symbad_mc.Bmc.check ~gov:(zero ()) ~depth:8 fifo prop with
+      | Symbad_mc.Bmc.Resource_out -> `Ok
+      | Symbad_mc.Bmc.Holds -> `Bad "Holds"
+      | Symbad_mc.Bmc.Counterexample _ -> `Bad "Counterexample");
+  check "mc: engine" ~max_s:1.0 (fun () ->
+      let r = Symbad_mc.Engine.check ~gov:(zero ()) fifo prop in
+      match r.Symbad_mc.Engine.verdict with
+      | Symbad_mc.Engine.Unknown { reason } ->
+          if String.length reason >= 9 && String.sub reason 0 9 = "governor:"
+          then `Ok
+          else `Bad reason
+      | _ -> `Bad "not Unknown");
+  check "atpg: random" ~max_s:1.0 (fun () ->
+      match
+        Symbad_atpg.Random_engine.generate ~gov:(zero ()) ~count:64
+          (Symbad_atpg.Models.root ())
+      with
+      | [] -> `Ok
+      | ts -> `Bad (Printf.sprintf "%d patterns" (List.length ts)));
+  check "atpg: genetic" ~max_s:1.0 (fun () ->
+      match
+        Symbad_atpg.Genetic_engine.generate ~gov:(zero ())
+          (Symbad_atpg.Models.root ())
+      with
+      | [] -> `Ok
+      | ts -> `Bad (Printf.sprintf "%d patterns" (List.length ts)));
+  check "pcc: run" ~max_s:1.0 (fun () ->
+      let r = Symbad_pcc.Pcc.run ~gov:(zero ()) ~depth:8 fifo strong in
+      if
+        List.for_all
+          (fun (fr : Symbad_pcc.Pcc.fault_report) ->
+            fr.Symbad_pcc.Pcc.status = Symbad_pcc.Pcc.Unresolved)
+          r.Symbad_pcc.Pcc.faults
+        && r.Symbad_pcc.Pcc.faults <> []
+      then `Ok
+      else `Bad "fault classified under zero budget");
+  check "lpv: deadlock" ~max_s:1.0 (fun () ->
+      match Lpv_bridge.check_deadlock ~gov:(zero ()) graph with
+      | Symbad_lpv.Deadlock.Not_analyzable _ -> `Ok
+      | v -> `Bad (Fmt.str "%a" Symbad_lpv.Deadlock.pp_verdict v));
+  check "lpv: timing" ~max_s:1.0 (fun () ->
+      match
+        Symbad_lpv.Timing.min_cycle_ratio ~gov:(zero ())
+          (Lpv_bridge.net_of ~capacity:2 graph)
+      with
+      | Symbad_lpv.Timing.Not_analyzable _ -> `Ok
+      | v -> `Bad (Fmt.str "%a" Symbad_lpv.Timing.pp_verdict v));
+  check "flow: end to end" ~max_s:5.0 (fun () ->
+      let w = Face_app.smoke_workload in
+      let report =
+        Flow.run ~workload:w
+          ~budget:(Budget.make ~conflicts:0 ~patterns:0 ())
+          ()
+      in
+      let inconclusive =
+        List.exists
+          (fun l ->
+            List.exists
+              (fun v ->
+                match v.Verdict.outcome with
+                | Verdict.Inconclusive _ -> true
+                | _ -> false)
+              l.Flow.verifications)
+          report.Flow.levels
+      in
+      if inconclusive then `Ok else `Bad "no inconclusive verdict");
+  match !failures with
+  | [] -> Format.printf "gov-guard: every engine degrades gracefully.@."
+  | fs ->
+      List.iter (fun f -> Format.printf "gov-guard FAILURE: %s@." f) fs;
+      exit 1
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per experiment id.       *)
 
 let micro_benchmarks () =
@@ -618,6 +808,9 @@ let () =
   | "guard" -> guard ()
   | "par_speedup" ->
       par_speedup (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "gov_deadline" ->
+      gov_deadline (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "gov_guard" -> gov_guard ()
   | _ ->
       tables ();
       micro_benchmarks ());

@@ -3,6 +3,7 @@
 
      symbad flow [--frames N] [--size S] [--identities N]
                  [--jobs N] [--seed N] [--no-timings]
+                 [--deadline SEC] [--budget N] [--retries N]
                  [--trace FILE] [--metrics FILE]
                  [--json FILE] [--markdown FILE]
      symbad level (1|2|3) [...]         run one refinement level
@@ -13,8 +14,10 @@
 
    Every subcommand that does verification work shares the same option
    vocabulary: [--jobs] (worker domains, also $SYMBAD_JOBS), [--seed]
-   (test-generation seed), [--json]/[--markdown] (report artefacts,
-   "-" for stdout). *)
+   (test-generation seed), [--deadline]/[--budget]/[--retries] (the
+   resource governor: wall-clock seconds, logical allowance, portfolio
+   retries), [--json]/[--markdown] (report artefacts, "-" for
+   stdout). *)
 
 open Cmdliner
 open Symbad_core
@@ -50,6 +53,9 @@ type common = {
   identities : int;
   jobs : int;  (* 0 = auto (one lane per core) *)
   seed : int;
+  deadline : float option;  (* wall-clock seconds for governed checks *)
+  budget : int option;  (* logical allowance: SAT conflicts AND patterns *)
+  retries : int;  (* portfolio retries on inconclusive *)
 }
 
 let frames_arg =
@@ -82,14 +88,52 @@ let markdown_arg =
        & info [ "markdown" ] ~docv:"FILE"
            ~doc:"Write the report as markdown (\"-\" for stdout).")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Wall-clock budget for the governed verification work.  \
+                 When it expires, running checks degrade to inconclusive \
+                 verdicts carrying their partial results instead of \
+                 running long.")
+
+let budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget" ] ~docv:"N"
+           ~doc:"Logical resource allowance: at most N SAT conflicts and \
+                 N test patterns across the governed checks.  Splitting \
+                 is deterministic, so governed reports are identical at \
+                 any $(b,--jobs) width.")
+
+let retries_arg =
+  Arg.(value & opt int 0
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Portfolio retries: re-dispatch an inconclusive governed \
+                 check up to N times, re-seeded, over the remaining \
+                 budget.")
+
 let common_term =
-  let mk frames size identities jobs seed =
-    { frames; size; identities; jobs; seed }
+  let mk frames size identities jobs seed deadline budget retries =
+    { frames; size; identities; jobs; seed; deadline; budget; retries }
   in
-  Term.(const mk $ frames_arg $ size_arg $ identities_arg $ jobs_arg $ seed_arg)
+  Term.(const mk $ frames_arg $ size_arg $ identities_arg $ jobs_arg $ seed_arg
+        $ deadline_arg $ budget_arg $ retries_arg)
 
 let with_pool c f =
   Par.with_pool ?jobs:(if c.jobs > 0 then Some c.jobs else None) f
+
+(* The CLI's resource-governor surface: --deadline/--budget/--retries
+   collapse into one Budget.t (None when all are absent, so ungoverned
+   runs take the historical code paths untouched). *)
+let budget_of c =
+  match (c.deadline, c.budget, c.retries) with
+  | None, None, 0 -> None
+  | _ ->
+      Some
+        (Symbad_gov.Budget.make ?deadline_s:c.deadline ?conflicts:c.budget
+           ?patterns:c.budget ~retries:c.retries ())
+
+let gov_of ?label c =
+  Option.map (fun b -> Symbad_gov.Gov.create ?label b) (budget_of c)
 
 let workload c =
   {
@@ -123,7 +167,8 @@ let run_flow c markdown json no_timings trace metrics =
   end;
   let w = workload c in
   let report =
-    with_pool c (fun pool -> Flow.run ~pool ~seed:c.seed ~workload:w ())
+    with_pool c (fun pool ->
+        Flow.run ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
   in
   Format.printf "%a@." Flow.pp report;
   artefact ~what:"markdown report" (fun () -> Flow.to_markdown report) markdown;
@@ -256,14 +301,18 @@ let run_verify what c markdown json =
   let verdicts =
     match what with
     | "deadlock" ->
-        Some [ Verdict.of_lpv_deadlock (Lpv_bridge.check_deadlock graph) ]
+        Some
+          [
+            Verdict.of_lpv_deadlock
+              (Lpv_bridge.check_deadlock ?gov:(gov_of ~label:"verify" c) graph);
+          ]
     | "timing" ->
         let l1 = Level1.run graph in
         let m = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
         let verdict, met =
           Lpv_bridge.check_deadline ~deadline_ns:40_000_000
             ~timing:Lpv_bridge.default_timing ~mapping:m
-            ~profile:l1.Level1.profile graph
+            ~profile:l1.Level1.profile ?gov:(gov_of ~label:"verify" c) graph
         in
         Some [ Verdict.of_lpv_timing ~deadline_ns:40_000_000 ~met verdict ]
     | "symbc" ->
@@ -281,7 +330,10 @@ let run_verify what c markdown json =
                  r.Level3.instrumented_sw);
           ]
     | "rtl" ->
-        let l4 = with_pool c (fun pool -> Level4.run ~pool ()) in
+        let l4 =
+          with_pool c (fun pool ->
+              Level4.run ~pool ?gov:(gov_of ~label:"verify" c) ())
+        in
         Format.printf "%a@." Level4.pp l4;
         Some
           (List.concat_map
@@ -403,7 +455,8 @@ let run_stats c =
   Obs.set_enabled true;
   let w = workload c in
   let report =
-    with_pool c (fun pool -> Flow.run ~pool ~seed:c.seed ~workload:w ())
+    with_pool c (fun pool ->
+        Flow.run ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
   in
   let tracer = Obs.tracer () in
   Format.printf "%s@." (Metrics.to_table (Obs.metrics ()));

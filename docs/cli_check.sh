@@ -1,0 +1,43 @@
+#!/bin/sh
+# Cram-style check of docs/CLI.md: run every `$ …` example line and
+# compare its exit status against the `# exit: N` marker on the line
+# (no marker = must exit 0).  `symbad` at the start of a command stands
+# for the built binary (passed as $1); other commands (cmp, …) run as
+# written.  All examples share one scratch directory, in order, so an
+# example may read files a previous one wrote.
+set -u
+
+exe=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+doc=$(cd "$(dirname "$2")" && pwd)/$(basename "$2")
+
+tmp=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp" || exit 1
+
+grep '^\$ ' "$doc" > examples.txt
+status=0
+n=0
+while IFS= read -r line; do
+  n=$((n + 1))
+  cmd=${line#"$ "}
+  expected=0
+  case $cmd in
+  *"# exit: "*)
+    expected=${cmd##*"# exit: "}
+    cmd=${cmd%%"#"*}
+    ;;
+  esac
+  case $cmd in
+  symbad\ *) cmd="\"$exe\" ${cmd#symbad }" ;;
+  esac
+  eval "$cmd" > /dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$expected" ]; then
+    echo "CLI.md example $n failed: '$line' exited $got, expected $expected" >&2
+    status=1
+  fi
+done < examples.txt
+
+[ "$n" -gt 0 ] || { echo "CLI.md: no examples found" >&2; status=1; }
+[ "$status" -eq 0 ] && echo "CLI.md: $n examples ok"
+exit $status

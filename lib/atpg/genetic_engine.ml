@@ -10,6 +10,7 @@
 
 module Rng = Symbad_image.Rng
 module Obs = Symbad_obs.Obs
+module Gov = Symbad_gov.Gov
 
 type params = {
   population : int;
@@ -34,8 +35,9 @@ let hit_points_of model test =
 let fresh_of covered hits =
   List.rev (List.filter (fun p -> not (Hashtbl.mem covered p)) hits)
 
-let generate ?pool ?(params = default_params) model =
+let generate ?pool ?gov ?(params = default_params) model =
   let pool = Symbad_par.Par.get pool in
+  let gov = Gov.get gov in
   let rng = Rng.create params.seed in
   let widths = Array.of_list (List.map snd model.Model.inputs) in
   let random_vector () = Array.map (fun w -> Rng.int rng (1 lsl w)) widths in
@@ -74,8 +76,16 @@ let generate ?pool ?(params = default_params) model =
   let population = ref (List.init params.population (fun _ -> random_vector ())) in
   let total = List.length model.Model.universe in
   let generation = ref 0 in
-  while !generation < params.generations && Hashtbl.length covered < total do
+  (* the governor is polled per generation: an exhausted budget stops
+     evolution and returns the suite committed so far (the partial
+     result); each generation charges one pattern per model run *)
+  while
+    !generation < params.generations
+    && Hashtbl.length covered < total
+    && not (Gov.out_of_budget gov)
+  do
     incr generation;
+    Gov.charge_patterns gov params.population;
     (* evaluate: chunked population scoring on the pool (model runs are
        pure), then fitness = number of new points committed in
        population order — the same suite as the sequential loop *)

@@ -17,8 +17,16 @@ type params = {
 val default_params : params
 
 val generate :
-  ?pool:Symbad_par.Par.pool -> ?params:params -> Model.t -> Model.test list
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?params:params ->
+  Model.t ->
+  Model.test list
 (** The committed suite, in discovery order (only coverage-increasing
     vectors are kept).  Population scoring — the model runs — fans out
     in chunks on [pool]; commits happen in population order on the
-    calling domain, so the suite is identical at any pool width. *)
+    calling domain, so the suite is identical at any pool width.
+
+    [gov] is polled once per generation and charged one pattern per
+    model run; an exhausted budget stops evolution early and the suite
+    committed so far is returned — never an exception. *)

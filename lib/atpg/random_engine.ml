@@ -1,8 +1,18 @@
 (* Baseline engine: uniformly random test vectors (deterministic PRNG). *)
 
 module Rng = Symbad_image.Rng
+module Gov = Symbad_gov.Gov
 
-let generate ?(seed = 1) ~count model =
+let generate ?(seed = 1) ?gov ~count model =
+  let gov = Gov.get gov in
+  (* the pattern allowance is a hard cap: grant what is left, charge it *)
+  let count =
+    match Gov.patterns_left gov with
+    | Some left -> min count left
+    | None -> count
+  in
+  let count = if Gov.out_of_budget gov then 0 else count in
+  Gov.charge_patterns gov count;
   let rng = Rng.create seed in
   let widths = Array.of_list (List.map snd model.Model.inputs) in
   List.init count (fun _ ->

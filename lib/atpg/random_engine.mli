@@ -1,3 +1,8 @@
 (** Baseline engine: uniformly random test vectors (deterministic). *)
 
-val generate : ?seed:int -> count:int -> Model.t -> Model.test list
+val generate :
+  ?seed:int -> ?gov:Symbad_gov.Gov.t -> count:int -> Model.t -> Model.test list
+(** [count] uniformly random vectors from a PRNG seeded with [seed].
+    [gov] charges one pattern per vector and clamps [count] to the
+    remaining pattern allowance, so an exhausted governor yields a
+    shorter (possibly empty) suite — the partial result. *)

@@ -10,10 +10,14 @@ module Sim = Symbad_sim
 module Annotation = Symbad_tlm.Annotation
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
+module Gov = Symbad_gov.Gov
+module Budget = Symbad_gov.Budget
+module Degrade = Symbad_gov.Degrade
 
 (* The historical per-flow result record is now the stack-wide
-   [Verdict.t]; the alias (and the [verification] constructor below)
-   stay for one release so existing callers keep compiling. *)
+   [Verdict.t] (see lib/core/verdict.mli); the alias (and the
+   [verification] constructor below) stay for one release so existing
+   callers keep compiling. *)
 type verification = Verdict.t
 
 type level_report = {
@@ -58,43 +62,84 @@ let compare_traces ~check ~reference ~actual =
       Verdict.make ~name:check ~host_seconds
         (Verdict.Disproved (Printf.sprintf "%d stream mismatches" (List.length ms)))
 
-let atpg_verification ?pool ~seed () =
+let atpg_verification ?pool ?gov ~seed () =
   (* Laerte++ on the behavioural hot spots: genetic engine, report the
-     worst coverage across models.  Model runs fan out on the pool. *)
-  let evals, host_seconds =
-    timed (fun () ->
-        List.map
-          (fun m ->
-            let params =
-              { Symbad_atpg.Genetic_engine.default_params with
-                Symbad_atpg.Genetic_engine.seed }
-            in
-            let tests = Symbad_atpg.Genetic_engine.generate ?pool ~params m in
-            Symbad_atpg.Testbench.evaluate ?pool ~engine:"genetic" m tests)
-          (Symbad_atpg.Models.all ()))
+     worst coverage across models.  Model runs fan out on the pool.
+     The governor bounds the generation loops; an exhausted budget
+     degrades to Inconclusive carrying the coverage reached so far, and
+     granted retries re-dispatch re-seeded over a share of the remaining
+     budget (the portfolio retry). *)
+  let gov = Gov.get gov in
+  let retries = (Gov.budget gov).Budget.retries in
+  let attempt_once ~attempt =
+    (* with retries granted, each attempt gets an even share of what is
+       left, so the last attempt still has budget to spend *)
+    let g =
+      if retries = 0 then gov
+      else
+        Gov.slice
+          ~label:(Printf.sprintf "atpg.try%d" attempt)
+          ~fraction:(1. /. float_of_int (retries + 1 - attempt))
+          gov
+    in
+    let seed =
+      if attempt = 0 then seed else Symbad_par.Par.split_seed ~seed attempt
+    in
+    let evals, host_seconds =
+      timed (fun () ->
+          List.map
+            (fun m ->
+              let params =
+                { Symbad_atpg.Genetic_engine.default_params with
+                  Symbad_atpg.Genetic_engine.seed }
+              in
+              let tests =
+                Symbad_atpg.Genetic_engine.generate ?pool ~gov:g ~params m
+              in
+              Symbad_atpg.Testbench.evaluate ?pool ~engine:"genetic" m tests)
+            (Symbad_atpg.Models.all ()))
+    in
+    let worst =
+      List.fold_left
+        (fun acc e -> min acc e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total)
+        1. evals
+    in
+    let hit, total =
+      List.fold_left
+        (fun (h, t) (e : Symbad_atpg.Testbench.evaluation) ->
+          ( h + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.hit_points,
+            t + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total_points ))
+        (0, 0) evals
+    in
+    match Gov.exhaustion g with
+    | Some reason when worst <= 0.85 ->
+        (* out of budget short of the gate: report what was covered *)
+        Gov.note_degraded g ~what:"atpg" reason;
+        Verdict.degraded ~host_seconds ~name:"ATPG coverage (Laerte++)"
+          ~partial:
+            { Degrade.units_done = hit;
+              units_total = Some total;
+              what = "coverage points hit" }
+          reason
+    | Some _ | None ->
+        Verdict.make ~name:"ATPG coverage (Laerte++)" ~host_seconds
+          ~passed:(worst > 0.85)
+          ~detail:
+            (String.concat "; "
+               (List.map
+                  (fun e ->
+                    Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
+                      (100.
+                     *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
+                  evals))
+          (Verdict.Coverage { hit; total })
   in
-  let worst =
-    List.fold_left
-      (fun acc e -> min acc e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total)
-      1. evals
-  in
-  let hit, total =
-    List.fold_left
-      (fun (h, t) (e : Symbad_atpg.Testbench.evaluation) ->
-        ( h + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.hit_points,
-          t + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total_points ))
-      (0, 0) evals
-  in
-  Verdict.make ~name:"ATPG coverage (Laerte++)" ~host_seconds
-    ~passed:(worst > 0.85)
-    ~detail:
-      (String.concat "; "
-         (List.map
-            (fun e ->
-              Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
-                (100. *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
-            evals))
-    (Verdict.Coverage { hit; total })
+  Gov.with_retry ~label:"atpg" gov
+    ~inconclusive:(fun v ->
+      match v.Verdict.outcome with
+      | Verdict.Inconclusive _ -> true
+      | Verdict.Proved | Verdict.Disproved _ | Verdict.Coverage _ -> false)
+    (fun ~attempt -> attempt_once ~attempt)
 
 (* One "flow.verdict" event per verification: a failing check surfaces on
    every sink at [Error] severity without grepping the report. *)
@@ -117,18 +162,42 @@ let emit_verdicts level verifications =
           "flow.verdict")
       verifications
 
+(* Budget weights of the four levels: the heavy SAT/PCC work all lives
+   at level 4, so it gets the lion's share of whatever remains. *)
+let level_fractions = [ (1, 0.125); (2, 1. /. 7.); (3, 1. /. 6.) ]
+
 let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
-    ?(deadline_ns = 40_000_000) () =
+    ?(deadline_ns = 40_000_000) ?budget () =
+  let gov =
+    match budget with
+    | Some b -> Gov.create ~label:"flow" b
+    | None -> Gov.unlimited
+  in
+  (* sequential slices: each level gets its fraction of what the levels
+     before it left unspent; level 4 runs over the rest *)
+  let level_gov n =
+    match List.assoc_opt n level_fractions with
+    | Some fraction ->
+        Gov.slice ~label:(Printf.sprintf "level%d" n) ~fraction gov
+    | None -> gov
+  in
   let graph = Face_app.graph workload in
   let reference = Face_app.reference_trace workload in
   (* ---- Level 1: functional model + functional verification ---- *)
   let l1, level1 =
     Obs.span ~cat:"level" "level1" @@ fun () ->
+  let g1 = level_gov 1 in
   let t0 = Sys.time () in
   let l1 = Level1.run graph in
   let l1_seconds = Sys.time () -. t0 in
+  (* the level's two governed checks get their shares up front *)
+  let atpg_gov, lpv_gov =
+    match Gov.split ~label:"checks" g1 2 with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   let deadlock =
-    let v, secs = timed (fun () -> Lpv_bridge.check_deadlock graph) in
+    let v, secs = timed (fun () -> Lpv_bridge.check_deadlock ~gov:lpv_gov graph) in
     Verdict.of_lpv_deadlock ~host_seconds:secs v
   in
   let level1 =
@@ -142,7 +211,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
         [
           compare_traces ~check:"trace match vs C reference model"
             ~reference ~actual:l1.Level1.trace;
-          atpg_verification ?pool ~seed ();
+          atpg_verification ?pool ~gov:atpg_gov ~seed ();
           deadlock;
         ];
     }
@@ -153,6 +222,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   (* ---- Level 2: architecture mapping + timing verification ---- *)
   let l2, level2, mapping2 =
     Obs.span ~cat:"level" "level2" @@ fun () ->
+  let g2 = level_gov 2 in
   let mapping2 = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
   let t0 = Sys.time () in
   let l2 = Level2.run graph mapping2 in
@@ -160,11 +230,11 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let timing = Lpv_bridge.default_timing in
   let period_verdict, deadline_ok =
     Lpv_bridge.check_deadline ~deadline_ns ~timing ~mapping:mapping2
-      ~profile:l1.Level1.profile graph
+      ~profile:l1.Level1.profile ~gov:g2 graph
   in
   let fifo_dim =
     Lpv_bridge.dimension_fifos ~deadline_ns ~timing ~mapping:mapping2
-      ~profile:l1.Level1.profile graph
+      ~profile:l1.Level1.profile ~gov:g2 graph
   in
   let level2 =
     {
@@ -181,12 +251,18 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
           compare_traces ~check:"trace match vs level 1"
             ~reference:l1.Level1.trace ~actual:l2.Level2.trace;
           Verdict.of_lpv_timing ~deadline_ns ~met:deadline_ok period_verdict;
-          (match fifo_dim with
-          | Some c ->
+          (match (fifo_dim, Gov.exhaustion g2) with
+          | Some c, _ ->
               Verdict.make ~name:"LPV FIFO dimensioning"
                 ~detail:(Printf.sprintf "minimal uniform capacity %d" c)
                 Verdict.Proved
-          | None ->
+          | None, Some reason ->
+              (* the capacity search was cut short, not exhausted *)
+              Verdict.make ~name:"LPV FIFO dimensioning"
+                (Verdict.Inconclusive
+                   (Printf.sprintf "governor: %s"
+                      (Degrade.reason_string reason)))
+          | None, None ->
               Verdict.make ~name:"LPV FIFO dimensioning"
                 (Verdict.Disproved "no capacity meets the deadline"));
         ];
@@ -198,17 +274,27 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   (* ---- Level 3: reconfigurable refinement + consistency ---- *)
   let level3, mapping3 =
     Obs.span ~cat:"level" "level3" @@ fun () ->
+  let g3 = level_gov 3 in
   let mapping3 = Mapping.refine_to_fpga mapping2 Face_app.level3_refinement in
   let t0 = Sys.time () in
   let l3 = Level3.run graph mapping3 in
   let l3_seconds = Sys.time () -. t0 in
   let symbc =
-    let v, secs =
-      timed (fun () ->
-          Symbad_symbc.Check.check l3.Level3.config_info
-            l3.Level3.instrumented_sw)
-    in
-    Verdict.of_symbc ~host_seconds:secs v
+    (* SymbC itself has no resource knob (one linear pass over the call
+       sites), so the governor gates it at entry only *)
+    match Gov.exhaustion g3 with
+    | Some reason ->
+        Gov.note_degraded g3 ~what:"symbc" reason;
+        Verdict.make ~name:"SymbC reconfiguration consistency"
+          (Verdict.Inconclusive
+             (Printf.sprintf "governor: %s" (Degrade.reason_string reason)))
+    | None ->
+        let v, secs =
+          timed (fun () ->
+              Symbad_symbc.Check.check l3.Level3.config_info
+                l3.Level3.instrumented_sw)
+        in
+        Verdict.of_symbc ~host_seconds:secs v
   in
   let level3 =
     {
@@ -238,7 +324,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let level4 =
     Obs.span ~cat:"level" "level4" @@ fun () ->
   let t0 = Sys.time () in
-  let l4 = Level4.run ?pool () in
+  let l4 = Level4.run ?pool ~gov:(level_gov 4) () in
   let l4_seconds = Sys.time () -. t0 in
   let mc_ver =
     List.map

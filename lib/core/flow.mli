@@ -3,8 +3,11 @@
     prescribes, carrying all reports. *)
 
 type verification = Verdict.t
-(** Every flow check is a stack-wide {!Verdict.t}; the alias keeps the
-    historical name compiling. *)
+(** Every flow check is a stack-wide {!Verdict.t} — see
+    [lib/core/verdict.mli] for the outcome vocabulary (including the
+    [Inconclusive] verdicts a resource-governed run degrades to).  The
+    alias keeps the historical name compiling; new code should say
+    [Verdict.t]. *)
 
 type level_report = {
   level : int;
@@ -24,20 +27,34 @@ type t = {
 
 val verification : check:string -> passed:bool -> string -> verification
 [@@ocaml.deprecated "construct Verdict.t directly (Verdict.make)"]
-(** Pre-[Verdict] constructor, kept for one release. *)
+(** Pre-[Verdict] constructor, kept for one release.  It can only
+    express the [Proved]/[Disproved] extremes — no coverage figures, no
+    governed [Inconclusive] degradation — which is why it is
+    deprecated in favour of {!Verdict.make}. *)
 
 val run :
   ?pool:Symbad_par.Par.pool ->
   ?seed:int ->
   ?workload:Face_app.workload ->
   ?deadline_ns:int ->
+  ?budget:Symbad_gov.Budget.t ->
   unit ->
   t
 (** [deadline_ns] (default 40 ms, i.e. 25 frames/s) is the level-2
     real-time requirement checked by LPV.  [pool] fans the
     fault-detectability, ATPG and model-checking work out across
     domains; results are identical at any width (defaults to the
-    sequential pool).  [seed] (default 1) drives the ATPG engines. *)
+    sequential pool).  [seed] (default 1) drives the ATPG engines.
+
+    [budget] puts the whole run under a resource governor: levels 1–3
+    get fixed fractions of the remaining budget (level 4, where the
+    SAT and PCC work lives, runs over the rest), each level splits its
+    share across its checks before dispatch, and an exhausted share
+    degrades that check to [Verdict.Inconclusive] carrying its partial
+    result instead of running long.  With only logical allowances
+    (conflicts/patterns) the degraded report is deterministic at any
+    [pool] width; the wall-clock deadline is best-effort.  Omitting
+    [budget] reproduces the ungoverned flow exactly. *)
 
 val to_markdown : t -> string
 (** The report as a markdown document (CI artefacts, experiment logs). *)

@@ -208,24 +208,35 @@ type module_report = {
 
 type result = { modules : module_report list }
 
-let verify_module ?pool ?(max_depth = 12) ?(pcc_depth = 6) ?(max_reg_bits = 4) m
-    =
-  let mc_reports = Mc.Engine.check_all ?pool ~max_depth m.netlist m.properties in
+let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
+    ?(max_reg_bits = 4) m =
+  let gov = Symbad_gov.Gov.get gov in
+  (* half the module's budget to model checking up front; PCC then runs
+     over whatever the proofs left unspent *)
+  let mc_gov = Symbad_gov.Gov.slice ~label:"mc" ~fraction:0.5 gov in
+  let mc_reports =
+    Mc.Engine.check_all ?pool ~max_depth ~gov:mc_gov m.netlist m.properties
+  in
   {
     module_name = m.module_name;
     mc_reports;
     all_proved = Mc.Engine.all_proved mc_reports;
     pcc =
-      Symbad_pcc.Pcc.run ?pool ~depth:pcc_depth ~max_reg_bits m.netlist
+      Symbad_pcc.Pcc.run ?pool ~depth:pcc_depth ~max_reg_bits ~gov m.netlist
         m.properties;
   }
 
-let run ?pool ?max_depth ?pcc_depth ?max_reg_bits () =
+let run ?pool ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
+  let gov = Symbad_gov.Gov.get gov in
+  let ms = modules () in
+  (* per-module budget shares, fixed before any verification runs *)
+  let shares = Symbad_gov.Gov.split ~label:"level4.modules" gov (List.length ms) in
   {
     modules =
-      List.map
-        (verify_module ?pool ?max_depth ?pcc_depth ?max_reg_bits)
-        (modules ());
+      List.map2
+        (fun m g ->
+          verify_module ?pool ~gov:g ?max_depth ?pcc_depth ?max_reg_bits m)
+        ms shares;
   }
 
 let pp_module_report fmt r =

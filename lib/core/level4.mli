@@ -30,21 +30,28 @@ type result = { modules : module_report list }
 
 val verify_module :
   ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
   ?max_depth:int ->
   ?pcc_depth:int ->
   ?max_reg_bits:int ->
   rtl_module ->
   module_report
 (** [pool] fans the per-fault PCC checks and per-property model-checking
-    runs across domains; verdicts are identical at any pool width. *)
+    runs across domains; verdicts are identical at any pool width.
+    [gov] governs the module: half its remaining budget is sliced off
+    for model checking, PCC runs over the rest; exhausted shares
+    degrade to [Unknown] / [Unresolved] partial reports. *)
 
 val run :
   ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
   ?max_depth:int ->
   ?pcc_depth:int ->
   ?max_reg_bits:int ->
   unit ->
   result
+(** Verify every case-study module.  [gov]'s remaining budget is split
+    near-equally across the modules before any verification runs. *)
 
 val pp_module_report : Format.formatter -> module_report -> unit
 val pp : Format.formatter -> result -> unit

@@ -95,16 +95,18 @@ let net_of ?(capacity = 2) ?(extra_channels = []) ?timing ?mapping ?profile
   net
 
 (* The level-1 deadlock-freeness check and the level-2 timing checks, as
-   the flow invokes them. *)
-let check_deadlock ?capacity ?extra_channels graph =
-  Lpv.Deadlock.check (net_of ?capacity ?extra_channels graph)
+   the flow invokes them.  Each takes the governor through to the LPV
+   engines, which degrade to Not_analyzable / None on exhaustion. *)
+let check_deadlock ?capacity ?extra_channels ?gov graph =
+  Lpv.Deadlock.check ?gov (net_of ?capacity ?extra_channels graph)
 
-let check_deadline ~deadline_ns ~timing ~mapping ~profile ?capacity graph =
+let check_deadline ~deadline_ns ~timing ~mapping ~profile ?capacity ?gov graph =
   let net = net_of ?capacity ~timing ~mapping ~profile graph in
-  (Lpv.Timing.min_cycle_ratio net, Lpv.Timing.deadline_met ~deadline:deadline_ns net)
+  ( Lpv.Timing.min_cycle_ratio ?gov net,
+    Lpv.Timing.deadline_met ?gov ~deadline:deadline_ns net )
 
 let dimension_fifos ~deadline_ns ~timing ~mapping ~profile ?(max_capacity = 64)
-    graph =
-  Lpv.Timing.min_uniform_capacity ~max_capacity ~deadline:deadline_ns
+    ?gov graph =
+  Lpv.Timing.min_uniform_capacity ~max_capacity ?gov ~deadline:deadline_ns
     ~build:(fun c -> net_of ~capacity:c ~timing ~mapping ~profile graph)
     ()

@@ -32,8 +32,11 @@ val net_of :
 val check_deadlock :
   ?capacity:int ->
   ?extra_channels:(string * string * string * int) list ->
+  ?gov:Symbad_gov.Gov.t ->
   Task_graph.t ->
   Symbad_lpv.Deadlock.verdict
+(** The level-1 deadlock-freeness check; an exhausted [gov] yields
+    [Not_analyzable]. *)
 
 val check_deadline :
   deadline_ns:int ->
@@ -41,9 +44,11 @@ val check_deadline :
   mapping:Mapping.t ->
   profile:Symbad_tlm.Annotation.Profile.t ->
   ?capacity:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Task_graph.t ->
   Symbad_lpv.Timing.verdict * bool
-(** The minimum period and whether the deadline is achievable. *)
+(** The minimum period and whether the deadline is achievable; an
+    exhausted [gov] yields [(Not_analyzable _, false)]. *)
 
 val dimension_fifos :
   deadline_ns:int ->
@@ -51,6 +56,9 @@ val dimension_fifos :
   mapping:Mapping.t ->
   profile:Symbad_tlm.Annotation.Profile.t ->
   ?max_capacity:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Task_graph.t ->
   int option
-(** Smallest uniform channel capacity meeting the deadline. *)
+(** Smallest uniform channel capacity meeting the deadline.  [gov] is
+    polled per candidate capacity; exhaustion stops the search with
+    [None]. *)

@@ -56,17 +56,33 @@ let of_mc ?host_seconds (r : Symbad_mc.Engine.report) =
       make ?host_seconds ~name (Inconclusive reason)
 
 let of_pcc ?host_seconds ?(threshold = 0.75) (r : Symbad_pcc.Pcc.report) =
-  let outcome =
-    Coverage { hit = r.Symbad_pcc.Pcc.covered; total = r.Symbad_pcc.Pcc.detectable }
+  let name = Printf.sprintf "PCC completeness %s" r.Symbad_pcc.Pcc.design in
+  let unresolved =
+    List.length
+      (List.filter
+         (fun (fr : Symbad_pcc.Pcc.fault_report) ->
+           fr.Symbad_pcc.Pcc.status = Symbad_pcc.Pcc.Unresolved)
+         r.Symbad_pcc.Pcc.faults)
   in
-  make ?host_seconds
-    ~name:(Printf.sprintf "PCC completeness %s" r.Symbad_pcc.Pcc.design)
-    ~passed:(r.Symbad_pcc.Pcc.coverage >= threshold)
-    ~detail:
-      (Printf.sprintf "%.0f%% of %d detectable faults"
-         (100. *. r.Symbad_pcc.Pcc.coverage)
-         r.Symbad_pcc.Pcc.detectable)
-    outcome
+  let total_faults = List.length r.Symbad_pcc.Pcc.faults in
+  if unresolved > 0 && r.Symbad_pcc.Pcc.coverage >= threshold then
+    (* unresolved faults make the coverage ratio optimistic (they are
+       excluded from "detectable"): never let exhaustion produce a
+       pass, degrade to Inconclusive carrying what WAS classified *)
+    make ?host_seconds ~name
+      ~detail:
+        (Printf.sprintf "resource budget exhausted; %d/%d faults classified"
+           (total_faults - unresolved) total_faults)
+      (Inconclusive "resource budget exhausted")
+  else
+    make ?host_seconds ~name
+      ~passed:(r.Symbad_pcc.Pcc.coverage >= threshold)
+      ~detail:
+        (Printf.sprintf "%.0f%% of %d detectable faults"
+           (100. *. r.Symbad_pcc.Pcc.coverage)
+           r.Symbad_pcc.Pcc.detectable)
+      (Coverage
+         { hit = r.Symbad_pcc.Pcc.covered; total = r.Symbad_pcc.Pcc.detectable })
 
 let of_atpg ?host_seconds ?(threshold = 0.85)
     (e : Symbad_atpg.Testbench.evaluation) =
@@ -106,7 +122,10 @@ let of_lpv_timing ?host_seconds ~deadline_ns ~met
     Fmt.str "%a vs deadline %dns" Symbad_lpv.Timing.pp_verdict v deadline_ns
   in
   make ?host_seconds ~name:"LPV timing deadline" ~detail
-    (if met then Proved else Disproved detail)
+    (match v with
+    | Symbad_lpv.Timing.Not_analyzable why -> Inconclusive why
+    | Symbad_lpv.Timing.Period _ | Symbad_lpv.Timing.Unschedulable _ ->
+        if met then Proved else Disproved detail)
 
 let of_symbc ?host_seconds (v : Symbad_symbc.Check.verdict) =
   let name = "SymbC reconfiguration consistency" in
@@ -118,6 +137,13 @@ let of_symbc ?host_seconds (v : Symbad_symbc.Check.verdict) =
   | Symbad_symbc.Check.Inconsistent cex ->
       make ?host_seconds ~name
         (Disproved (cex.Symbad_symbc.Check.failing_call ^ " unavailable"))
+
+(* A governed run that ran out of budget: Inconclusive carrying the
+   degradation reason and whatever partial progress the engine made. *)
+let degraded ?host_seconds ~name ~partial reason =
+  make ?host_seconds ~name
+    ~detail:(Symbad_gov.Degrade.detail ~reason partial)
+    (Inconclusive (Symbad_gov.Degrade.reason_string reason))
 
 (* --- rendering -------------------------------------------------------- *)
 

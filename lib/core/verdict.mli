@@ -34,10 +34,16 @@ val coverage_ratio : outcome -> float option
 (** {1 Adapters} *)
 
 val of_mc : ?host_seconds:float -> Symbad_mc.Engine.report -> t
+(** [Proved] with method and depth, [Disproved] with the trace length,
+    or [Inconclusive] carrying the engine's reason (bound reached,
+    budget exhausted). *)
 
 val of_pcc : ?host_seconds:float -> ?threshold:float -> Symbad_pcc.Pcc.report -> t
 (** [Coverage] over detectable faults; passes at [threshold] (default
-    [0.75], the flow's completeness gate). *)
+    [0.75], the flow's completeness gate).  When the report contains
+    [Unresolved] faults (resource budget ran out) that would otherwise
+    let it pass, the verdict degrades to [Inconclusive] instead —
+    exhaustion never produces an optimistic pass. *)
 
 val of_atpg :
   ?host_seconds:float -> ?threshold:float -> Symbad_atpg.Testbench.evaluation -> t
@@ -45,11 +51,29 @@ val of_atpg :
     exceeds [threshold] (default [0.85], the flow's gate). *)
 
 val of_lpv_deadlock : ?host_seconds:float -> Symbad_lpv.Deadlock.verdict -> t
+(** [Proved] with the minimum cycle tokens, [Disproved] with the witness
+    cycle, or [Inconclusive] when the net was not analyzable (degraded
+    governed run). *)
 
 val of_lpv_timing :
   ?host_seconds:float -> deadline_ns:int -> met:bool -> Symbad_lpv.Timing.verdict -> t
+(** [met] is the caller's deadline comparison; the verdict's period (or
+    unschedulability / non-analyzability) lands in the detail line. *)
 
 val of_symbc : ?host_seconds:float -> Symbad_symbc.Check.verdict -> t
+(** [Proved] with the number of certified call sites, or [Disproved]
+    naming the failing reconfiguration call. *)
+
+val degraded :
+  ?host_seconds:float ->
+  name:string ->
+  partial:Symbad_gov.Degrade.partial ->
+  Symbad_gov.Degrade.reason ->
+  t
+(** A governed run that ran out of budget: [Inconclusive] with the
+    degradation reason as its reason and the partial progress
+    ([units_done]/[units_total]) in [detail].  The detail string is
+    wall-clock free, so degraded reports stay byte-stable. *)
 
 (** {1 Rendering} *)
 

@@ -1,0 +1,11 @@
+(* Cooperative cancellation: one atomic flag, raised by a controller,
+   polled by engines at step boundaries.  [none] is the shared inert
+   token; cancelling it is refused so a library that was handed [none]
+   can never cancel everybody else's default. *)
+
+type t = { flag : bool Atomic.t; cancellable : bool }
+
+let create () = { flag = Atomic.make false; cancellable = true }
+let cancel t = if t.cancellable then Atomic.set t.flag true
+let is_cancelled t = Atomic.get t.flag
+let none = { flag = Atomic.make false; cancellable = false }

@@ -1,0 +1,24 @@
+(** Cooperative cancellation tokens.
+
+    A token is a domain-safe flag that a controller raises and engines
+    poll at step boundaries (between SAT conflicts, BMC bounds, ATPG
+    generations, PCC faults).  Cancellation is cooperative: raising the
+    flag never interrupts a step in flight, it makes the next boundary
+    check degrade the run. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, uncancelled token. *)
+
+val cancel : t -> unit
+(** Raise the flag.  Idempotent; safe from any domain.  No-op on
+    {!none}. *)
+
+val is_cancelled : t -> bool
+(** Poll the flag.  Safe and cheap (one atomic read) from any domain. *)
+
+val none : t
+(** The shared never-cancelled token — what call sites use when no
+    controller is interested in stopping them.  [cancel none] is
+    ignored. *)

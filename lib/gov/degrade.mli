@@ -1,0 +1,31 @@
+(** The graceful-degradation policy: what an engine reports when its
+    budget runs out.
+
+    Exhaustion never raises and never hangs — the engine stops at the
+    next step boundary and reports the partial result it achieved (the
+    best bound reached in BMC, the coverage attained in ATPG, the faults
+    classified in PCC) as an inconclusive outcome.  This module is the
+    vocabulary of that contract: the exhaustion reasons and the
+    one-line detail string the uniform verdict carries. *)
+
+type reason =
+  | Cancelled  (** the {!Cancel} token was raised *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Conflicts  (** the SAT-conflict allowance is spent *)
+  | Patterns  (** the test-pattern / simulation-unit allowance is spent *)
+
+val reason_string : reason -> string
+(** ["cancelled"], ["deadline exhausted"], ["conflict budget exhausted"]
+    or ["pattern budget exhausted"] — stable strings, safe to embed in
+    byte-compared reports (no timestamps). *)
+
+type partial = {
+  units_done : int;  (** steps completed before exhaustion *)
+  units_total : int option;  (** steps planned, when known up front *)
+  what : string;  (** the unit, e.g. ["faults classified"] *)
+}
+
+val detail : reason:reason -> partial -> string
+(** The human-readable line an [Inconclusive] verdict carries, e.g.
+    ["governor: deadline exhausted; 3/17 faults classified"].
+    Deterministic — contains no wall-clock quantities. *)

@@ -1,0 +1,154 @@
+(* The resource governor: a budget, live spend counters and a cancel
+   token, organised as a tree.  Children are granted shares of the
+   remaining budget; their charges propagate to every ancestor, so the
+   parent's "remaining" always reflects what the whole subtree spent and
+   unspent allowance flows forward to the next phase.
+
+   Determinism contract: the logical allowances (conflicts, patterns)
+   are split and spent by arithmetic only.  Each parallel job receives
+   its share *before* the fan-out, so which job exhausts first does not
+   depend on scheduling — parallel runs reproduce sequential ones.  The
+   wall-clock deadline is inherently a race against real time and is
+   polled best-effort at step boundaries. *)
+
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+module Severity = Symbad_obs.Severity
+
+type t = {
+  label : string;
+  budget : Budget.t;
+  cancel : Cancel.t;
+  spent_conflicts : int Atomic.t;
+  spent_patterns : int Atomic.t;
+  parent : t option;
+}
+
+let make ?(label = "gov") ?(cancel = Cancel.none) ?parent budget =
+  {
+    label;
+    budget;
+    cancel;
+    spent_conflicts = Atomic.make 0;
+    spent_patterns = Atomic.make 0;
+    parent;
+  }
+
+let create ?label ?cancel budget = make ?label ?cancel budget
+let unlimited = make ~label:"unlimited" Budget.unlimited
+let get = function Some g -> g | None -> unlimited
+let label t = t.label
+let budget t = t.budget
+let cancel_token t = t.cancel
+
+(* --- spend accounting ------------------------------------------------- *)
+
+let rec charge counter_of t n =
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add (counter_of t) n);
+    match t.parent with Some p -> charge counter_of p n | None -> ()
+  end
+
+let charge_conflicts t n = charge (fun t -> t.spent_conflicts) t n
+let charge_patterns t n = charge (fun t -> t.spent_patterns) t n
+
+let left allowance spent =
+  Option.map (fun a -> max 0 (a - Atomic.get spent)) allowance
+
+let conflicts_left t = left t.budget.Budget.conflicts t.spent_conflicts
+let patterns_left t = left t.budget.Budget.patterns t.spent_patterns
+
+let remaining t =
+  { t.budget with
+    Budget.conflicts = conflicts_left t;
+    patterns = patterns_left t }
+
+(* --- exhaustion ------------------------------------------------------- *)
+
+let exhaustion t =
+  if Cancel.is_cancelled t.cancel then Some Degrade.Cancelled
+  else if conflicts_left t = Some 0 then Some Degrade.Conflicts
+  else if patterns_left t = Some 0 then Some Degrade.Patterns
+  else if Budget.deadline_over t.budget then Some Degrade.Deadline
+  else None
+
+let out_of_budget t = exhaustion t <> None
+
+(* --- telemetry -------------------------------------------------------- *)
+
+(* All reporting happens on the owning domain only (Obs.enabled is false
+   on Par workers), so a child governor used inside a parallel job stays
+   silent and the split event at the fan-out point tells the story. *)
+let event ?(severity = Severity.Info) ~counter name args =
+  if Obs.enabled () then begin
+    Obs.incr_counter counter;
+    Obs.event ~severity ~args name
+  end
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+
+let note_degraded t ~what reason =
+  event ~severity:Severity.Warn ~counter:"gov.degradations" "gov.degrade"
+    [
+      ("gov", Json.Str t.label);
+      ("what", Json.Str what);
+      ("reason", Json.Str (Degrade.reason_string reason));
+    ]
+
+(* --- hierarchy -------------------------------------------------------- *)
+
+let split ?label:(l = "split") t n =
+  let rem = remaining t in
+  event ~counter:"gov.splits" "gov.split"
+    [
+      ("gov", Json.Str t.label);
+      ("into", Json.Str l);
+      ("shares", Json.Int n);
+      ("conflicts_left", opt_int rem.Budget.conflicts);
+      ("patterns_left", opt_int rem.Budget.patterns);
+    ];
+  List.mapi
+    (fun i share ->
+      make ~label:(Printf.sprintf "%s.%s/%d" t.label l i) ~cancel:t.cancel
+        ~parent:t share)
+    (Budget.split ~n rem)
+
+let slice ?label:(l = "slice") ~fraction t =
+  let share = Budget.slice ~fraction (remaining t) in
+  event ~counter:"gov.splits" "gov.split"
+    [
+      ("gov", Json.Str t.label);
+      ("into", Json.Str l);
+      ("fraction", Json.Float fraction);
+      ("conflicts_left", opt_int share.Budget.conflicts);
+      ("patterns_left", opt_int share.Budget.patterns);
+    ];
+  make ~label:(Printf.sprintf "%s.%s" t.label l) ~cancel:t.cancel ~parent:t
+    share
+
+(* --- portfolio retry -------------------------------------------------- *)
+
+let with_retry ?label:(l = "engine") t ~inconclusive run =
+  let rec go attempt =
+    let r = run ~attempt in
+    if inconclusive r && attempt < t.budget.Budget.retries
+       && not (out_of_budget t)
+    then begin
+      event ~counter:"gov.retries" "gov.retry"
+        [
+          ("gov", Json.Str t.label);
+          ("what", Json.Str l);
+          ("attempt", Json.Int (attempt + 1));
+        ];
+      go (attempt + 1)
+    end
+    else r
+  in
+  go 0
+
+let pp fmt t =
+  Fmt.pf fmt "%s: %a%a" t.label Budget.pp (remaining t)
+    (fun fmt -> function
+      | None -> ()
+      | Some r -> Fmt.pf fmt " [%s]" (Degrade.reason_string r))
+    (exhaustion t)

@@ -18,10 +18,15 @@ type verdict =
       (* token-free cycle: names of the places in the invariant support *)
   | Not_analyzable of string
 
-let check net =
+let check ?gov net =
   let np = Petri.n_places net and nt = Petri.n_transitions net in
   if np = 0 || nt = 0 then Not_analyzable "empty net"
   else begin
+    match Symbad_gov.Gov.exhaustion (Symbad_gov.Gov.get gov) with
+    | Some r ->
+        Not_analyzable
+          (Printf.sprintf "governor: %s" (Symbad_gov.Degrade.reason_string r))
+    | None ->
     let c = Petri.incidence net in
     let m0 = Petri.initial_marking net in
     (* variables: y_p for each place *)

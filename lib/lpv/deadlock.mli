@@ -10,6 +10,11 @@ type verdict =
   | Potential_deadlock of { witness : string list }
       (** places of the token-free cycle *)
   | Not_analyzable of string
+      (** degenerate net, numerically unbounded LP, or resource budget
+          exhausted (governor deadline, allowance or cancellation) *)
 
-val check : Petri.t -> verdict
+val check : ?gov:Symbad_gov.Gov.t -> Petri.t -> verdict
+(** Decide deadlock-freeness by one LP over the invariant cone.  [gov]
+    is polled at entry; exhaustion yields [Not_analyzable]. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

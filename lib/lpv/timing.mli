@@ -4,18 +4,30 @@
 type verdict =
   | Period of Rat.t  (** minimum sustainable iteration period *)
   | Unschedulable of string  (** a zero-token cycle: no finite period *)
+  | Not_analyzable of string
+      (** resource budget exhausted (governor deadline, allowance or
+          cancellation) before the LP could run *)
 
-val min_cycle_ratio : Petri.t -> verdict
+val min_cycle_ratio : ?gov:Symbad_gov.Gov.t -> Petri.t -> verdict
 (** One LP: minimise [r] subject to
     [s(consumer) - s(producer) + r * tokens(p) >= delay(producer)] for
-    every place [p]. *)
+    every place [p].  [gov] is polled at entry; exhaustion yields
+    [Not_analyzable]. *)
 
-val deadline_met : deadline:int -> Petri.t -> bool
-(** Can the system sustain one iteration every [deadline] time units? *)
+val deadline_met : ?gov:Symbad_gov.Gov.t -> deadline:int -> Petri.t -> bool
+(** Can the system sustain one iteration every [deadline] time units?
+    A degraded run answers [false] — conservative, never optimistic. *)
 
 val min_uniform_capacity :
-  ?max_capacity:int -> deadline:int -> build:(int -> Petri.t) -> unit -> int option
+  ?max_capacity:int ->
+  ?gov:Symbad_gov.Gov.t ->
+  deadline:int ->
+  build:(int -> Petri.t) ->
+  unit ->
+  int option
 (** Smallest uniform channel capacity meeting the deadline, over a
-    monotone family of nets built by [build]. *)
+    monotone family of nets built by [build].  [gov] is polled before
+    each candidate capacity (one LP each); exhaustion stops the search
+    with [None]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -46,10 +46,14 @@ let trace_span prop k = if Prop.is_step prop then k + 1 else k
 
 (* Does "not P" hold at some depth in [0, depth]?  Checks each depth with
    a fresh encoding (simple and predictable at case-study sizes). *)
-let check ?(max_conflicts = max_int) ~depth nl prop =
+let check ?(max_conflicts = max_int) ?gov ~depth nl prop =
   let prop = Prop.validate nl prop in
+  let gov_out () =
+    match gov with Some g -> Symbad_gov.Gov.out_of_budget g | None -> false
+  in
   let rec at k =
     if k > depth then Holds
+    else if gov_out () then Resource_out
     else begin
       (* one span per bound: the timeline shows where BMC effort goes *)
       Obs.span ~cat:"mc"
@@ -65,7 +69,7 @@ let check ?(max_conflicts = max_int) ~depth nl prop =
           let u = Unroll.create ~init:Unroll.Reset solver nl in
           Unroll.unroll_to u (k + 1);
           Solver.add_clause solver [ -(prop_lit u prop k) ];
-          match Solver.solve ~max_conflicts solver with
+          match Solver.solve ~max_conflicts ?gov solver with
           | Solver.Sat ->
               `Stop
                 (Counterexample (extract_trace solver u (trace_span prop k) nl))
@@ -83,8 +87,11 @@ type induction_result = Inductive | Cti of Trace.t | Induction_resource_out
 (* The inductive step at depth [k] (k >= 1): from any state satisfying P
    for k consecutive steps, P holds at step k+1?  A satisfying assignment
    is a counterexample-to-induction (CTI), not necessarily reachable. *)
-let inductive_step ?(max_conflicts = max_int) ~k nl prop =
+let inductive_step ?(max_conflicts = max_int) ?gov ~k nl prop =
   if k < 1 then invalid_arg "Bmc.inductive_step: k must be >= 1";
+  if (match gov with Some g -> Symbad_gov.Gov.out_of_budget g | None -> false)
+  then Induction_resource_out
+  else
   let prop = Prop.validate nl prop in
   Obs.span ~cat:"mc"
     ~args:
@@ -102,7 +109,7 @@ let inductive_step ?(max_conflicts = max_int) ~k nl prop =
         Solver.add_clause solver [ prop_lit u prop i ]
       done;
       Solver.add_clause solver [ -(prop_lit u prop k) ];
-      match Solver.solve ~max_conflicts solver with
+      match Solver.solve ~max_conflicts ?gov solver with
       | Solver.Unsat -> Inductive
       | Solver.Sat -> Cti (extract_trace solver u (trace_span prop k) nl)
       | Solver.Unknown -> Induction_resource_out)

@@ -3,12 +3,26 @@
 type check_result =
   | Holds  (** no counterexample up to the given depth *)
   | Counterexample of Trace.t
-  | Resource_out  (** SAT conflict budget exhausted *)
+  | Resource_out
+      (** resource budget exhausted: the SAT conflict allowance, the
+          governor's deadline, or a cancellation.  Bounds below the one
+          that ran out were fully checked — the caller knows the best
+          bound reached. *)
 
 val check :
-  ?max_conflicts:int -> depth:int -> Symbad_hdl.Netlist.t -> Prop.t -> check_result
+  ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
+  depth:int ->
+  Symbad_hdl.Netlist.t ->
+  Prop.t ->
+  check_result
 (** Search for a violation within [0, depth] steps from reset.  A step
-    property at depth [k] spans states [k] and [k + 1]. *)
+    property at depth [k] spans states [k] and [k + 1].
+
+    [gov] governs the run: it is polled before each bound and bounds the
+    SAT search within each bound; exhaustion yields [Resource_out] at
+    the next boundary.  [max_conflicts] is the historical per-call knob,
+    kept as a deprecated alias. *)
 
 type induction_result =
   | Inductive
@@ -16,9 +30,15 @@ type induction_result =
       (** counterexample-to-induction: a [k]-step path over free states
           satisfying the property that then violates it — not
           necessarily reachable *)
-  | Induction_resource_out
+  | Induction_resource_out  (** resource budget exhausted (see above) *)
 
 val inductive_step :
-  ?max_conflicts:int -> k:int -> Symbad_hdl.Netlist.t -> Prop.t -> induction_result
+  ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
+  k:int ->
+  Symbad_hdl.Netlist.t ->
+  Prop.t ->
+  induction_result
 (** The inductive step at depth [k >= 1]: together with [check ~depth:k]
-    returning [Holds], [Inductive] proves the property. *)
+    returning [Holds], [Inductive] proves the property.  [gov] as in
+    {!check}. *)

@@ -15,6 +15,8 @@
 
 module Netlist = Symbad_hdl.Netlist
 module Par = Symbad_par.Par
+module Gov = Symbad_gov.Gov
+module Degrade = Symbad_gov.Degrade
 
 type verdict =
   | Proved of { method_ : string; depth : int }
@@ -30,17 +32,26 @@ type report = {
 (* One bound of the portfolio: the BMC base case at depth k, plus the
    inductive step when the base holds (exactly what the sequential loop
    would go on to run at that k). *)
-let check_bound ~max_conflicts nl prop k =
-  let base = Bmc.check ~max_conflicts ~depth:k nl prop in
+let check_bound ~max_conflicts ~gov nl prop k =
+  let base = Bmc.check ~max_conflicts ~gov ~depth:k nl prop in
   let induction =
     match base with
-    | Bmc.Holds when k > 0 -> Some (Bmc.inductive_step ~max_conflicts ~k nl prop)
+    | Bmc.Holds when k > 0 ->
+        Some (Bmc.inductive_step ~max_conflicts ~gov ~k nl prop)
     | Bmc.Holds | Bmc.Counterexample _ | Bmc.Resource_out -> None
   in
   (base, induction)
 
-let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) nl prop =
+(* Why a Resource_out happened, as seen from the window's parent
+   governor (child charges have propagated by the time we scan). *)
+let out_reason gov ~what =
+  match Gov.exhaustion gov with
+  | Some r -> Printf.sprintf "governor: %s" (Degrade.reason_string r)
+  | None -> "SAT budget exhausted in " ^ what
+
+let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) ?gov nl prop =
   let pool = Par.get pool in
+  let gov = Gov.get gov in
   let name = Prop.name prop in
   let fallback () =
     (* last resort: exact reachability if tractable *)
@@ -56,52 +67,80 @@ let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) nl prop =
           verdict = Unknown { reason = Printf.sprintf "no proof within k=%d" max_depth };
           checked_depth = max_depth }
   in
-  let rec loop k =
-    if k > max_depth then fallback ()
-    else begin
-      let hi = min max_depth (k + Par.jobs pool - 1) in
-      let window = List.init (hi - k + 1) (fun i -> k + i) in
-      let results =
-        Par.map ~label:"mc.bounds" pool
-          (fun k -> (k, check_bound ~max_conflicts nl prop k))
-          window
-      in
-      (* replay the sequential decision in ascending k *)
-      let rec scan = function
-        | [] -> loop (hi + 1)
-        | (k, (base, induction)) :: rest -> (
-            match base with
-            | Bmc.Counterexample tr ->
-                { property = name; verdict = Falsified tr; checked_depth = k }
-            | Bmc.Resource_out ->
-                { property = name;
-                  verdict = Unknown { reason = "SAT budget exhausted in BMC" };
-                  checked_depth = k }
-            | Bmc.Holds -> (
-                match induction with
-                | None -> scan rest  (* k = 0: nothing to induct on yet *)
-                | Some Bmc.Inductive ->
-                    { property = name;
-                      verdict = Proved { method_ = "k-induction"; depth = k };
-                      checked_depth = k }
-                | Some (Bmc.Cti _) -> scan rest
-                | Some Bmc.Induction_resource_out ->
-                    { property = name;
-                      verdict = Unknown { reason = "SAT budget exhausted in induction" };
-                      checked_depth = k }))
-      in
-      scan results
-    end
+  (* governed degradation: the best bound fully checked is k - 1 *)
+  let degraded ~reason k =
+    { property = name;
+      verdict = Unknown { reason };
+      checked_depth = max 0 (k - 1) }
   in
-  loop 0
+  let run ~attempt:_ =
+    let rec loop k =
+      if k > max_depth then fallback ()
+      else if Gov.out_of_budget gov then
+        degraded ~reason:(out_reason gov ~what:"BMC") k
+      else begin
+        let hi = min max_depth (k + Par.jobs pool - 1) in
+        let window = List.init (hi - k + 1) (fun i -> k + i) in
+        (* each job gets its conflict share before the fan-out, so the
+           window results are identical at any pool width *)
+        let shares = Gov.split ~label:"mc.window" gov (List.length window) in
+        let results =
+          Par.map ~label:"mc.bounds" pool
+            (fun (k, gk) -> (k, check_bound ~max_conflicts ~gov:gk nl prop k))
+            (List.combine window shares)
+        in
+        (* replay the sequential decision in ascending k *)
+        let rec scan = function
+          | [] -> loop (hi + 1)
+          | (k, (base, induction)) :: rest -> (
+              match base with
+              | Bmc.Counterexample tr ->
+                  { property = name; verdict = Falsified tr; checked_depth = k }
+              | Bmc.Resource_out ->
+                  degraded ~reason:(out_reason gov ~what:"BMC") k
+              | Bmc.Holds -> (
+                  match induction with
+                  | None -> scan rest  (* k = 0: nothing to induct on yet *)
+                  | Some Bmc.Inductive ->
+                      { property = name;
+                        verdict = Proved { method_ = "k-induction"; depth = k };
+                        checked_depth = k }
+                  | Some (Bmc.Cti _) -> scan rest
+                  | Some Bmc.Induction_resource_out ->
+                      (* the base case at k DID hold: k is fully checked *)
+                      { property = name;
+                        verdict =
+                          Unknown { reason = out_reason gov ~what:"induction" };
+                        checked_depth = k }))
+        in
+        scan results
+      end
+    in
+    let report = loop 0 in
+    (match (report.verdict, Gov.exhaustion gov) with
+    | Unknown _, Some reason ->
+        Gov.note_degraded gov ~what:(Printf.sprintf "mc:%s" name) reason
+    | _ -> ());
+    report
+  in
+  Gov.with_retry ~label:"mc" gov
+    ~inconclusive:(fun r ->
+      match r.verdict with Unknown _ -> true | Proved _ | Falsified _ -> false)
+    run
 
-let check_all ?pool ?max_depth ?max_conflicts nl props =
-  (* per-property fan-out; each job replays the sequential engine, so
-     the report list is identical at any pool width *)
+let check_all ?pool ?max_depth ?max_conflicts ?gov nl props =
+  (* per-property fan-out; each job replays the sequential engine over
+     its own pre-split budget share, so the report list is identical at
+     any pool width *)
   let pool = Par.get pool in
-  Par.map ~label:"mc.properties" pool
-    (check ?max_depth ?max_conflicts nl)
-    props
+  let gov = Gov.get gov in
+  match props with
+  | [] -> []
+  | props ->
+      let shares = Gov.split ~label:"mc.properties" gov (List.length props) in
+      Par.map ~label:"mc.properties" pool
+        (fun (p, g) -> check ?max_depth ?max_conflicts ~gov:g nl p)
+        (List.combine props shares)
 
 let all_proved reports =
   List.for_all

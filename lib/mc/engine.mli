@@ -10,28 +10,47 @@
 
 type verdict =
   | Proved of { method_ : string; depth : int }
-  | Falsified of Trace.t
+      (** proof certificate: the method and the depth it closed at *)
+  | Falsified of Trace.t  (** concrete counterexample trace *)
   | Unknown of { reason : string }
+      (** no verdict within the resource budget; [checked_depth] in the
+          report is the best bound fully explored — the partial result *)
 
-type report = { property : string; verdict : verdict; checked_depth : int }
+type report = {
+  property : string;  (** the property's name *)
+  verdict : verdict;
+  checked_depth : int;  (** deepest bound fully checked *)
+}
 
 val check :
   ?pool:Symbad_par.Par.pool ->
   ?max_depth:int ->
   ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Symbad_hdl.Netlist.t ->
   Prop.t ->
   report
+(** Decide one property.  [gov] governs the whole run: its remaining
+    conflict allowance is split deterministically across each parallel
+    bound window, exhaustion degrades to [Unknown] carrying the best
+    bound reached, and when the governor grants retries an [Unknown]
+    run is re-dispatched under the remaining budget.  [max_conflicts]
+    is the historical per-call knob, kept as a deprecated alias. *)
 
 val check_all :
   ?pool:Symbad_par.Par.pool ->
   ?max_depth:int ->
   ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Symbad_hdl.Netlist.t ->
   Prop.t list ->
   report list
+(** One job per property on [pool]; [gov]'s remaining budget is split
+    across the properties before the fan-out, so reports are identical
+    at any pool width. *)
 
 val all_proved : report list -> bool
+(** Did every property receive a proof certificate? *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -15,6 +15,11 @@ val make :
   host_us:float ->
   string ->
   t
+(** [make ~host_us name] is an event stamped with the given host time;
+    [severity] defaults to [Info], [args] to the empty payload. *)
 
 val to_json : t -> Json.t
+(** The event as a JSON object (what the JSONL sinks emit). *)
+
 val pp : Format.formatter -> t -> unit
+(** One human-readable line: severity, name, payload. *)

@@ -7,17 +7,29 @@
 type t
 
 val create : unit -> t
+(** An empty histogram. *)
+
 val observe : t -> int -> unit
+(** Record one observation (clamped to non-negative). *)
 
 val count : t -> int
+(** Number of observations recorded. *)
+
 val sum : t -> float
+(** Sum of all observed values. *)
+
 val min_value : t -> int
-(** 0 when empty. *)
+(** Smallest observation; 0 when empty. *)
 
 val max_value : t -> int
+(** Largest observation; 0 when empty. *)
+
 val mean : t -> float
+(** [sum / count]; 0 when empty. *)
 
 val bucket_index : int -> int
+(** The bucket an observation of this value lands in. *)
+
 val bucket_bounds : int -> int * int
 (** [bucket_bounds i] is the inclusive value range of bucket [i]. *)
 
@@ -25,4 +37,7 @@ val nonempty_buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] per populated bucket, ascending. *)
 
 val reset : t -> unit
+(** Drop every observation. *)
+
 val pp : Format.formatter -> t -> unit
+(** Count/min/mean/max summary plus the populated buckets. *)

@@ -15,7 +15,10 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+(** Strict single-line JSON (non-finite floats emit as [null]). *)
+
 val pp : Format.formatter -> t -> unit
+(** Same output as {!to_string}, on a formatter. *)
 
 exception Parse_error of string
 
@@ -28,5 +31,10 @@ val member : string -> t -> t option
 (** Field of an object; [None] on missing field or non-object. *)
 
 val to_list : t -> t list option
+(** The elements of a [List]; [None] for any other node. *)
+
 val to_number : t -> float option
+(** The value of an [Int] or [Float]; [None] otherwise. *)
+
 val to_str : t -> string option
+(** The value of a [Str]; [None] otherwise. *)

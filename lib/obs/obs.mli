@@ -15,10 +15,16 @@ val set_enabled : bool -> unit
     switchboard — the tracer and registry are single-domain state. *)
 
 val tracer : unit -> Tracer.t
+(** The process-wide span timeline. *)
+
 val metrics : unit -> Metrics.t
+(** The process-wide metrics registry. *)
 
 val add_sink : Sink.t -> unit
+(** Register an event sink; every subsequent {!event} reaches it. *)
+
 val sink_list : unit -> Sink.t list
+(** The registered sinks, in registration order. *)
 
 val reset : unit -> unit
 (** Fresh tracer, fresh registry, no sinks.  Does not change the
@@ -50,8 +56,10 @@ val begin_span :
   ?sim_ns:int ->
   string ->
   span
+(** Open a span on the timeline ({!null_span} while disabled). *)
 
 val end_span : ?args:(string * Json.t) list -> ?sim_ns:int -> span -> unit
+(** Close a span opened by {!begin_span}; extra [args] are merged in. *)
 
 val span :
   ?track:string ->
@@ -66,5 +74,10 @@ val span :
 (** {1 Metric shorthands} *)
 
 val incr_counter : ?by:int -> string -> unit
+(** [Metrics.incr] on the named counter of the global registry. *)
+
 val set_gauge : ?x:float -> string -> float -> unit
+(** [Metrics.set] on the named gauge of the global registry. *)
+
 val observe : string -> int -> unit
+(** [Metrics.observe] on the named histogram of the global registry. *)

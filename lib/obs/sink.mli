@@ -14,3 +14,4 @@ val formatter : ?min_severity:Severity.t -> Format.formatter -> t
     (default: everything). *)
 
 val stderr : ?min_severity:Severity.t -> unit -> t
+(** {!formatter} on [Format.err_formatter]. *)

@@ -27,6 +27,7 @@ val default_track : string
 (** ["flow"]. *)
 
 val create : unit -> t
+(** An empty timeline. *)
 
 val begin_span :
   t ->
@@ -36,6 +37,9 @@ val begin_span :
   ?sim_ns:int ->
   string ->
   span
+(** Open a span on [track] (default {!default_track}) at the current
+    host time; [cat] is the Chrome category, [sim_ns] the simulated
+    start time. *)
 
 val end_span : t -> ?args:(string * Json.t) list -> ?sim_ns:int -> span -> unit
 (** Close the span; [sim_ns] here yields a simulated duration in the
@@ -63,10 +67,13 @@ val instant :
 (** A zero-duration marker on the timeline. *)
 
 val span_count : t -> int
+(** Number of completed spans. *)
+
 val completed_spans : t -> completed list
 (** Completed spans, oldest first. *)
 
 val spans_with_cat : t -> string -> completed list
+(** Completed spans whose category equals the argument, oldest first. *)
 
 val to_chrome_json : t -> string
 (** The whole timeline as a Chrome trace_event JSON document. *)

@@ -57,6 +57,8 @@ val map :
     chunks), the safe place to emit progress events from. *)
 
 val mapi : ?label:string -> pool -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} where the function also receives the item's input index —
+    equals [List.mapi f xs] for pure [f] at any pool width. *)
 
 val map_reduce :
   ?label:string ->

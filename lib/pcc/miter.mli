@@ -10,10 +10,12 @@ val build : Symbad_hdl.Netlist.t -> Symbad_hdl.Netlist.t -> Symbad_hdl.Netlist.t
 val detectable :
   ?depth:int ->
   ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Symbad_hdl.Netlist.t ->
   Symbad_hdl.Netlist.t ->
   [ `Detectable of Symbad_mc.Trace.t
   | `Undetectable_within of int
   | `Resource_out ]
 (** Is there an input sequence of length <= [depth] (default 10) after
-    which the designs disagree on some output? *)
+    which the designs disagree on some output?  [gov] bounds the
+    underlying BMC run; exhaustion yields [`Resource_out]. *)

@@ -25,37 +25,54 @@ type report = {
   coverage : float;  (* covered / detectable *)
 }
 
+module Gov = Symbad_gov.Gov
+
 (* Does any property fail on [mutant] within [depth] cycles? *)
-let first_failing_property ~depth ~max_conflicts mutant props =
+let first_failing_property ~depth ~max_conflicts ~gov mutant props =
   let rec go = function
     | [] -> None
     | p :: rest -> (
-        match Symbad_mc.Bmc.check ~max_conflicts ~depth mutant p with
+        match Symbad_mc.Bmc.check ~max_conflicts ~gov ~depth mutant p with
         | Symbad_mc.Bmc.Counterexample _ -> Some (Symbad_mc.Prop.name p)
         | Symbad_mc.Bmc.Holds | Symbad_mc.Bmc.Resource_out -> go rest)
   in
   go props
 
-let check_fault ~depth ~max_conflicts nl props fault =
-  let mutant = Fault.apply nl fault in
-  match Miter.detectable ~depth ~max_conflicts nl mutant with
-  | `Undetectable_within _ -> { fault; status = Undetectable }
-  | `Resource_out -> { fault; status = Unresolved }
-  | `Detectable _ -> (
-      match first_failing_property ~depth ~max_conflicts mutant props with
-      | Some name -> { fault; status = Covered name }
-      | None -> { fault; status = Uncovered })
+let check_fault ~depth ~max_conflicts ~gov nl props fault =
+  if Gov.out_of_budget gov then { fault; status = Unresolved }
+  else begin
+    (* one pattern per fault classified: the governed unit of PCC work *)
+    Gov.charge_patterns gov 1;
+    let mutant = Fault.apply nl fault in
+    match Miter.detectable ~depth ~max_conflicts ~gov nl mutant with
+    | `Undetectable_within _ -> { fault; status = Undetectable }
+    | `Resource_out -> { fault; status = Unresolved }
+    | `Detectable _ -> (
+        match first_failing_property ~depth ~max_conflicts ~gov mutant props with
+        | Some name -> { fault; status = Covered name }
+        | None -> { fault; status = Uncovered })
+  end
 
-let run ?pool ?(depth = 10) ?(max_conflicts = 100_000) ?max_reg_bits nl props =
+let run ?pool ?(depth = 10) ?(max_conflicts = 100_000) ?max_reg_bits ?gov nl
+    props =
   let pool = Symbad_par.Par.get pool in
+  let gov = Gov.get gov in
   let faults = Fault.enumerate ?max_reg_bits nl in
   (* one job per injected fault: each check builds its own mutant,
      miter and solvers, so the fan-out is pure and the in-order
-     reduction makes the parallel report equal the sequential one *)
+     reduction makes the parallel report equal the sequential one.
+     Each fault gets its budget share before the fan-out, so the
+     classification is deterministic at any pool width; exhausted
+     shares classify their fault Unresolved — the partial result. *)
   let reports =
-    Symbad_par.Par.map ~label:"pcc.faults" pool
-      (check_fault ~depth ~max_conflicts nl props)
-      faults
+    match faults with
+    | [] -> []
+    | faults ->
+        let shares = Gov.split ~label:"pcc.faults" gov (List.length faults) in
+        Symbad_par.Par.map ~label:"pcc.faults" pool
+          (fun (fault, g) ->
+            check_fault ~depth ~max_conflicts ~gov:g nl props fault)
+          (List.combine faults shares)
   in
   let detectable =
     List.length

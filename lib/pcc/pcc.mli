@@ -8,7 +8,10 @@ type fault_status =
   | Covered of string  (** name of a property failing on the mutant *)
   | Uncovered  (** detectable, yet every property passes: a gap *)
   | Undetectable  (** no output difference within the bound *)
-  | Unresolved  (** SAT resources exhausted *)
+  | Unresolved
+      (** resource budget exhausted — the SAT conflict allowance or the
+          governor's deadline/allowance — before the fault could be
+          classified *)
 
 type fault_report = { fault : Fault.t; status : fault_status }
 
@@ -26,12 +29,19 @@ val run :
   ?depth:int ->
   ?max_conflicts:int ->
   ?max_reg_bits:int ->
+  ?gov:Symbad_gov.Gov.t ->
   Symbad_hdl.Netlist.t ->
   Symbad_mc.Prop.t list ->
   report
 (** Fault detectability checks run one job per fault on [pool]
     (sequential when omitted); the report is identical at any pool
-    width. *)
+    width.
+
+    [gov]'s remaining budget is split across the faults before the
+    fan-out (one pattern charged per fault classified); faults whose
+    share is exhausted are reported [Unresolved], so an expired budget
+    still yields a full report listing what was classified — the
+    partial result. *)
 
 val uncovered_faults : report -> Fault.t list
 (** The faults demanding new properties. *)

@@ -335,8 +335,21 @@ let rec luby i =
   if (1 lsl k) - 1 = i then 1 lsl (k - 1)
   else luby (i - (1 lsl (k - 1)) + 1)
 
-let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
-  if not s.ok then Unsat
+let solve_search ?(assumptions = []) ?(max_conflicts = max_int) ?gov s =
+  (* the governor's conflict allowance combines with the historical
+     per-call knob (smaller wins); deadline/cancellation are polled at
+     every conflict — conflicts are heavy enough that one clock read is
+     noise *)
+  let max_conflicts =
+    match Option.bind gov Symbad_gov.Gov.conflicts_left with
+    | Some left -> min max_conflicts left
+    | None -> max_conflicts
+  in
+  let gov_out () =
+    match gov with Some g -> Symbad_gov.Gov.out_of_budget g | None -> false
+  in
+  if gov_out () then Unknown
+  else if not s.ok then Unsat
   else begin
     cancel_until s 0;
     let conflict0 = propagate s in
@@ -372,8 +385,8 @@ let solve_search ?(assumptions = []) ?(max_conflicts = max_int) s =
                 cancel_until s backjump;
                 record_learned s learned;
                 var_decay s;
-                if budget () - start_conflicts >= max_conflicts then
-                  result := Some Unknown
+                if budget () - start_conflicts >= max_conflicts || gov_out ()
+                then result := Some Unknown
                 else if !conflicts_this_restart >= !restart_limit then begin
                   incr restart_count;
                   s.restarts <- s.restarts + 1;
@@ -425,12 +438,28 @@ let result_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unkno
 
 (* Telemetry shell around the search: a span per [solve] call and the
    effort deltas (conflicts, propagations, restarts, ...) flushed to the
-   metrics registry once the call returns. *)
-let solve ?assumptions ?max_conflicts s =
+   metrics registry once the call returns.  The governor is charged the
+   conflicts spent on every exit path, including exceptional ones. *)
+let solve ?assumptions ?max_conflicts ?gov s =
   let module Obs = Symbad_obs.Obs in
   let module Metrics = Symbad_obs.Metrics in
   let module Json = Symbad_obs.Json in
-  if not (Obs.enabled ()) then solve_search ?assumptions ?max_conflicts s
+  let c_start = s.conflicts in
+  let settle () =
+    match gov with
+    | Some g -> Symbad_gov.Gov.charge_conflicts g (s.conflicts - c_start)
+    | None -> ()
+  in
+  let solve_search ?assumptions ?max_conflicts ?gov s =
+    match solve_search ?assumptions ?max_conflicts ?gov s with
+    | r ->
+        settle ();
+        r
+    | exception e ->
+        settle ();
+        raise e
+  in
+  if not (Obs.enabled ()) then solve_search ?assumptions ?max_conflicts ?gov s
   else begin
     let c0 = s.conflicts
     and p0 = s.propagations
@@ -459,7 +488,7 @@ let solve ?assumptions ?max_conflicts s =
           ]
         sp
     in
-    match solve_search ?assumptions ?max_conflicts s with
+    match solve_search ?assumptions ?max_conflicts ?gov s with
     | r ->
         finish (Some r);
         r

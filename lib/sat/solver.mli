@@ -7,7 +7,10 @@
 
 type t
 
-type result = Sat | Unsat | Unknown  (** [Unknown]: conflict budget hit *)
+type result = Sat | Unsat | Unknown
+(** [Unknown]: resource budget exhausted — the conflict allowance, the
+    governor's wall-clock deadline, or a cancellation (see
+    {!Symbad_gov.Gov}). *)
 
 val create : int -> t
 (** [create n] is a solver over variables [1..n]. *)
@@ -22,8 +25,22 @@ val add_clause : t -> int list -> unit
     Tautologies and satisfied clauses are dropped; the empty clause makes
     the instance permanently unsatisfiable. *)
 
-val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> result
-(** Decide satisfiability under the given assumption literals. *)
+val solve :
+  ?assumptions:int list ->
+  ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
+  t ->
+  result
+(** Decide satisfiability under the given assumption literals.
+
+    [gov] bounds the search: its conflict allowance caps this call (in
+    combination with [max_conflicts], the smaller wins), its deadline
+    and cancel token are polled at every conflict, and the conflicts
+    actually spent are charged back to it on return.  An exhausted
+    governor yields [Unknown] immediately.
+
+    [max_conflicts] is the historical per-call budget knob, kept as a
+    deprecated alias — new callers should pass a governor instead. *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the model; meaningful only right after [solve]

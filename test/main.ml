@@ -15,4 +15,5 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("gov", Test_gov.suite);
     ]

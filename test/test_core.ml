@@ -220,7 +220,9 @@ let lpv_bridge_face_app () =
   check_bool "generous deadline met" true met;
   (match verdict with
   | Symbad_lpv.Timing.Period _ -> ()
-  | Symbad_lpv.Timing.Unschedulable _ -> Alcotest.fail "schedulable")
+  | Symbad_lpv.Timing.Unschedulable _ | Symbad_lpv.Timing.Not_analyzable _
+    ->
+      Alcotest.fail "schedulable")
 
 let lpv_bridge_seeded_deadlock () =
   let g = tiny_graph () in

@@ -270,7 +270,8 @@ let timing_bottleneck () =
     [ (); () ];
   match Timing.min_cycle_ratio net with
   | Timing.Period p -> Alcotest.check rat "bottleneck 5" (Rat.of_int 5) p
-  | Timing.Unschedulable _ -> Alcotest.fail "schedulable"
+  | Timing.Unschedulable _ | Timing.Not_analyzable _ ->
+      Alcotest.fail "schedulable"
 
 let timing_capacity_effect () =
   (* capacity 1 on a 2-stage pipeline: period = d(A)+d(B) over 1 token *)
@@ -288,10 +289,12 @@ let timing_capacity_effect () =
   in
   (match Timing.min_cycle_ratio (build 1) with
   | Timing.Period p -> Alcotest.check rat "cap 1: 8" (Rat.of_int 8) p
-  | Timing.Unschedulable _ -> Alcotest.fail "schedulable");
+  | Timing.Unschedulable _ | Timing.Not_analyzable _ ->
+      Alcotest.fail "schedulable");
   match Timing.min_cycle_ratio (build 4) with
   | Timing.Period p -> Alcotest.check rat "cap 4: 2" (Rat.of_int 2) p
-  | Timing.Unschedulable _ -> Alcotest.fail "schedulable"
+  | Timing.Unschedulable _ | Timing.Not_analyzable _ ->
+      Alcotest.fail "schedulable"
 
 let timing_deadline_and_dimensioning () =
   let build cap =
@@ -326,7 +329,8 @@ let timing_zero_token_cycle () =
   Petri.add_pre net ~transition:a ~place:ba ();
   match Timing.min_cycle_ratio net with
   | Timing.Unschedulable _ -> ()
-  | Timing.Period _ -> Alcotest.fail "expected unschedulable"
+  | Timing.Period _ | Timing.Not_analyzable _ ->
+      Alcotest.fail "expected unschedulable"
 
 let suite =
   [
