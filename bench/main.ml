@@ -787,6 +787,72 @@ let guard () =
       List.iter (fun f -> Format.printf "guard FAILURE: %s@." f) fs;
       exit 1
 
+(* ---------------------------------------------------------------- *)
+(* RESIL: the dependability campaign — per-fault-kind detection and   *)
+(* recovery rates on the smoke workload.                              *)
+(* `dune exec bench/main.exe -- resil [FILE]` also writes the report  *)
+(* as JSON (the committed BENCH_resil.json baseline; simulated-time   *)
+(* figures only, so it is byte-stable across hosts and --jobs).       *)
+
+let resil out =
+  let module Campaign = Symbad_resil.Campaign in
+  let module Json = Symbad_obs.Json in
+  section "RESIL" "fault-injection campaign (smoke workload, seed 1)";
+  let report =
+    Symbad_par.Par.with_pool (fun pool -> Campaign.run ~pool ~seed:1 ())
+  in
+  Format.printf "%-16s %6s %8s %8s %9s %7s@." "kind" "trials" "injected"
+    "detected" "recovered" "correct";
+  List.iter
+    (fun row ->
+      Format.printf "%-16s %6d %8d %8d %9d %7d@." row.Campaign.row_kind
+        row.Campaign.row_trials row.Campaign.row_injected
+        row.Campaign.row_detected row.Campaign.row_recovered
+        row.Campaign.row_correct)
+    report.Campaign.per_kind;
+  Format.printf "campaign %s (%d trials, %d skipped)@."
+    (if report.Campaign.passed then "PASSED" else "FAILED")
+    (List.length report.Campaign.outcomes)
+    report.Campaign.skipped;
+  let json = Json.to_string (Campaign.to_json report) in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json);
+  if not report.Campaign.passed then exit 1
+
+(* ---------------------------------------------------------------- *)
+(* Fault guard: one injected-and-recovered flow, sub-second.  CI      *)
+(* runs this via the @fault-guard alias: a bitstream SEU must be      *)
+(* caught by the download CRC, re-downloaded, and the pipeline must   *)
+(* still elect the fault-free WINNER.                                 *)
+
+let fault_guard () =
+  let module Campaign = Symbad_resil.Campaign in
+  let module Fault = Symbad_resil.Fault in
+  section "FAULT-GUARD" "injected-and-recovered smoke test";
+  let report =
+    Campaign.run ~kinds:[ Fault.Bitstream_seu ] ~trials_per_kind:1 ~seed:1 ()
+  in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      Format.printf "trial %d %-14s %-24s %s@." o.Campaign.trial
+        o.Campaign.kind o.Campaign.injection o.Campaign.detail)
+    report.Campaign.outcomes;
+  if report.Campaign.passed then
+    Format.printf "guard: fault injected, detected, recovered; winner intact.@."
+  else begin
+    Format.printf "guard FAILURE: %s@."
+      (match Campaign.first_failure report with
+      | Some o -> o.Campaign.detail
+      | None -> "campaign inconclusive");
+    exit 1
+  end
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let tables () =
@@ -811,6 +877,9 @@ let () =
   | "gov_deadline" ->
       gov_deadline (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "gov_guard" -> gov_guard ()
+  | "resil" ->
+      resil (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "fault_guard" -> fault_guard ()
   | _ ->
       tables ();
       micro_benchmarks ());

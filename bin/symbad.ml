@@ -476,6 +476,119 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ common_term)
 
+(* --- faults (dependability campaign) --- *)
+
+let run_faults c markdown json trials kinds_opt scrub_period trace metrics =
+  if trace <> None || metrics <> None then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  let module Fault = Symbad_resil.Fault in
+  let module Campaign = Symbad_resil.Campaign in
+  let kinds =
+    match kinds_opt with
+    | None -> Ok Fault.all_kinds
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.fold_left
+             (fun acc name ->
+               match (acc, Fault.kind_of_string (String.trim name)) with
+               | Error _, _ -> acc
+               | Ok _, None -> Error name
+               | Ok ks, Some k -> Ok (ks @ [ k ]))
+             (Ok [])
+  in
+  match kinds with
+  | Error name ->
+      Format.eprintf "symbad: unknown fault kind %S (expected: %s)@." name
+        (String.concat ", " (List.map Fault.kind_to_string Fault.all_kinds));
+      2
+  | Ok kinds ->
+      let w = workload c in
+      let report =
+        with_pool c (fun pool ->
+            Campaign.run ~pool ?gov:(gov_of ~label:"faults" c) ~kinds
+              ~trials_per_kind:trials ~workload:w ~scrub_period_ns:scrub_period
+              ~seed:c.seed ())
+      in
+      let v = Campaign.verdict report in
+      Format.printf "baseline latency %d ns, %d trials (%d skipped)@."
+        report.Campaign.baseline_latency_ns
+        (List.length report.Campaign.outcomes)
+        report.Campaign.skipped;
+      List.iter
+        (fun row ->
+          Format.printf "  %-14s injected %d/%d detected %d recovered %d correct %d@."
+            row.Campaign.row_kind row.Campaign.row_injected
+            row.Campaign.row_trials row.Campaign.row_detected
+            row.Campaign.row_recovered row.Campaign.row_correct)
+        report.Campaign.per_kind;
+      Format.printf "%s: %s@."
+        (if v.Verdict.passed then "PASS" else "FAIL")
+        v.Verdict.detail;
+      artefact ~what:"markdown report"
+        (fun () -> Campaign.to_markdown report)
+        markdown;
+      artefact ~what:"json report"
+        (fun () -> Json.to_string (Campaign.to_json report) ^ "\n")
+        json;
+      artefact ~what:"chrome trace"
+        (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
+        trace;
+      artefact ~what:"metrics"
+        (fun () -> Metrics.to_jsonl (Obs.metrics ()))
+        metrics;
+      if report.Campaign.passed then 0 else 1
+
+let faults_cmd =
+  let doc =
+    "Run a seeded fault-injection campaign against the level-3 platform: \
+     bitstream SEUs, configuration upsets, bus errors, channel loss and \
+     stuck resources, each graded on detection, recovery and end-to-end \
+     correctness."
+  in
+  let trials_arg =
+    Arg.(value & opt int 3
+         & info [ "trials" ] ~docv:"N" ~doc:"Trials per fault kind.")
+  in
+  let kinds_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kinds" ] ~docv:"K1,K2"
+             ~doc:"Comma-separated fault kinds to inject (default: all).")
+  in
+  let scrub_arg =
+    Arg.(value & opt int 10_000
+         & info [ "scrub-period" ] ~docv:"NS"
+             ~doc:"Readback-scrubbing period for configuration-upset \
+                   trials; 0 disables scrubbing, making upsets \
+                   undetectable (reported as failures).")
+  in
+  let markdown_arg =
+    Arg.(value & opt (some string) None
+         & info [ "markdown" ] ~docv:"PATH"
+             ~doc:"Write the dependability report as markdown (\"-\" for \
+                   stdout).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Write the dependability report as JSON (\"-\" for \
+                   stdout); byte-identical at any $(b,--jobs) width.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace of the campaign (\"-\" for stdout).")
+  in
+  let metrics_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"PATH"
+             ~doc:"Write campaign metrics as JSONL (\"-\" for stdout).")
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run_faults $ common_term $ markdown_arg $ json_arg
+          $ trials_arg $ kinds_arg $ scrub_arg $ trace_arg $ metrics_arg)
+
 (* --- wrapper (automated interface synthesis) --- *)
 
 let run_wrapper data_width depth dump_vcd =
@@ -521,4 +634,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ flow_cmd; level_cmd; verify_cmd; explore_cmd; recognize_cmd;
-            stats_cmd; wrapper_cmd ]))
+            stats_cmd; faults_cmd; wrapper_cmd ]))

@@ -26,6 +26,8 @@ type config = {
   program_ns_per_byte : int;
   fpga_burst_bytes : int;  (* download granularity: 8 = programmed I/O *)
   task_area : string -> int;  (* area of each FPGA-mapped task's module *)
+  scrub_period_ns : int;  (* readback-scrubbing period; 0 = off *)
+  watchdog_ns : int;  (* wait before declaring a resource wedged *)
 }
 
 let default_task_area = function
@@ -41,6 +43,8 @@ let default_config =
     program_ns_per_byte = 4;
     fpga_burst_bytes = 8;  (* CPU-driven programmed I/O, no DMA engine *)
     task_area = default_task_area;
+    scrub_period_ns = 0;  (* scrubbing is opt-in: it adds bus traffic *)
+    watchdog_ns = 2_000;
   }
 
 type result = {
@@ -51,6 +55,8 @@ type result = {
   fpga_stats : Fpga.Fpga.stats;
   latency_ns : int;
   call_sequence : string list;  (* dynamic FPGA-resource invocations *)
+  sw_fallbacks : int;  (* firings degraded to software *)
+  channel_occupancy : (string * Sim.Fifo.occupancy) list;
   instrumented_sw : Symbad_symbc.Ast.program;
   config_info : Symbad_symbc.Config_info.t;
 }
@@ -121,8 +127,8 @@ let instrumented_program ?(omit_load_for = []) schedule mapping =
   in
   [ Symbad_symbc.Ast.while_ body ]
 
-let run ?(config = default_config) ?(omit_load_for = [])
-    (graph : Task_graph.t) (mapping : Mapping.t) =
+let run ?(config = default_config) ?(omit_load_for = []) ?(channel_loss = [])
+    ?tap (graph : Task_graph.t) (mapping : Mapping.t) =
   List.iter
     (fun (t : Task_graph.task) ->
       if t.Task_graph.inputs = [] && not (Mapping.is_sw mapping t.Task_graph.name)
@@ -149,6 +155,9 @@ let run ?(config = default_config) ?(omit_load_for = [])
           else l2.Level2.fifo_capacity
         in
         let f = Sim.Fifo.create ~capacity channel in
+        (match List.assoc_opt channel channel_loss with
+        | Some p -> Sim.Fifo.set_loss f (Some p)
+        | None -> ());
         Hashtbl.add fifos channel f;
         f
   in
@@ -156,13 +165,26 @@ let run ?(config = default_config) ?(omit_load_for = [])
     Sim.Trace.record trace ~time:(Sim.Kernel.now kernel) ~source:task
       ~label:channel (Token.digest token)
   in
+  (* Reliable delivery over possibly-lossy links: a dropped put is
+     detected through the channel's drop counter (the ack that never
+     came) and re-sent, bounded.  Loss-free channels take the exact
+     pre-fault path — the counter never moves. *)
+  let reliable_put f token =
+    let max_resend = 3 in
+    let rec go n =
+      let before = Sim.Fifo.drops f in
+      Sim.Fifo.put f token;
+      if Sim.Fifo.drops f > before && n < max_resend then go (n + 1)
+    in
+    go 0
+  in
   let send ~master task channel token =
     record task channel token;
     if Level2.crosses_bus mapping graph channel then
       Tlm.Bus.transfer bus
         (Tlm.Transaction.make ~master ~target:channel
            ~kind:Tlm.Transaction.Write ~bytes:(Token.bytes token));
-    Sim.Fifo.put (fifo_of channel) token
+    reliable_put (fifo_of channel) token
   in
   (* pure-HW tasks stay autonomous *)
   let spawn_hw (t : Task_graph.task) =
@@ -199,6 +221,8 @@ let run ?(config = default_config) ?(omit_load_for = [])
     List.partition (fun (t : Task_graph.task) -> t.Task_graph.inputs = [])
       schedule
   in
+  let sw_fallbacks = ref 0 in
+  let cpu_done = ref false in
   let spawn_cpu () =
     Sim.Kernel.spawn kernel ~name:"cpu" (fun () ->
         let ended : (string, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -228,29 +252,97 @@ let run ?(config = default_config) ?(omit_load_for = [])
                       (fun c token -> send ~master:"cpu" name c token)
                       t.Task_graph.outputs outputs
                 | Mapping.Fpga ctx ->
-                    calls := name :: !calls;
-                    (* reconfigure unless the SW omitted the load (bug
-                       injection): then the device check fires *)
-                    if not (List.mem name omit_load_for) then
-                      Fpga.Fpga.reconfigure fpga ~bus ~master:"cpu" ctx;
-                    Fpga.Fpga.require fpga name;
-                    (* ship operands, compute, ship results *)
-                    List.iter
-                      (fun token ->
-                        Tlm.Bus.transfer bus
-                          (Tlm.Transaction.make ~master:"cpu" ~target:"efpga"
-                             ~kind:Tlm.Transaction.Write
-                             ~bytes:(Token.bytes token)))
-                      inputs;
-                    let cycles =
-                      Annotation.cycles l2.Level2.annotation
-                        ~target:Annotation.Fpga ~weight:work
+                    (* graceful degradation: once recovery has given up
+                       on the fabric, the task's software implementation
+                       computes the very same tokens, only slower *)
+                    let fire_sw_fallback () =
+                      incr sw_fallbacks;
+                      let cycles =
+                        Annotation.cycles l2.Level2.annotation
+                          ~target:Annotation.Sw ~weight:work
+                      in
+                      Tlm.Cpu.execute cpu ~cycles;
+                      List.iter2
+                        (fun c token -> send ~master:"cpu" name c token)
+                        t.Task_graph.outputs outputs
                     in
-                    Sim.Process.wait
-                      (Sim.Time.ns (cycles * config.fpga_period_ns));
-                    List.iter2
-                      (fun c token -> send ~master:"efpga" name c token)
-                      t.Task_graph.outputs outputs)
+                    if not (Fpga.Fpga.is_healthy fpga) then fire_sw_fallback ()
+                    else begin
+                      match
+                        calls := name :: !calls;
+                        (* reconfigure unless the SW omitted the load (bug
+                           injection): then the device check fires *)
+                        if not (List.mem name omit_load_for) then
+                          Fpga.Fpga.reconfigure
+                            ~verify_previous:(config.scrub_period_ns > 0)
+                            fpga ~bus ~master:"cpu" ctx;
+                        Fpga.Fpga.require fpga name
+                      with
+                      | exception Fpga.Fpga.Download_failed _ ->
+                          (* persistent bitstream corruption: the context
+                             cannot be brought up — degrade *)
+                          Fpga.Fpga.mark_unhealthy fpga;
+                          fire_sw_fallback ()
+                      | () ->
+                          if not (Fpga.Fpga.responding fpga name) then begin
+                            (* wedged resource: the watchdog expires and
+                               the controller declares the fabric sick *)
+                            Sim.Process.wait (Sim.Time.ns config.watchdog_ns);
+                            Fpga.Fpga.note_watchdog fpga;
+                            Fpga.Fpga.mark_unhealthy fpga;
+                            fire_sw_fallback ()
+                          end
+                          else begin
+                            (* ship operands, compute, ship results *)
+                            (match
+                               List.iter
+                                 (fun token ->
+                                   Tlm.Bus.transfer bus
+                                     (Tlm.Transaction.make ~master:"cpu"
+                                        ~target:"efpga"
+                                        ~kind:Tlm.Transaction.Write
+                                        ~bytes:(Token.bytes token)))
+                                 inputs
+                             with
+                            | exception Tlm.Bus.Transfer_failed _ ->
+                                (* operands never reached the fabric; the
+                                   CPU still holds them — degrade *)
+                                Fpga.Fpga.mark_unhealthy fpga;
+                                fire_sw_fallback ()
+                            | () ->
+                                let corrupt_pre =
+                                  Fpga.Fpga.loaded_corrupted fpga
+                                in
+                                let cycles =
+                                  Annotation.cycles l2.Level2.annotation
+                                    ~target:Annotation.Fpga ~weight:work
+                                in
+                                Sim.Process.wait
+                                  (Sim.Time.ns (cycles * config.fpga_period_ns));
+                                if
+                                  config.scrub_period_ns > 0
+                                  && (corrupt_pre
+                                     || Fpga.Fpga.loaded_corrupted fpga)
+                                then
+                                  (* the result-integrity check that rides
+                                     along with scrubbing: a computation
+                                     that overlapped a corrupt interval is
+                                     discarded and redone in software *)
+                                  fire_sw_fallback ()
+                                else
+                                (* an unrepaired configuration upset makes
+                                   the fabric compute garbage — silently *)
+                                let outputs =
+                                  if corrupt_pre then
+                                    List.map Token.garble outputs
+                                  else outputs
+                                in
+                                List.iter2
+                                  (fun c token ->
+                                    send ~master:"efpga" name c token)
+                                  t.Task_graph.outputs outputs)
+                          end
+                    end)
           end
         in
         let rec rounds () =
@@ -266,7 +358,22 @@ let run ?(config = default_config) ?(omit_load_for = [])
             rounds ()
           end
         in
-        rounds ())
+        rounds ();
+        cpu_done := true)
+  in
+  (* periodic readback scrubbing: detects and repairs configuration
+     upsets; stops at the first wake after the schedule has drained *)
+  let spawn_scrubber () =
+    if config.scrub_period_ns > 0 then
+      Sim.Kernel.spawn kernel ~name:"scrubber" (fun () ->
+          let rec loop () =
+            Sim.Process.wait (Sim.Time.ns config.scrub_period_ns);
+            if not !cpu_done then begin
+              ignore (Fpga.Fpga.scrub fpga ~bus ~master:"scrubber");
+              loop ()
+            end
+          in
+          loop ())
   in
   List.iter
     (fun (t : Task_graph.task) ->
@@ -275,6 +382,13 @@ let run ?(config = default_config) ?(omit_load_for = [])
       | Mapping.Sw | Mapping.Fpga _ -> ())
     graph.Task_graph.tasks;
   spawn_cpu ();
+  spawn_scrubber ();
+  (* fault-injection tap: campaigns install bus/download hooks and spawn
+     saboteur processes here, after the platform exists and before it
+     runs.  [None] is the exact pre-fault code path. *)
+  (match tap with
+  | Some install -> install ~bus ~fpga ~kernel
+  | None -> ());
   Sim.Kernel.run kernel;
   let kernel_stats = Sim.Kernel.stats kernel in
   {
@@ -285,6 +399,11 @@ let run ?(config = default_config) ?(omit_load_for = [])
     fpga_stats = Fpga.Fpga.stats fpga;
     latency_ns = Sim.Time.to_ns kernel_stats.Sim.Kernel.final_time;
     call_sequence = List.rev !calls;
+    sw_fallbacks = !sw_fallbacks;
+    channel_occupancy =
+      Hashtbl.fold (fun name f acc -> (name, Sim.Fifo.occupancy f) :: acc)
+        fifos []
+      |> List.sort compare;
     instrumented_sw =
       instrumented_program ~omit_load_for
         (List.map (fun (t : Task_graph.task) -> t.Task_graph.name) schedule)

@@ -16,6 +16,13 @@ type config = {
       (** download granularity: 8 models CPU programmed I/O, larger
           values a DMA engine *)
   task_area : string -> int;  (** area of each FPGA-mapped module *)
+  scrub_period_ns : int;
+      (** period of the readback-scrubbing process that detects and
+          repairs configuration-memory upsets; 0 (the default) disables
+          it — scrubbing is real bus traffic *)
+  watchdog_ns : int;
+      (** how long the reconfiguration controller waits for a wedged
+          resource before marking the fabric unhealthy *)
 }
 
 val default_task_area : string -> int
@@ -29,6 +36,11 @@ type result = {
   fpga_stats : Symbad_fpga.Fpga.stats;
   latency_ns : int;
   call_sequence : string list;  (** dynamic FPGA-resource invocations *)
+  sw_fallbacks : int;
+      (** FPGA firings degraded to the software implementation because
+          the fabric was (or became) unhealthy *)
+  channel_occupancy : (string * Symbad_sim.Fifo.occupancy) list;
+      (** per-channel FIFO statistics, drop counts included *)
   instrumented_sw : Symbad_symbc.Ast.program;
   config_info : Symbad_symbc.Config_info.t;
 }
@@ -50,9 +62,26 @@ val instrumented_program :
 val run :
   ?config:config ->
   ?omit_load_for:string list ->
+  ?channel_loss:(string * (int -> bool)) list ->
+  ?tap:
+    (bus:Symbad_tlm.Bus.t ->
+    fpga:Symbad_fpga.Fpga.t ->
+    kernel:Symbad_sim.Kernel.t ->
+    unit) ->
   Task_graph.t ->
   Mapping.t ->
   result
 (** With [omit_load_for], the device's runtime check raises
     [Symbad_fpga.Fpga.Inconsistent] when the un-loaded resource is
-    invoked — the dynamic counterpart of the SymbC verdict. *)
+    invoked — the dynamic counterpart of the SymbC verdict.
+
+    Fault injection (see [Symbad_resil]): [channel_loss] makes the named
+    channels lossy ([Symbad_sim.Fifo.set_loss]; the sender's bounded
+    retransmit recovers dropped tokens); [tap] runs once after the
+    platform is built and before simulation starts — the campaign engine
+    uses it to install bus/download fault hooks and spawn saboteur
+    processes.  Recovery built into the run: CRC-checked downloads with
+    bounded re-download, periodic scrubbing ([config.scrub_period_ns]),
+    a watchdog on wedged resources, and software fallback for FPGA
+    firings once the fabric is unhealthy — the pipeline still produces
+    the same data tokens. *)

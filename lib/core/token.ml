@@ -56,6 +56,19 @@ let kind_to_string = function
   | Num _ -> "num"
   | Verdict _ -> "verdict"
 
+(* Deterministic payload corruption for fault-injection campaigns: an
+   SEU in the datapath flips bits of the numeric payloads.  The mask
+   keeps values non-negative (distances feed isqrt); structural tokens
+   (frames, shapes, scans, verdicts) travel through the front end the
+   fabric never computes, so they stay untouched. *)
+let garble_mask = 0x1555
+
+let garble = function
+  | Vec v -> Vec (Array.map (fun x -> x lxor garble_mask) v)
+  | Mat m -> Mat (Array.map (Array.map (fun x -> x lxor garble_mask)) m)
+  | Num n -> Num (n lxor garble_mask)
+  | (Frame _ | Shape _ | Scan _ | Verdict _) as t -> t
+
 (* Typed accessors; models raise on protocol violations, which makes
    wiring errors in task graphs fail fast. *)
 let to_frame = function Frame i -> i | t -> invalid_arg ("Token: expected frame, got " ^ kind_to_string t)

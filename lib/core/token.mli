@@ -21,6 +21,12 @@ val digest : t -> string
 
 val kind_to_string : t -> string
 
+val garble : t -> t
+(** Deterministic payload corruption (fault-injection campaigns): xors a
+    fixed mask into numeric payloads ([Vec]/[Mat]/[Num]), guaranteed to
+    change their digest while keeping values non-negative.  Structural
+    tokens pass through unchanged. *)
+
 (** Typed accessors; raise [Invalid_argument] on protocol violations so
     task-graph wiring errors fail fast. *)
 

@@ -23,5 +23,22 @@ let provides c resource_name =
 let bitstream_bytes ?(header_bytes = 512) ?(bytes_per_area = 8) c =
   header_bytes + (bytes_per_area * area c)
 
+let bitstream_words ?header_bytes ?bytes_per_area c =
+  (bitstream_bytes ?header_bytes ?bytes_per_area c + 3) / 4
+
+(* Deterministic pseudo-bitstream: word [i] is a splitmix-style hash of
+   the context name and the index, so every context has a stable golden
+   image without storing one.  [Hashtbl.hash] on strings is
+   deterministic across runs. *)
+let bitstream_word c i =
+  let x = (Hashtbl.hash c.name land 0xFFFF) + (i * 0x01000193) in
+  let x = x * 0x9E3779B1 land 0xFFFFFFFF in
+  let x = x lxor (x lsr 15) in
+  let x = x * 0x85EBCA77 land 0xFFFFFFFF in
+  x lxor (x lsr 13) land 0xFFFFFFFF
+
+let golden_crc ?header_bytes ?bytes_per_area c =
+  Crc.words (bitstream_word c) (bitstream_words ?header_bytes ?bytes_per_area c)
+
 let pp fmt c =
   Fmt.pf fmt "%s{%a}" c.name (Fmt.list ~sep:Fmt.comma Resource.pp) c.resources

@@ -17,4 +17,17 @@ val bitstream_bytes : ?header_bytes:int -> ?bytes_per_area:int -> t -> int
 (** Size of the configuration bitstream (header + per-area payload;
     defaults 512 + 8/unit). *)
 
+val bitstream_words : ?header_bytes:int -> ?bytes_per_area:int -> t -> int
+(** {!bitstream_bytes} in 32-bit words (rounded up). *)
+
+val bitstream_word : t -> int -> int
+(** [bitstream_word c i] is word [i] of the context's deterministic
+    pseudo-bitstream — a stable hash of the context name and the index,
+    so every context has a golden image without storing one. *)
+
+val golden_crc : ?header_bytes:int -> ?bytes_per_area:int -> t -> int
+(** CRC-32 of the clean bitstream ({!Crc.words} over
+    {!bitstream_word}); what {!Fpga.reconfigure} compares a download
+    against. *)
+
 val pp : Format.formatter -> t -> unit

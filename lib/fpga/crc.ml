@@ -1,0 +1,20 @@
+(* CRC-32 (reflected, polynomial 0xEDB88320) over a stream of 32-bit
+   words — the integrity check appended to configuration bitstreams.
+   Bit-serial on purpose: the model checks a few thousand words per
+   reconfiguration, clarity beats a table here. *)
+
+let poly = 0xEDB88320
+
+let update crc word =
+  let crc = ref (crc lxor (word land 0xFFFFFFFF)) in
+  for _ = 0 to 31 do
+    crc := if !crc land 1 = 1 then (!crc lsr 1) lxor poly else !crc lsr 1
+  done;
+  !crc
+
+let words gen n =
+  let crc = ref 0xFFFFFFFF in
+  for i = 0 to n - 1 do
+    crc := update !crc (gen i)
+  done;
+  !crc lxor 0xFFFFFFFF

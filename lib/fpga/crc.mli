@@ -1,0 +1,10 @@
+(** CRC-32 over 32-bit words — the bitstream integrity check used by
+    {!Fpga.reconfigure} to detect download corruption. *)
+
+val update : int -> int -> int
+(** [update crc word] folds one 32-bit word into the running remainder
+    (reflected CRC-32, polynomial [0xEDB88320]). *)
+
+val words : (int -> int) -> int -> int
+(** [words gen n] is the CRC-32 of the word stream
+    [gen 0 … gen (n-1)], with the standard pre/post inversion. *)

@@ -5,7 +5,14 @@
    performance effect the paper measures) and then spends programming time
    proportional to the bitstream size.  Invoking a resource that is not in
    the loaded context raises [Inconsistent] — the runtime violation whose
-   static absence SymbC certifies. *)
+   static absence SymbC certifies.
+
+   Dependability additions: every download is CRC-checked against the
+   context's golden image and re-downloaded (bounded) on mismatch; the
+   loaded configuration memory can suffer an upset, detected by readback
+   scrubbing which reloads the context; resources can wedge (stuck-at),
+   which the platform watchdog turns into a health downgrade and a
+   software fallback at level 3. *)
 
 module Proc = Symbad_sim.Process
 module Time = Symbad_sim.Time
@@ -15,6 +22,7 @@ module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
 
 exception Inconsistent of { resource : string; loaded : string option }
+exception Download_failed of { fpga : string; context : string; attempts : int }
 
 type t = {
   name : string;
@@ -22,15 +30,27 @@ type t = {
   contexts : Context.t list;
   program_ns_per_byte : int;
   burst_bytes : int;  (* bus-burst granularity of bitstream downloads *)
+  max_redownloads : int;
   mutable loaded : Context.t option;
+  mutable loaded_corrupt : bool;
+  mutable stuck : string list;
+  mutable healthy : bool;
+  mutable download_fault : (attempt:int -> word:int -> int) option;
   mutable reconfigurations : int;
+  mutable noop_reconfigurations : int;
   mutable bitstream_bytes_total : int;
   mutable reconfig_ns_total : int;
   mutable calls : int;
+  mutable crc_mismatches : int;
+  mutable retried_downloads : int;
+  mutable failed_downloads : int;
+  mutable scrubs : int;
+  mutable scrub_reloads : int;
+  mutable watchdog_fires : int;
 }
 
 let create ?(capacity = 10_000) ?(program_ns_per_byte = 1) ?(burst_bytes = 8)
-    ~contexts name =
+    ?(max_redownloads = 2) ~contexts name =
   List.iter
     (fun c ->
       if Context.area c > capacity then
@@ -39,23 +59,61 @@ let create ?(capacity = 10_000) ?(program_ns_per_byte = 1) ?(burst_bytes = 8)
              (Context.name c) (Context.area c) capacity))
     contexts;
   if burst_bytes <= 0 then invalid_arg "Fpga.create: burst_bytes";
+  if max_redownloads < 0 then invalid_arg "Fpga.create: max_redownloads";
   {
     name;
     capacity;
     contexts;
     program_ns_per_byte;
     burst_bytes;
+    max_redownloads;
     loaded = None;
+    loaded_corrupt = false;
+    stuck = [];
+    healthy = true;
+    download_fault = None;
     reconfigurations = 0;
+    noop_reconfigurations = 0;
     bitstream_bytes_total = 0;
     reconfig_ns_total = 0;
     calls = 0;
+    crc_mismatches = 0;
+    retried_downloads = 0;
+    failed_downloads = 0;
+    scrubs = 0;
+    scrub_reloads = 0;
+    watchdog_fires = 0;
   }
 
 let name f = f.name
 let capacity f = f.capacity
 let contexts f = f.contexts
 let loaded f = f.loaded
+let loaded_corrupted f = f.loaded_corrupt
+let is_healthy f = f.healthy
+let mark_unhealthy f = f.healthy <- false
+let inject_download_fault f h = f.download_fault <- h
+
+let upset_loaded f =
+  match f.loaded with
+  | Some _ ->
+      f.loaded_corrupt <- true;
+      true
+  | None -> false
+
+let set_stuck f resource =
+  if not (List.mem resource f.stuck) then f.stuck <- resource :: f.stuck
+
+let clear_stuck f = f.stuck <- []
+let responding f resource = not (List.mem resource f.stuck)
+
+let note_watchdog f =
+  f.watchdog_fires <- f.watchdog_fires + 1;
+  if Obs.enabled () then
+    Obs.event ~severity:Symbad_obs.Severity.Warn
+      ~args:[ ("fpga", Json.Str f.name) ]
+      ~sim_ns:(Time.to_ns (Proc.now ()))
+      "fpga.watchdog"
 
 let find_context f ctx_name =
   match
@@ -64,16 +122,110 @@ let find_context f ctx_name =
   | Some c -> c
   | None -> invalid_arg ("Fpga.find_context: unknown context " ^ ctx_name)
 
+(* Push [bytes] of the named kind over the bus in burst-sized,
+   individually arbitrated transactions. *)
+let bus_stream f ~bus ~master ~kind bytes =
+  let remaining = ref bytes in
+  while !remaining > 0 do
+    let chunk = min f.burst_bytes !remaining in
+    Bus.transfer ~priority:2 bus
+      (Transaction.make ~master ~target:f.name ~kind ~bytes:chunk);
+    remaining := !remaining - chunk
+  done
+
+(* One download attempt: ship the bitstream over the bus and return the
+   CRC of what arrived (the injected fault hook xors word masks in).
+   [Error `Bus] when the bus gave up mid-download. *)
+let download_once f ~bus ~master ctx ~attempt =
+  let bytes = Context.bitstream_bytes ctx in
+  let nwords = Context.bitstream_words ctx in
+  match bus_stream f ~bus ~master ~kind:Transaction.Bitstream bytes with
+  | () ->
+      f.bitstream_bytes_total <- f.bitstream_bytes_total + bytes;
+      let arrived i =
+        let mask =
+          match f.download_fault with
+          | None -> 0
+          | Some h -> h ~attempt ~word:i
+        in
+        Context.bitstream_word ctx i lxor mask
+      in
+      Ok (Crc.words arrived nwords)
+  | exception Bus.Transfer_failed _ -> Error `Bus
+
+(* Download with integrity checking: CRC mismatches and bus failures
+   trigger a bounded re-download, then [Download_failed]. *)
+let checked_download f ~bus ~master ctx =
+  let golden = Context.golden_crc ctx in
+  let ctx_name = Context.name ctx in
+  let rec go attempt =
+    let failed_attempt () =
+      if attempt >= f.max_redownloads then begin
+        f.failed_downloads <- f.failed_downloads + 1;
+        raise
+          (Download_failed
+             { fpga = f.name; context = ctx_name; attempts = attempt + 1 })
+      end
+      else begin
+        f.retried_downloads <- f.retried_downloads + 1;
+        if Obs.enabled () then
+          Obs.event ~severity:Symbad_obs.Severity.Warn
+            ~args:
+              [
+                ("fpga", Json.Str f.name);
+                ("context", Json.Str ctx_name);
+                ("attempt", Json.Int attempt);
+              ]
+            ~sim_ns:(Time.to_ns (Proc.now ()))
+            "fpga.redownload";
+        go (attempt + 1)
+      end
+    in
+    match download_once f ~bus ~master ctx ~attempt with
+    | Ok crc when crc = golden -> ()
+    | Ok _ ->
+        f.crc_mismatches <- f.crc_mismatches + 1;
+        failed_attempt ()
+    | Error `Bus -> failed_attempt ()
+  in
+  go 0
+
+let note_scrub_reload f ctx =
+  f.scrub_reloads <- f.scrub_reloads + 1;
+  if Obs.enabled () then
+    Obs.event ~severity:Symbad_obs.Severity.Warn
+      ~args:
+        [
+          ("fpga", Json.Str f.name); ("context", Json.Str (Context.name ctx));
+        ]
+      ~sim_ns:(Time.to_ns (Proc.now ()))
+      "fpga.scrub_reload"
+
 (* Download the bitstream over [bus] (as the SW running on [master] would)
-   and program the fabric.  No-op if the context is already loaded. *)
-let reconfigure f ~bus ~master ctx_name =
+   and program the fabric.  No-op if the context is already loaded.
+   With [verify_previous] (the readback-on-context-switch half of the
+   scrubbing feature) an upset in the outgoing context is detected and
+   counted before it is overwritten — without it, an upset that a later
+   reconfiguration happens to erase was never observed by anyone. *)
+let reconfigure ?(verify_previous = false) f ~bus ~master ctx_name =
   let ctx = find_context f ctx_name in
   let already =
     match f.loaded with
     | Some c -> String.equal (Context.name c) ctx_name
     | None -> false
   in
-  if not already then begin
+  let corrupt_repair = verify_previous && f.loaded_corrupt in
+  if corrupt_repair then
+    Option.iter (note_scrub_reload f) f.loaded;
+  if already && corrupt_repair then begin
+    (* same context requested while corrupt: repair in place *)
+    checked_download f ~bus ~master ctx;
+    Proc.wait (Time.ns (Context.bitstream_bytes ctx * f.program_ns_per_byte));
+    f.loaded_corrupt <- false
+  end
+  else if already then
+    f.noop_reconfigurations <- f.noop_reconfigurations + 1
+  else begin
     let bytes = Context.bitstream_bytes ctx in
     let t0 = Time.to_ns (Proc.now ()) in
     let sp =
@@ -87,18 +239,11 @@ let reconfigure f ~bus ~master ctx_name =
     (* the download is real bus traffic: one burst-sized transaction per
        chunk, each arbitrated — this fine-grained modelling is what makes
        level-3 simulation markedly slower than level 2 *)
-    let remaining = ref bytes in
-    while !remaining > 0 do
-      let chunk = min f.burst_bytes !remaining in
-      Bus.transfer ~priority:2 bus
-        (Transaction.make ~master ~target:f.name ~kind:Transaction.Bitstream
-           ~bytes:chunk);
-      remaining := !remaining - chunk
-    done;
+    checked_download f ~bus ~master ctx;
     Proc.wait (Time.ns (bytes * f.program_ns_per_byte));
     f.loaded <- Some ctx;
+    f.loaded_corrupt <- false;
     f.reconfigurations <- f.reconfigurations + 1;
-    f.bitstream_bytes_total <- f.bitstream_bytes_total + bytes;
     f.reconfig_ns_total <-
       f.reconfig_ns_total + (Time.to_ns (Proc.now ()) - t0);
     if Obs.enabled () then begin
@@ -118,6 +263,24 @@ let reconfigure f ~bus ~master ctx_name =
     end
   end
 
+(* Readback scrubbing: stream the configuration memory back over the bus,
+   compare its CRC against the golden image and reload on mismatch. *)
+let scrub f ~bus ~master =
+  f.scrubs <- f.scrubs + 1;
+  match f.loaded with
+  | None -> false
+  | Some ctx ->
+      let bytes = Context.bitstream_bytes ctx in
+      bus_stream f ~bus ~master ~kind:Transaction.Read bytes;
+      if not f.loaded_corrupt then false
+      else begin
+        note_scrub_reload f ctx;
+        checked_download f ~bus ~master ctx;
+        Proc.wait (Time.ns (bytes * f.program_ns_per_byte));
+        f.loaded_corrupt <- false;
+        true
+      end
+
 (* Check that [resource] is available; the actual computation timing is
    modelled by the caller (it knows the annotated cycle cost). *)
 let require f resource =
@@ -135,19 +298,38 @@ let provides_loaded f resource =
 
 type stats = {
   reconfigurations : int;
+  noop_reconfigurations : int;
   bitstream_bytes : int;
   reconfig_ns : int;
   resource_calls : int;
+  crc_mismatches : int;
+  retried_downloads : int;
+  failed_downloads : int;
+  scrubs : int;
+  scrub_reloads : int;
+  watchdog_fires : int;
 }
 
 let stats (f : t) =
   {
     reconfigurations = f.reconfigurations;
+    noop_reconfigurations = f.noop_reconfigurations;
     bitstream_bytes = f.bitstream_bytes_total;
     reconfig_ns = f.reconfig_ns_total;
     resource_calls = f.calls;
+    crc_mismatches = f.crc_mismatches;
+    retried_downloads = f.retried_downloads;
+    failed_downloads = f.failed_downloads;
+    scrubs = f.scrubs;
+    scrub_reloads = f.scrub_reloads;
+    watchdog_fires = f.watchdog_fires;
   }
 
 let pp_stats fmt s =
-  Fmt.pf fmt "reconfigs=%d bitstream=%dB reconfig_time=%dns calls=%d"
-    s.reconfigurations s.bitstream_bytes s.reconfig_ns s.resource_calls
+  Fmt.pf fmt
+    "reconfigs=%d noop=%d bitstream=%dB reconfig_time=%dns calls=%d \
+     crc_mismatches=%d retried_dl=%d failed_dl=%d scrubs=%d scrub_reloads=%d \
+     watchdog=%d"
+    s.reconfigurations s.noop_reconfigurations s.bitstream_bytes s.reconfig_ns
+    s.resource_calls s.crc_mismatches s.retried_downloads s.failed_downloads
+    s.scrubs s.scrub_reloads s.watchdog_fires

@@ -1,0 +1,587 @@
+(* The fault-injection campaign engine.
+
+   A campaign runs the level-3 face-recognition platform once fault-free
+   (the baseline), then re-runs it once per planned fault with the
+   corresponding injection installed, and grades every trial on four
+   OSVVM-style questions: did the fault land (injected), did a detection
+   mechanism observe it (detected), did a recovery mechanism complete
+   (recovered), and did the pipeline still elect the baseline WINNER
+   (correct)?  Trial 0 is always the uninjected control: it must be
+   byte-identical to the baseline, the scoreboard that proves the
+   injection machinery itself perturbs nothing when disarmed.
+
+   Determinism contract: the plan is drawn from the seed before the
+   fan-out, every trial simulation is deterministic, and the governor's
+   allowance is read once before the fan-out — so the report is
+   byte-identical at any pool width.  Exhaustion skips trials and the
+   verdict degrades to inconclusive; an undetected or uncorrected fault
+   is a disproof.  Neither is ever an optimistic pass. *)
+
+module Par = Symbad_par.Par
+module Gov = Symbad_gov.Gov
+module Degrade = Symbad_gov.Degrade
+module Rng = Symbad_image.Rng
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+module Trace = Symbad_sim.Trace
+module Kernel = Symbad_sim.Kernel
+module Process = Symbad_sim.Process
+module Time = Symbad_sim.Time
+module Transaction = Symbad_tlm.Transaction
+module Bus = Symbad_tlm.Bus
+module Fpga = Symbad_fpga.Fpga
+module Level1 = Symbad_core.Level1
+module Level3 = Symbad_core.Level3
+module Mapping = Symbad_core.Mapping
+module Face_app = Symbad_core.Face_app
+module Verdict = Symbad_core.Verdict
+
+type outcome = {
+  trial : int;
+  kind : string;  (* "control" or a Fault.kind name *)
+  injection : string;
+  injected : bool;
+  detected : bool;
+  recovered : bool;
+  correct : bool;
+  skipped : bool;
+  recovery_ns : int;
+  detail : string;
+}
+
+type kind_row = {
+  row_kind : string;
+  row_trials : int;
+  row_injected : int;
+  row_detected : int;
+  row_recovered : int;
+  row_correct : int;
+}
+
+type report = {
+  seed : int;
+  trials_per_kind : int;
+  kind_names : string list;
+  baseline_latency_ns : int;
+  outcomes : outcome list;
+  per_kind : kind_row list;
+  control_ok : bool;
+  skipped : int;
+  histogram : (string * int) list;
+  passed : bool;
+}
+
+let trial_passed (o : outcome) =
+  (not o.skipped) && o.correct
+  && (String.equal o.kind "control"
+     || (o.injected && o.detected && o.recovered))
+
+(* The garbling mask used for downloads: two flipped bits, guaranteed to
+   move the CRC. *)
+let seu_mask = 0x0008_0004
+
+let winner_stream trace =
+  Trace.stream_of trace ~source:"WINNER" ~label:"result"
+
+let total_drops (r : Level3.result) =
+  List.fold_left
+    (fun acc (_, (o : Symbad_sim.Fifo.occupancy)) ->
+      acc + o.Symbad_sim.Fifo.drops)
+    0 r.Level3.channel_occupancy
+
+(* Grade one completed run against the baseline. *)
+let grade ~baseline ~base_winner inj (r : Level3.result) =
+  let fs = r.Level3.fpga_stats in
+  let bs = r.Level3.bus_report in
+  let correct = winner_stream r.Level3.trace = base_winner in
+  let recovery_ns =
+    max 0 (r.Level3.latency_ns - baseline.Level3.latency_ns)
+  in
+  let injected, detected, recovered, detail =
+    match inj with
+    | Fault.Seu _ ->
+        let hit = fs.Fpga.crc_mismatches > 0 in
+        ( hit,
+          hit,
+          hit && fs.Fpga.failed_downloads = 0,
+          Printf.sprintf "crc_mismatches=%d retried=%d failed=%d"
+            fs.Fpga.crc_mismatches fs.Fpga.retried_downloads
+            fs.Fpga.failed_downloads )
+    | Fault.Upset _ ->
+        let repaired = fs.Fpga.scrub_reloads > 0 in
+        ( true,
+          repaired,
+          repaired,
+          Printf.sprintf "scrubs=%d reloads=%d" fs.Fpga.scrubs
+            fs.Fpga.scrub_reloads )
+    | Fault.Bus _ ->
+        let seen = bs.Bus.error_responses + bs.Bus.retry_responses in
+        ( seen > 0,
+          seen > 0,
+          seen > 0 && bs.Bus.failed_transfers = 0,
+          Printf.sprintf "errors=%d retries=%d failed=%d"
+            bs.Bus.error_responses bs.Bus.retry_responses
+            bs.Bus.failed_transfers )
+    | Fault.Loss _ ->
+        let drops = total_drops r in
+        (* the retransmit is the only way a dropped token's stream still
+           completes, so recovery is graded by completed delivery *)
+        ( drops > 0,
+          drops > 0,
+          drops > 0 && correct,
+          Printf.sprintf "drops=%d" drops )
+    | Fault.Stuck _ ->
+        ( true,
+          fs.Fpga.watchdog_fires > 0,
+          r.Level3.sw_fallbacks > 0,
+          Printf.sprintf "watchdog=%d fallbacks=%d" fs.Fpga.watchdog_fires
+            r.Level3.sw_fallbacks )
+  in
+  (injected, detected, recovered, correct, recovery_ns, detail)
+
+(* The uninjected control: every observable of the platform run must be
+   byte-identical to the baseline — the scoreboard for the injection
+   machinery itself. *)
+let grade_control ~baseline (r : Level3.result) =
+  let mismatches =
+    List.filter_map
+      (fun (name, same) -> if same then None else Some name)
+      [
+        ( "trace",
+          Trace.equal_data ~reference:baseline.Level3.trace
+            ~actual:r.Level3.trace );
+        ("latency", r.Level3.latency_ns = baseline.Level3.latency_ns);
+        ("bus", r.Level3.bus_report = baseline.Level3.bus_report);
+        ("fpga", r.Level3.fpga_stats = baseline.Level3.fpga_stats);
+        ("cpu", r.Level3.cpu_stats = baseline.Level3.cpu_stats);
+        ("fallbacks", r.Level3.sw_fallbacks = baseline.Level3.sw_fallbacks);
+        ( "channels",
+          r.Level3.channel_occupancy = baseline.Level3.channel_occupancy );
+      ]
+  in
+  ( mismatches = [],
+    if mismatches = [] then "identical to baseline"
+    else "differs from baseline: " ^ String.concat "," mismatches )
+
+let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
+    (index, inj_opt) =
+  let graph = Face_app.graph workload in
+  match inj_opt with
+  | None -> (
+      match Level3.run graph mapping with
+      | r ->
+          let ok, detail = grade_control ~baseline r in
+          {
+            trial = index;
+            kind = "control";
+            injection = "none";
+            injected = false;
+            detected = false;
+            recovered = false;
+            correct = ok;
+            skipped = false;
+            recovery_ns = 0;
+            detail;
+          }
+      | exception e ->
+          {
+            trial = index;
+            kind = "control";
+            injection = "none";
+            injected = false;
+            detected = false;
+            recovered = false;
+            correct = false;
+            skipped = false;
+            recovery_ns = 0;
+            detail = "crashed: " ^ Printexc.to_string e;
+          })
+  | Some inj -> (
+      let kind = Fault.kind_of_injection inj in
+      let config =
+        match inj with
+        | Fault.Upset _ ->
+            { Level3.default_config with Level3.scrub_period_ns }
+        | _ -> Level3.default_config
+      in
+      let channel_loss =
+        match inj with
+        | Fault.Loss { channel; drop_index } ->
+            [ (channel, fun i -> i = drop_index) ]
+        | _ -> []
+      in
+      let tap ~bus ~fpga ~kernel =
+        match inj with
+        | Fault.Seu { word; attempts } ->
+            Fpga.inject_download_fault fpga
+              (Some
+                 (fun ~attempt ~word:w ->
+                   if attempt < attempts && w = word then seu_mask else 0))
+        | Fault.Upset { at_permille } ->
+            (* Wait until the planned instant, then keep one upset armed
+               until scrubbing observes it.  An upset on an empty fabric
+               hits nothing, and one that lands in configuration memory
+               already being rewritten by an in-flight reconfiguration is
+               erased before anyone could read it (a masked fault) — in
+               both cases the saboteur re-injects, so every trial tests a
+               fault the detection machinery really had to catch.  The
+               poll count is bounded so a campaign over an all-software
+               mapping cannot hang the simulation. *)
+            let t_ns =
+              baseline.Level3.latency_ns * at_permille / 1000
+            in
+            let poll_ns = 2_000 and max_polls = 2_000 in
+            Kernel.spawn kernel ~name:"saboteur" (fun () ->
+                Process.wait (Time.ns t_ns);
+                let reloads () = (Fpga.stats fpga).Fpga.scrub_reloads in
+                let rec arm polls =
+                  if polls < max_polls then
+                    if Fpga.upset_loaded fpga then watch polls (reloads ())
+                    else begin
+                      Process.wait (Time.ns poll_ns);
+                      arm (polls + 1)
+                    end
+                and watch polls reloads0 =
+                  if polls < max_polls then begin
+                    Process.wait (Time.ns poll_ns);
+                    if reloads () > reloads0 then ()
+                    else if Fpga.loaded_corrupted fpga then
+                      watch (polls + 1) reloads0
+                    else arm (polls + 1)
+                  end
+                in
+                arm 0)
+        | Fault.Bus { txn_index; error; count } ->
+            let counter = ref (-1) in
+            Bus.inject_faults bus
+              (Some
+                 (fun txn ~attempt ->
+                   match txn.Transaction.kind with
+                   | Transaction.Write ->
+                       if attempt = 0 then incr counter;
+                       if !counter = txn_index && attempt < count then
+                         if error then Bus.Error else Bus.Retry
+                       else Bus.Okay
+                   | _ -> Bus.Okay))
+        | Fault.Loss _ -> ()
+        | Fault.Stuck { resource } -> Fpga.set_stuck fpga resource
+      in
+      let finish (injected, detected, recovered, correct, recovery_ns, detail)
+          =
+        {
+          trial = index;
+          kind = Fault.kind_to_string kind;
+          injection = Fault.injection_to_string inj;
+          injected;
+          detected;
+          recovered;
+          correct;
+          skipped = false;
+          recovery_ns;
+          detail;
+        }
+      in
+      match Level3.run ~config ~channel_loss ~tap graph mapping with
+      | r -> finish (grade ~baseline ~base_winner inj r)
+      | exception e ->
+          (* a crash is a detected, unrecovered fault — never a pass *)
+          {
+            trial = index;
+            kind = Fault.kind_to_string kind;
+            injection = Fault.injection_to_string inj;
+            injected = true;
+            detected = true;
+            recovered = false;
+            correct = false;
+            skipped = false;
+            recovery_ns = 0;
+            detail = "crashed: " ^ Printexc.to_string e;
+          })
+
+let skipped_outcome (index, inj_opt) =
+  let kind, injection =
+    match inj_opt with
+    | None -> ("control", "none")
+    | Some inj ->
+        ( Fault.kind_to_string (Fault.kind_of_injection inj),
+          Fault.injection_to_string inj )
+  in
+  {
+    trial = index;
+    kind;
+    injection;
+    injected = false;
+    detected = false;
+    recovered = false;
+    correct = false;
+    skipped = true;
+    recovery_ns = 0;
+    detail = "skipped: resource budget exhausted";
+  }
+
+(* Log-2 recovery-latency histogram, from simulated time — deterministic
+   by construction. *)
+let histogram_of outcomes =
+  let bucket ns =
+    if ns <= 0 then "0"
+    else
+      let e = ref 0 in
+      while ns lsr !e > 1 do
+        incr e
+      done;
+      Printf.sprintf "2^%d" !e
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (o : outcome) ->
+      if not o.skipped then
+        let b = bucket o.recovery_ns in
+        Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    outcomes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (String.length a, a) (String.length b, b))
+
+let per_kind_rows kind_names outcomes =
+  List.map
+    (fun kname ->
+      let of_kind =
+        List.filter (fun (o : outcome) -> String.equal o.kind kname) outcomes
+      in
+      let count f = List.length (List.filter f of_kind) in
+      {
+        row_kind = kname;
+        row_trials = List.length of_kind;
+        row_injected = count (fun o -> o.injected);
+        row_detected = count (fun o -> o.detected);
+        row_recovered = count (fun o -> o.recovered);
+        row_correct = count (fun o -> o.correct);
+      })
+    kind_names
+
+let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
+    ?(workload = Face_app.smoke_workload) ?(scrub_period_ns = 10_000) ~seed ()
+    =
+  let pool = Par.get pool in
+  let gov = Gov.get gov in
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span ~track:"resil" ~cat:"resil"
+        ~args:[ ("seed", Json.Int seed) ]
+        "resil.campaign"
+    else Obs.null_span
+  in
+  (* Fault-free baseline, on the calling domain.  The tap only counts
+     the write transactions (always answering Okay, the same path the
+     bus takes with no hook installed), so the baseline stays
+     byte-identical to the control trial while telling us how many
+     writes a bus fault can actually target. *)
+  let graph = Face_app.graph workload in
+  let l1 = Level1.run graph in
+  let mapping2 = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
+  let mapping = Mapping.refine_to_fpga mapping2 Face_app.level3_refinement in
+  let write_count = ref 0 in
+  let count_writes ~bus ~fpga:_ ~kernel:_ =
+    Bus.inject_faults bus
+      (Some
+         (fun txn ~attempt ->
+           (match txn.Transaction.kind with
+           | Transaction.Write -> if attempt = 0 then incr write_count
+           | _ -> ());
+           Bus.Okay))
+  in
+  let baseline = Level3.run ~tap:count_writes graph mapping in
+  let base_winner = winner_stream baseline.Level3.trace in
+  (* the plan: control first, then trials_per_kind injections per kind,
+     drawn sequentially from the seed — independent of the pool width.
+     Bus faults are clamped onto the write transactions the baseline
+     actually performs, so no planned fault can miss a small workload. *)
+  let rng = Rng.create (if seed = 0 then 0x5EED else seed) in
+  let clamp = function
+    | Fault.Bus { txn_index; error; count } ->
+        Fault.Bus { txn_index = txn_index mod max 1 !write_count; error; count }
+    | inj -> inj
+  in
+  let injections =
+    List.concat_map
+      (fun k ->
+        List.init trials_per_kind (fun _ -> clamp (Fault.plan_injection rng k)))
+      kinds
+  in
+  let plan =
+    List.mapi (fun i inj -> (i, inj)) (None :: List.map Option.some injections)
+  in
+  (* governor gate, read once before the fan-out so the answer cannot
+     depend on scheduling: each trial costs one pattern *)
+  let n = List.length plan in
+  let allowed =
+    if Gov.out_of_budget gov then 0
+    else
+      match Gov.patterns_left gov with None -> n | Some p -> min n p
+  in
+  Gov.charge_patterns gov allowed;
+  let to_run = List.filteri (fun i _ -> i < allowed) plan in
+  let to_skip = List.filteri (fun i _ -> i >= allowed) plan in
+  if to_skip <> [] then
+    Gov.note_degraded gov ~what:"resil.campaign"
+      (Option.value ~default:Degrade.Patterns (Gov.exhaustion gov));
+  let ran =
+    Par.map ~label:"resil.trials" pool
+      (run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns)
+      to_run
+  in
+  let outcomes = ran @ List.map skipped_outcome to_skip in
+  let kind_names = List.map Fault.kind_to_string kinds in
+  let control_ok =
+    List.exists (fun o -> String.equal o.kind "control" && trial_passed o)
+      outcomes
+  in
+  let skipped = List.length to_skip in
+  let passed = skipped = 0 && List.for_all trial_passed outcomes in
+  if Obs.enabled () then begin
+    List.iter
+      (fun (o : outcome) ->
+        if not o.skipped then begin
+          Obs.event
+            ~severity:
+              (if trial_passed o then Symbad_obs.Severity.Info
+               else Symbad_obs.Severity.Warn)
+            ~args:
+              [
+                ("trial", Json.Int o.trial);
+                ("kind", Json.Str o.kind);
+                ("injected", Json.Bool o.injected);
+                ("detected", Json.Bool o.detected);
+                ("recovered", Json.Bool o.recovered);
+                ("correct", Json.Bool o.correct);
+              ]
+            "resil.trial";
+          Obs.observe "resil.recovery_ns" o.recovery_ns;
+          if o.injected then Obs.incr_counter "resil.injected";
+          if o.detected then Obs.incr_counter "resil.detected";
+          if o.recovered then Obs.incr_counter "resil.recovered"
+        end)
+      outcomes;
+    Obs.end_span ~args:[ ("passed", Json.Bool passed) ] sp
+  end;
+  {
+    seed;
+    trials_per_kind;
+    kind_names;
+    baseline_latency_ns = baseline.Level3.latency_ns;
+    outcomes;
+    per_kind = per_kind_rows kind_names outcomes;
+    control_ok;
+    skipped;
+    histogram = histogram_of outcomes;
+    passed;
+  }
+
+let first_failure r =
+  List.find_opt
+    (fun (o : outcome) -> (not o.skipped) && not (trial_passed o))
+    r.outcomes
+
+let verdict ?(name = "fault campaign") r =
+  match first_failure r with
+  | Some o ->
+      let why =
+        Printf.sprintf "trial %d (%s, %s): %s" o.trial o.kind o.injection
+          o.detail
+      in
+      Verdict.make ~name ~detail:why (Verdict.Disproved why)
+  | None ->
+      if r.skipped > 0 then
+        let why =
+          Printf.sprintf "%d of %d trials skipped (budget)" r.skipped
+            (List.length r.outcomes)
+        in
+        Verdict.make ~name ~detail:why (Verdict.Inconclusive why)
+      else
+        let total = List.length r.outcomes in
+        Verdict.make ~name
+          ~detail:
+            (Printf.sprintf
+               "%d trials: all faults detected, recovered, correct winner"
+               total)
+          Verdict.Proved
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("trial", Json.Int o.trial);
+      ("kind", Json.Str o.kind);
+      ("injection", Json.Str o.injection);
+      ("injected", Json.Bool o.injected);
+      ("detected", Json.Bool o.detected);
+      ("recovered", Json.Bool o.recovered);
+      ("correct", Json.Bool o.correct);
+      ("skipped", Json.Bool o.skipped);
+      ("recovery_ns", Json.Int o.recovery_ns);
+      ("detail", Json.Str o.detail);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("seed", Json.Int r.seed);
+      ("trials_per_kind", Json.Int r.trials_per_kind);
+      ("kinds", Json.List (List.map (fun k -> Json.Str k) r.kind_names));
+      ("baseline_latency_ns", Json.Int r.baseline_latency_ns);
+      ("control_ok", Json.Bool r.control_ok);
+      ("skipped", Json.Int r.skipped);
+      ("passed", Json.Bool r.passed);
+      ( "per_kind",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 [
+                   ("kind", Json.Str row.row_kind);
+                   ("trials", Json.Int row.row_trials);
+                   ("injected", Json.Int row.row_injected);
+                   ("detected", Json.Int row.row_detected);
+                   ("recovered", Json.Int row.row_recovered);
+                   ("correct", Json.Int row.row_correct);
+                 ])
+             r.per_kind) );
+      ( "recovery_ns_histogram",
+        Json.Obj (List.map (fun (b, c) -> (b, Json.Int c)) r.histogram) );
+      ("trials", Json.List (List.map outcome_to_json r.outcomes));
+    ]
+
+let to_markdown r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# Fault-injection campaign\n\n";
+  Buffer.add_string b
+    (Printf.sprintf "seed %d, %d trials/kind, baseline latency %d ns — %s\n\n"
+       r.seed r.trials_per_kind r.baseline_latency_ns
+       (if r.passed then "PASS"
+        else if r.skipped > 0 && first_failure r = None then "INCONCLUSIVE"
+        else "FAIL"));
+  Buffer.add_string b
+    "| kind | trials | injected | detected | recovered | correct |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d |\n" row.row_kind
+           row.row_trials row.row_injected row.row_detected row.row_recovered
+           row.row_correct))
+    r.per_kind;
+  Buffer.add_string b "\n| recovery latency (sim) | trials |\n|---|---|\n";
+  List.iter
+    (fun (bucket, count) ->
+      Buffer.add_string b (Printf.sprintf "| %s ns | %d |\n" bucket count))
+    r.histogram;
+  if r.skipped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\n%d trials skipped: resource budget exhausted.\n"
+         r.skipped);
+  (match first_failure r with
+  | Some o ->
+      Buffer.add_string b
+        (Printf.sprintf "\nFirst failure: trial %d (%s, %s): %s\n" o.trial
+           o.kind o.injection o.detail)
+  | None -> ());
+  Buffer.contents b

@@ -1,0 +1,101 @@
+(* Platform fault model: the five non-nominal behaviours the campaign
+   engine injects into a level-3 run.  A fault plan is generated from a
+   seed by pure arithmetic on the deterministic Rng, so the same seed
+   always produces the same campaign at any pool width. *)
+
+module Rng = Symbad_image.Rng
+
+type kind =
+  | Bitstream_seu
+  | Config_upset
+  | Bus_error
+  | Fifo_loss
+  | Stuck_resource
+
+let all_kinds =
+  [ Bitstream_seu; Config_upset; Bus_error; Fifo_loss; Stuck_resource ]
+
+let kind_to_string = function
+  | Bitstream_seu -> "bitstream_seu"
+  | Config_upset -> "config_upset"
+  | Bus_error -> "bus_error"
+  | Fifo_loss -> "fifo_loss"
+  | Stuck_resource -> "stuck_resource"
+
+let kind_of_string = function
+  | "bitstream_seu" -> Some Bitstream_seu
+  | "config_upset" -> Some Config_upset
+  | "bus_error" -> Some Bus_error
+  | "fifo_loss" -> Some Fifo_loss
+  | "stuck_resource" -> Some Stuck_resource
+  | _ -> None
+
+let pp_kind fmt k = Fmt.string fmt (kind_to_string k)
+
+type injection =
+  | Seu of { word : int; attempts : int }
+  | Upset of { at_permille : int }
+  | Bus of { txn_index : int; error : bool; count : int }
+  | Loss of { channel : string; drop_index : int }
+  | Stuck of { resource : string }
+
+let kind_of_injection = function
+  | Seu _ -> Bitstream_seu
+  | Upset _ -> Config_upset
+  | Bus _ -> Bus_error
+  | Loss _ -> Fifo_loss
+  | Stuck _ -> Stuck_resource
+
+let injection_to_string = function
+  | Seu { word; attempts } ->
+      Printf.sprintf "seu word=%d attempts=%d" word attempts
+  | Upset { at_permille } -> Printf.sprintf "upset at=%d/1000" at_permille
+  | Bus { txn_index; error; count } ->
+      Printf.sprintf "bus %s txn=%d count=%d"
+        (if error then "error" else "retry")
+        txn_index count
+  | Loss { channel; drop_index } ->
+      Printf.sprintf "loss channel=%s drop=%d" channel drop_index
+  | Stuck { resource } -> Printf.sprintf "stuck resource=%s" resource
+
+(* Channels that ride the bus in the face-recognition level-3 mapping:
+   the campaign's lossy-link candidates. *)
+let lossy_channels = [ "diffs"; "dist2"; "dist" ]
+
+(* FPGA-resident resources of the case study. *)
+let fpga_resources = [ "DISTANCE"; "ROOT" ]
+
+(* One injection of the given kind, drawn from the trial's generator.
+   Parameters are chosen inside the envelope the platform's recovery
+   mechanisms are dimensioned for (retry bounds, scrub period), so a
+   correctly wired platform must survive every planned fault — which is
+   exactly what the campaign checks. *)
+let plan_injection rng = function
+  | Bitstream_seu ->
+      (* the corrupted word lands in the configuration-frame header
+         (first 128 words), present in every context *)
+      Seu { word = Rng.int rng 64; attempts = 1 + Rng.int rng 2 }
+  | Config_upset ->
+      (* between 40% and 85% of the baseline run: after the first
+         reconfiguration, before the pipeline drains *)
+      Upset { at_permille = 400 + Rng.int rng 450 }
+  | Bus_error ->
+      (* the campaign clamps txn_index onto the write transactions the
+         baseline run actually performs, so the fault lands in any
+         workload *)
+      Bus
+        {
+          txn_index = Rng.int rng 40;
+          error = Rng.bool rng;
+          count = 1 + Rng.int rng 3;
+        }
+  | Fifo_loss ->
+      (* channels carry one token per frame; dropping attempt 0 or 1
+         lands in any workload with at least two frames *)
+      Loss
+        {
+          channel = List.nth lossy_channels (Rng.int rng 3);
+          drop_index = Rng.int rng 2;
+        }
+  | Stuck_resource ->
+      Stuck { resource = List.nth fpga_resources (Rng.int rng 2) }

@@ -1,0 +1,66 @@
+(** The platform fault model: what the campaign engine injects.
+
+    Five non-nominal behaviours of the reconfigurable platform, each
+    paired with the mechanism expected to detect and recover from it:
+
+    - {!Bitstream_seu} — bit-flips during a bitstream download; detected
+      by the download CRC, recovered by bounded re-download.
+    - {!Config_upset} — an SEU in the loaded configuration memory;
+      detected by readback scrubbing, recovered by context reload.
+    - {!Bus_error} — ERROR/RETRY responses on AMBA transfers; recovered
+      by the master's bounded retry with backoff.
+    - {!Fifo_loss} — token drops on a lossy channel; recovered by the
+      sender's bounded retransmit.
+    - {!Stuck_resource} — a wedged FPGA resource; detected by the
+      watchdog, recovered by degrading the task to software. *)
+
+type kind =
+  | Bitstream_seu
+  | Config_upset
+  | Bus_error
+  | Fifo_loss
+  | Stuck_resource
+
+val all_kinds : kind list
+(** Every kind, in report order. *)
+
+val kind_to_string : kind -> string
+(** Stable lowercase name, e.g. ["bitstream_seu"]. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** One concrete planned fault, with its injection parameters. *)
+type injection =
+  | Seu of { word : int; attempts : int }
+      (** flip bitstream word [word] on download attempts [0..attempts-1] *)
+  | Upset of { at_permille : int }
+      (** upset the loaded context at this fraction of the baseline
+          latency *)
+  | Bus of { txn_index : int; error : bool; count : int }
+      (** answer data transfer number [txn_index] with ERROR ([error]) or
+          RETRY for its first [count] attempts *)
+  | Loss of { channel : string; drop_index : int }
+      (** drop write attempt [drop_index] on [channel] *)
+  | Stuck of { resource : string }  (** wedge the resource from reset *)
+
+val kind_of_injection : injection -> kind
+
+val injection_to_string : injection -> string
+(** One deterministic human-readable line for reports. *)
+
+val lossy_channels : string list
+(** Bus-borne channels of the face-recognition level-3 mapping — the
+    candidates for {!Fifo_loss}. *)
+
+val fpga_resources : string list
+(** FPGA-resident resources of the case study — the candidates for
+    {!Stuck_resource}. *)
+
+val plan_injection : Symbad_image.Rng.t -> kind -> injection
+(** Draw one injection of the given kind from the trial's generator.
+    Parameters stay inside the envelope the recovery mechanisms are
+    dimensioned for (retry bounds, scrub period): a correctly wired
+    platform must survive every planned fault. *)

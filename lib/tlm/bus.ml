@@ -5,12 +5,23 @@
    arbitration scheme.  The transfer cost model is
      cycles = arbitration + setup + ceil(bytes / width)
    and the model accumulates utilisation and per-master statistics, the
-   "bus loading" figures the paper grades architectures with. *)
+   "bus loading" figures the paper grades architectures with.
+
+   Slave responses can be faulted (ERROR / RETRY, the AHB non-OKAY
+   responses) through an injectable hook; the master-side recovery is a
+   bounded retry with exponential backoff, each extra attempt charged
+   against the governor when one is installed. *)
 
 module Proc = Symbad_sim.Process
 module Time = Symbad_sim.Time
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
+module Gov = Symbad_gov.Gov
+
+type response = Okay | Error | Retry
+
+exception
+  Transfer_failed of { master : string; target : string; attempts : int }
 
 type master_stats = {
   mutable transactions : int;
@@ -25,6 +36,7 @@ type t = {
   period_ns : int;
   arbitration_cycles : int;
   setup_cycles : int;
+  max_retries : int;
   mutable busy : bool;
   mutable waiters : (int * int * (unit -> unit)) list;
   mutable next_seq : int;
@@ -32,21 +44,28 @@ type t = {
   mutable total_transactions : int;
   mutable bitstream_bytes : int;
   mutable data_bytes : int;
+  mutable error_responses : int;
+  mutable retry_responses : int;
+  mutable failed_transfers : int;
+  mutable fault : (Transaction.t -> attempt:int -> response) option;
+  mutable gov : Gov.t option;
   masters : (string, master_stats) Hashtbl.t;
   mutable start_ns : int option;
   mutable last_release_ns : int;
 }
 
 let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
-    ?(setup_cycles = 1) name =
+    ?(setup_cycles = 1) ?(max_retries = 3) name =
   if width_bytes <= 0 then invalid_arg "Bus.create: width";
   if period_ns <= 0 then invalid_arg "Bus.create: period";
+  if max_retries < 0 then invalid_arg "Bus.create: max_retries";
   {
     name;
     width_bytes;
     period_ns;
     arbitration_cycles;
     setup_cycles;
+    max_retries;
     busy = false;
     waiters = [];
     next_seq = 0;
@@ -54,6 +73,11 @@ let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
     total_transactions = 0;
     bitstream_bytes = 0;
     data_bytes = 0;
+    error_responses = 0;
+    retry_responses = 0;
+    failed_transfers = 0;
+    fault = None;
+    gov = None;
     masters = Hashtbl.create 8;
     start_ns = None;
     last_release_ns = 0;
@@ -61,6 +85,8 @@ let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
 
 let name b = b.name
 let period_ns b = b.period_ns
+let inject_faults b h = b.fault <- h
+let govern b g = b.gov <- Some g
 
 let master_stats b master =
   match Hashtbl.find_opt b.masters master with
@@ -107,6 +133,19 @@ let release b =
   b.last_release_ns <- Time.to_ns (Proc.now ());
   grant_next b
 
+(* Retry budget left for one more attempt?  Each extra attempt is one
+   pattern charged to the governor, so bus-level recovery competes with
+   verification work for the same allowance. *)
+let may_retry b =
+  match b.gov with
+  | None -> true
+  | Some g ->
+      if Gov.out_of_budget g then false
+      else begin
+        Gov.charge_patterns g 1;
+        true
+      end
+
 let transfer ?(priority = 8) b (txn : Transaction.t) =
   let t_request = Time.to_ns (Proc.now ()) in
   if b.start_ns = None then b.start_ns <- Some t_request;
@@ -126,40 +165,93 @@ let transfer ?(priority = 8) b (txn : Transaction.t) =
         ("bus." ^ Transaction.kind_to_string txn.Transaction.kind)
     else Obs.null_span
   in
-  acquire b ~priority;
-  let t_grant = Time.to_ns (Proc.now ()) in
-  let duration = transfer_time b txn.Transaction.bytes in
-  Proc.wait duration;
-  let dur_ns = Time.to_ns duration in
-  b.busy_ns <- b.busy_ns + dur_ns;
-  b.total_transactions <- b.total_transactions + 1;
-  (match txn.Transaction.kind with
-  | Transaction.Bitstream ->
-      b.bitstream_bytes <- b.bitstream_bytes + txn.Transaction.bytes
-  | Transaction.Read | Transaction.Write ->
-      b.data_bytes <- b.data_bytes + txn.Transaction.bytes);
   let ms = master_stats b txn.Transaction.master in
-  ms.transactions <- ms.transactions + 1;
-  ms.bytes <- ms.bytes + txn.Transaction.bytes;
-  ms.busy_ns <- ms.busy_ns + dur_ns;
-  let wait_ns = t_grant - t_request in
-  ms.wait_ns <- ms.wait_ns + wait_ns;
-  if Obs.enabled () then begin
-    Obs.incr_counter "bus.transactions";
-    Obs.incr_counter ~by:txn.Transaction.bytes "bus.bytes";
-    Obs.observe "bus.grant_wait_ns" wait_ns;
-    Obs.end_span
-      ~args:[ ("grant_wait_ns", Json.Int wait_ns) ]
-      ~sim_ns:(Time.to_ns (Proc.now ()))
-      sp
-  end;
-  release b
+  let rec attempt_loop attempt =
+    let t_attempt = Time.to_ns (Proc.now ()) in
+    acquire b ~priority;
+    let t_grant = Time.to_ns (Proc.now ()) in
+    let duration = transfer_time b txn.Transaction.bytes in
+    Proc.wait duration;
+    (* The slave drove the bus for the full transfer even when it then
+       answers ERROR/RETRY, so busy time accumulates per attempt. *)
+    let dur_ns = Time.to_ns duration in
+    b.busy_ns <- b.busy_ns + dur_ns;
+    ms.busy_ns <- ms.busy_ns + dur_ns;
+    ms.wait_ns <- ms.wait_ns + (t_grant - t_attempt);
+    let resp =
+      match b.fault with None -> Okay | Some h -> h txn ~attempt
+    in
+    match resp with
+    | Okay ->
+        b.total_transactions <- b.total_transactions + 1;
+        (match txn.Transaction.kind with
+        | Transaction.Bitstream ->
+            b.bitstream_bytes <- b.bitstream_bytes + txn.Transaction.bytes
+        | Transaction.Read | Transaction.Write ->
+            b.data_bytes <- b.data_bytes + txn.Transaction.bytes);
+        ms.transactions <- ms.transactions + 1;
+        ms.bytes <- ms.bytes + txn.Transaction.bytes;
+        let wait_ns = t_grant - t_request in
+        if Obs.enabled () then begin
+          Obs.incr_counter "bus.transactions";
+          Obs.incr_counter ~by:txn.Transaction.bytes "bus.bytes";
+          Obs.observe "bus.grant_wait_ns" wait_ns;
+          Obs.end_span
+            ~args:
+              [
+                ("grant_wait_ns", Json.Int wait_ns);
+                ("attempts", Json.Int (attempt + 1));
+              ]
+            ~sim_ns:(Time.to_ns (Proc.now ()))
+            sp
+        end;
+        release b
+    | (Error | Retry) as r ->
+        (match r with
+        | Error -> b.error_responses <- b.error_responses + 1
+        | _ -> b.retry_responses <- b.retry_responses + 1);
+        release b;
+        if Obs.enabled () then
+          Obs.event ~severity:Symbad_obs.Severity.Warn
+            ~args:
+              [
+                ("master", Json.Str txn.Transaction.master);
+                ("target", Json.Str txn.Transaction.target);
+                ("attempt", Json.Int attempt);
+              ]
+            ~sim_ns:(Time.to_ns (Proc.now ()))
+            (match r with Error -> "bus.error" | _ -> "bus.retry");
+        if attempt >= b.max_retries || not (may_retry b) then begin
+          b.failed_transfers <- b.failed_transfers + 1;
+          if Obs.enabled () then
+            Obs.end_span
+              ~args:[ ("failed", Json.Bool true) ]
+              ~sim_ns:(Time.to_ns (Proc.now ()))
+              sp;
+          raise
+            (Transfer_failed
+               {
+                 master = txn.Transaction.master;
+                 target = txn.Transaction.target;
+                 attempts = attempt + 1;
+               })
+        end
+        else begin
+          (* exponential backoff before re-requesting the bus *)
+          Proc.wait (Time.ns (b.period_ns * (1 lsl attempt)));
+          attempt_loop (attempt + 1)
+        end
+  in
+  attempt_loop 0
 
 type report = {
   transactions : int;
   busy_ns : int;
   data_bytes : int;
   bitstream_bytes : int;
+  error_responses : int;
+  retry_responses : int;
+  failed_transfers : int;
   utilisation : float;  (* busy time / observed activity window *)
   per_master : (string * master_stats) list;
 }
@@ -178,6 +270,9 @@ let report b =
     busy_ns = b.busy_ns;
     data_bytes = b.data_bytes;
     bitstream_bytes = b.bitstream_bytes;
+    error_responses = b.error_responses;
+    retry_responses = b.retry_responses;
+    failed_transfers = b.failed_transfers;
     utilisation =
       (if b.total_transactions = 0 || window <= 0 then 0.
        else float_of_int b.busy_ns /. float_of_int window);
@@ -190,6 +285,9 @@ let pp_report fmt r =
   Fmt.pf fmt "transactions=%d busy=%dns data=%dB bitstream=%dB util=%.1f%%"
     r.transactions r.busy_ns r.data_bytes r.bitstream_bytes
     (100. *. r.utilisation);
+  if r.error_responses + r.retry_responses + r.failed_transfers > 0 then
+    Fmt.pf fmt " errors=%d retries=%d failed=%d" r.error_responses
+      r.retry_responses r.failed_transfers;
   List.iter
     (fun (m, (s : master_stats)) ->
       Fmt.pf fmt "@.  %s: %d txns, %dB, busy %dns, waited %dns" m

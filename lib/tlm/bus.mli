@@ -3,22 +3,56 @@
     Exactly one transaction owns the bus at a time; contending masters are
     granted in fixed-priority order (lower number wins), FIFO within a
     priority.  Transfer cost is
-    [arbitration + setup + ceil(bytes/width)] bus cycles. *)
+    [arbitration + setup + ceil(bytes/width)] bus cycles.
+
+    Fault injection: a hook installed with {!inject_faults} decides the
+    slave response of every completed transfer ({!response}, the AHB
+    OKAY/ERROR/RETRY phase).  The master-side recovery is a bounded retry
+    with exponential backoff ([period_ns * 2{^attempt}] between
+    attempts); when the retry budget is exhausted the transfer raises
+    {!Transfer_failed}.  With a governor installed ({!govern}) every
+    extra attempt charges one pattern, so bus-level recovery competes
+    with the verification engines for the same allowance and an
+    exhausted governor stops the retrying early. *)
 
 type t
+
+(** Slave response to a completed transfer — the AHB response phase. *)
+type response =
+  | Okay  (** transfer accepted *)
+  | Error  (** slave error; the master may re-attempt *)
+  | Retry  (** slave asks the master to retry the transfer *)
+
+exception
+  Transfer_failed of { master : string; target : string; attempts : int }
+(** Raised by {!transfer} when every attempt (1 + [max_retries], or
+    fewer under an exhausted governor) drew a non-[Okay] response. *)
 
 val create :
   ?width_bytes:int ->
   ?period_ns:int ->
   ?arbitration_cycles:int ->
   ?setup_cycles:int ->
+  ?max_retries:int ->
   string ->
   t
 (** [create name] with defaults: 32-bit bus ([width_bytes = 4]),
-    100 MHz ([period_ns = 10]), 1 arbitration and 1 setup cycle. *)
+    100 MHz ([period_ns = 10]), 1 arbitration and 1 setup cycle,
+    [max_retries = 3] re-attempts after a faulted response. *)
 
 val name : t -> string
 val period_ns : t -> int
+
+val inject_faults : t -> (Transaction.t -> attempt:int -> response) option -> unit
+(** Install (or with [None] remove) the slave-response hook.  The hook
+    sees the transaction and the 0-based attempt number, and must be
+    deterministic for reproducible campaigns.  Without a hook every
+    response is [Okay] — the exact pre-fault behaviour. *)
+
+val govern : t -> Symbad_gov.Gov.t -> unit
+(** Charge each retry attempt against [gov] (one pattern per extra
+    attempt); once [gov] is out of budget, faulted transfers fail
+    immediately instead of retrying. *)
 
 val transfer_cycles : t -> int -> int
 (** [transfer_cycles b bytes] is the cost of one transaction in bus
@@ -29,7 +63,9 @@ val transfer_time : t -> int -> Symbad_sim.Time.t
 val transfer : ?priority:int -> t -> Transaction.t -> unit
 (** Perform a transaction from inside a simulation process: waits for the
     bus grant, then for the transfer duration.  [priority] defaults to 8
-    (lowest sensible); bitstream downloads typically use a high priority. *)
+    (lowest sensible); bitstream downloads typically use a high priority.
+    Raises {!Transfer_failed} when an injected fault outlasts the retry
+    budget. *)
 
 type master_stats = {
   mutable transactions : int;
@@ -39,10 +75,13 @@ type master_stats = {
 }
 
 type report = {
-  transactions : int;
-  busy_ns : int;
+  transactions : int;  (** successful transfers *)
+  busy_ns : int;  (** bus occupancy, faulted attempts included *)
   data_bytes : int;
   bitstream_bytes : int;  (** traffic due to FPGA reconfiguration *)
+  error_responses : int;  (** injected ERROR responses observed *)
+  retry_responses : int;  (** injected RETRY responses observed *)
+  failed_transfers : int;  (** transfers that exhausted their retries *)
   utilisation : float;  (** busy time over the observed activity window *)
   per_master : (string * master_stats) list;
 }

@@ -16,4 +16,5 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("gov", Test_gov.suite);
+      ("resil", Test_resil.suite);
     ]

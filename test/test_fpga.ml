@@ -210,6 +210,133 @@ let qcheck_placement_single_context_optimal =
       | Some best -> best.Placement.reconfigurations <= 1
       | None -> false)
 
+(* --- Dependability: CRC re-download, scrubbing, stuck resources --- *)
+
+let two_ctx_fpga () =
+  Fpga.create
+    ~contexts:
+      [ Context.make "c1" [ r "dist" 100 ]; Context.make "c2" [ r "root" 80 ] ]
+    "fpga"
+
+let fpga_noop_counter () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1");
+  Sim.Kernel.run k;
+  let s = Fpga.stats f in
+  check "one real reconfiguration" 1 s.Fpga.reconfigurations;
+  check "two no-op requests" 2 s.Fpga.noop_reconfigurations
+
+let fpga_crc_redownload () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  (* flip one bitstream word on the first download attempt only *)
+  Fpga.inject_download_fault f
+    (Some (fun ~attempt ~word -> if attempt = 0 && word = 3 then 1 else 0));
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Fpga.require f "dist");
+  Sim.Kernel.run k;
+  let s = Fpga.stats f in
+  check "crc mismatch detected" 1 s.Fpga.crc_mismatches;
+  check "one re-download" 1 s.Fpga.retried_downloads;
+  check "no failed downloads" 0 s.Fpga.failed_downloads;
+  check "context up" 1 s.Fpga.reconfigurations
+
+let fpga_download_gives_up () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  (* persistent corruption: every attempt flips a word *)
+  Fpga.inject_download_fault f (Some (fun ~attempt:_ ~word:_ -> 1));
+  let attempts = ref 0 in
+  Sim.Kernel.spawn k (fun () ->
+      try Fpga.reconfigure f ~bus ~master:"cpu" "c1"
+      with Fpga.Download_failed { attempts = a; _ } -> attempts := a);
+  Sim.Kernel.run k;
+  check "gave up after max_redownloads + 1 attempts" 3 !attempts;
+  let s = Fpga.stats f in
+  check "failed download counted" 1 s.Fpga.failed_downloads;
+  check "nothing loaded" 0 s.Fpga.reconfigurations
+
+let fpga_scrub_reloads_upset () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Alcotest.(check bool) "scrub of empty fabric" false
+        (Fpga.scrub f ~bus ~master:"scrubber");
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Alcotest.(check bool) "clean scrub" false
+        (Fpga.scrub f ~bus ~master:"scrubber");
+      Alcotest.(check bool) "upset lands" true (Fpga.upset_loaded f);
+      Alcotest.(check bool) "corrupt" true (Fpga.loaded_corrupted f);
+      Alcotest.(check bool) "scrub repairs" true
+        (Fpga.scrub f ~bus ~master:"scrubber");
+      Alcotest.(check bool) "repaired" false (Fpga.loaded_corrupted f));
+  Sim.Kernel.run k;
+  let s = Fpga.stats f in
+  check "scrubs" 3 s.Fpga.scrubs;
+  check "scrub reloads" 1 s.Fpga.scrub_reloads
+
+let fpga_verify_previous_on_switch () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      ignore (Fpga.upset_loaded f);
+      (* readback-on-context-switch observes the upset before erasing it *)
+      Fpga.reconfigure ~verify_previous:true f ~bus ~master:"cpu" "c2";
+      Alcotest.(check bool) "clean after switch" false
+        (Fpga.loaded_corrupted f);
+      (* a corrupted context that is re-requested is repaired in place *)
+      ignore (Fpga.upset_loaded f);
+      Fpga.reconfigure ~verify_previous:true f ~bus ~master:"cpu" "c2";
+      Alcotest.(check bool) "repaired in place" false
+        (Fpga.loaded_corrupted f));
+  Sim.Kernel.run k;
+  let s = Fpga.stats f in
+  check "both upsets observed" 2 s.Fpga.scrub_reloads;
+  check "in-place repair is not a context switch" 2 s.Fpga.reconfigurations;
+  check "no silent noop" 0 s.Fpga.noop_reconfigurations
+
+let fpga_stuck_resource () =
+  let f = two_ctx_fpga () in
+  Alcotest.(check bool) "responding" true (Fpga.responding f "dist");
+  Fpga.set_stuck f "dist";
+  Alcotest.(check bool) "wedged" false (Fpga.responding f "dist");
+  Alcotest.(check bool) "others unaffected" true (Fpga.responding f "root");
+  Fpga.clear_stuck f;
+  Alcotest.(check bool) "released" true (Fpga.responding f "dist");
+  Alcotest.(check bool) "healthy" true (Fpga.is_healthy f);
+  Fpga.mark_unhealthy f;
+  Alcotest.(check bool) "degraded" false (Fpga.is_healthy f)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let fpga_pp_stats_fields () =
+  let f = two_ctx_fpga () in
+  let s = Format.asprintf "%a" Fpga.pp_stats (Fpga.stats f) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp_stats mentions %s" field)
+        true (contains_sub s field))
+    [
+      "reconfigs="; "noop="; "bitstream="; "reconfig_time="; "calls=";
+      "crc_mismatches="; "retried_dl="; "failed_dl="; "scrubs=";
+      "scrub_reloads="; "watchdog=";
+    ]
+
 let suite =
   [
     Alcotest.test_case "context area and lookup" `Quick context_area_and_lookup;
@@ -222,6 +349,15 @@ let suite =
       fpga_reconfigure_and_require;
     Alcotest.test_case "fpga reconfiguration timing" `Quick
       fpga_reconfig_takes_time;
+    Alcotest.test_case "fpga noop counter" `Quick fpga_noop_counter;
+    Alcotest.test_case "fpga crc re-download" `Quick fpga_crc_redownload;
+    Alcotest.test_case "fpga download gives up" `Quick fpga_download_gives_up;
+    Alcotest.test_case "fpga scrub reloads upset" `Quick
+      fpga_scrub_reloads_upset;
+    Alcotest.test_case "fpga verify-previous on switch" `Quick
+      fpga_verify_previous_on_switch;
+    Alcotest.test_case "fpga stuck resource" `Quick fpga_stuck_resource;
+    Alcotest.test_case "fpga pp_stats fields" `Quick fpga_pp_stats_fields;
     Alcotest.test_case "placement evaluate" `Quick placement_evaluate;
     Alcotest.test_case "placement feasible partitions" `Quick
       placement_feasible_partitions;

@@ -1,0 +1,128 @@
+(* Tests for the fault-injection campaign engine and the recovery
+   state machine. *)
+
+module Par = Symbad_par.Par
+module Gov = Symbad_gov.Gov
+module Budget = Symbad_gov.Budget
+module Json = Symbad_obs.Json
+module Verdict = Symbad_core.Verdict
+open Symbad_resil
+
+let check = Alcotest.(check int)
+
+(* --- the recovery controller's model-checked contract --- *)
+
+let recovery_fsm_proved () =
+  let reports = Recovery.check () in
+  check "six properties" 6 (List.length reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s proved" r.Symbad_mc.Engine.property)
+        true
+        (match r.Symbad_mc.Engine.verdict with
+        | Symbad_mc.Engine.Proved _ -> true
+        | _ -> false))
+    reports;
+  Alcotest.(check bool) "all_proved" true (Recovery.all_proved reports)
+
+let recovery_fsm_bounds_validated () =
+  Alcotest.(check bool) "max_tries validated" true
+    (try
+       ignore (Recovery.netlist ~max_tries:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- campaign: determinism, recovery, honest failure --- *)
+
+let small_campaign ?gov ?kinds ?(trials_per_kind = 1) ?scrub_period_ns ~jobs
+    ~seed () =
+  Par.with_pool ~jobs (fun pool ->
+      Campaign.run ~pool ?gov ?kinds ~trials_per_kind ?scrub_period_ns ~seed ())
+
+let campaign_deterministic_across_jobs () =
+  let render jobs =
+    Json.to_string (Campaign.to_json (small_campaign ~jobs ~seed:42 ()))
+  in
+  let j1 = render 1 in
+  Alcotest.(check string) "jobs=2 byte-identical" j1 (render 2);
+  Alcotest.(check string) "jobs=4 byte-identical" j1 (render 4)
+
+let campaign_recovers_winner () =
+  let r = small_campaign ~trials_per_kind:2 ~jobs:2 ~seed:7 () in
+  Alcotest.(check bool) "control matches baseline" true r.Campaign.control_ok;
+  check "nothing skipped" 0 r.Campaign.skipped;
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trial %d (%s) elects the baseline winner" o.trial
+           o.Campaign.kind)
+        true o.Campaign.correct)
+    r.Campaign.outcomes;
+  Alcotest.(check bool) "campaign passed" true r.Campaign.passed;
+  Alcotest.(check bool) "verdict proved" true
+    (Campaign.verdict r).Verdict.passed
+
+let campaign_undetected_fault_fails () =
+  (* scrubbing disabled: configuration upsets go unobserved — the
+     campaign must report that as a failure, never as a pass *)
+  let r =
+    small_campaign ~kinds:[ Fault.Config_upset ] ~trials_per_kind:2
+      ~scrub_period_ns:0 ~jobs:2 ~seed:3 ()
+  in
+  Alcotest.(check bool) "not passed" false r.Campaign.passed;
+  (match Campaign.first_failure r with
+  | None -> Alcotest.fail "expected a failing trial"
+  | Some o ->
+      Alcotest.(check bool) "fault landed" true o.Campaign.injected;
+      Alcotest.(check bool) "but was never detected" false o.Campaign.detected);
+  Alcotest.(check bool) "verdict fails" false (Campaign.verdict r).Verdict.passed
+
+let campaign_budget_degrades_to_inconclusive () =
+  (* a pattern budget covering only part of the plan: the rest is
+     skipped and the verdict degrades, it does not pass optimistically *)
+  let gov = Gov.create ~label:"resil" (Budget.make ~patterns:3 ()) in
+  let r = small_campaign ~gov ~trials_per_kind:2 ~jobs:2 ~seed:5 () in
+  check "trials beyond the budget skipped" 8 r.Campaign.skipped;
+  Alcotest.(check bool) "not passed" false r.Campaign.passed;
+  let v = Campaign.verdict r in
+  Alcotest.(check bool) "verdict fails" false v.Verdict.passed;
+  Alcotest.(check bool) "inconclusive, not disproved" true
+    (match v.Verdict.outcome with Verdict.Inconclusive _ -> true | _ -> false)
+
+let campaign_zero_budget_runs_nothing () =
+  let gov = Gov.create ~label:"resil" (Budget.make ~patterns:0 ()) in
+  let r = small_campaign ~gov ~jobs:1 ~seed:5 () in
+  check "everything skipped" (List.length r.Campaign.outcomes)
+    r.Campaign.skipped;
+  Alcotest.(check bool) "not passed" false r.Campaign.passed
+
+(* All fault kinds disabled: the campaign is exactly one control trial,
+   and it must be byte-identical to the uninjected platform run at any
+   seed and any pool width. *)
+let qcheck_disabled_campaign_is_transparent =
+  QCheck.Test.make ~name:"disabled campaign == uninjected run (any jobs/seed)"
+    ~count:6
+    QCheck.(pair (int_bound 1000) (int_range 1 3))
+    (fun (seed, jobs) ->
+      let r = small_campaign ~kinds:[] ~jobs ~seed () in
+      r.Campaign.control_ok && r.Campaign.passed
+      && List.length r.Campaign.outcomes = 1)
+
+let suite =
+  [
+    Alcotest.test_case "recovery FSM proved" `Quick recovery_fsm_proved;
+    Alcotest.test_case "recovery FSM bounds validated" `Quick
+      recovery_fsm_bounds_validated;
+    Alcotest.test_case "campaign deterministic across jobs" `Quick
+      campaign_deterministic_across_jobs;
+    Alcotest.test_case "campaign recovers the winner" `Quick
+      campaign_recovers_winner;
+    Alcotest.test_case "undetected fault is a failure" `Quick
+      campaign_undetected_fault_fails;
+    Alcotest.test_case "budget degrades to inconclusive" `Quick
+      campaign_budget_degrades_to_inconclusive;
+    Alcotest.test_case "zero budget runs nothing" `Quick
+      campaign_zero_budget_runs_nothing;
+    QCheck_alcotest.to_alcotest qcheck_disabled_campaign_is_transparent;
+  ]

@@ -230,6 +230,82 @@ let database_in_flash_memory () =
   let r = Bus.report b in
   check "bytes over the bus" (Bytes.length image) r.Bus.data_bytes
 
+(* --- Fault injection: ERROR/RETRY responses, bounded retry --- *)
+
+let bus_retry_then_ok () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  (* the slave answers the first two attempts of the first transaction
+     with RETRY, then OKAY *)
+  Bus.inject_faults b
+    (Some (fun _txn ~attempt -> if attempt < 2 then Bus.Retry else Bus.Okay));
+  Sim.Kernel.spawn k (fun () ->
+      Bus.transfer b
+        (Transaction.make ~master:"m" ~target:"mem" ~kind:Transaction.Write
+           ~bytes:4));
+  Sim.Kernel.run k;
+  let r = Bus.report b in
+  check "retry responses" 2 r.Bus.retry_responses;
+  check "error responses" 0 r.Bus.error_responses;
+  check "failed transfers" 0 r.Bus.failed_transfers;
+  (* only the successful attempt is accounted as a transaction *)
+  check "transactions" 1 r.Bus.transactions;
+  check "bytes" 4 r.Bus.data_bytes
+
+let bus_error_exhausts_retries () =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create ~max_retries:1 "bus" in
+  Bus.inject_faults b (Some (fun _txn ~attempt:_ -> Bus.Error));
+  let failed = ref None in
+  Sim.Kernel.spawn k (fun () ->
+      try
+        Bus.transfer b
+          (Transaction.make ~master:"m" ~target:"mem" ~kind:Transaction.Write
+             ~bytes:4)
+      with Bus.Transfer_failed { attempts; _ } -> failed := Some attempts);
+  Sim.Kernel.run k;
+  Alcotest.(check (option int)) "gave up after retries" (Some 2) !failed;
+  let r = Bus.report b in
+  check "error responses" 2 r.Bus.error_responses;
+  check "failed transfers" 1 r.Bus.failed_transfers;
+  check "no successful transactions" 0 r.Bus.transactions
+
+let bus_exhausted_governor_fails_fast () =
+  let module Gov = Symbad_gov.Gov in
+  let module Budget = Symbad_gov.Budget in
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  Bus.govern b
+    (Gov.create ~label:"bus" (Budget.make ~conflicts:0 ~patterns:0 ()));
+  Bus.inject_faults b (Some (fun _txn ~attempt:_ -> Bus.Retry));
+  let failed = ref None in
+  Sim.Kernel.spawn k (fun () ->
+      try
+        Bus.transfer b
+          (Transaction.make ~master:"m" ~target:"mem" ~kind:Transaction.Write
+             ~bytes:4)
+      with Bus.Transfer_failed { attempts; _ } -> failed := Some attempts);
+  Sim.Kernel.run k;
+  (* no budget for retries: the first faulted attempt is the last *)
+  Alcotest.(check (option int)) "no retry without budget" (Some 1) !failed
+
+let bus_retry_charges_governor () =
+  let module Gov = Symbad_gov.Gov in
+  let module Budget = Symbad_gov.Budget in
+  let k = Sim.Kernel.create () in
+  let b = Bus.create "bus" in
+  let gov = Gov.create ~label:"bus" (Budget.make ~patterns:10 ()) in
+  Bus.govern b gov;
+  Bus.inject_faults b
+    (Some (fun _txn ~attempt -> if attempt < 2 then Bus.Retry else Bus.Okay));
+  Sim.Kernel.spawn k (fun () ->
+      Bus.transfer b
+        (Transaction.make ~master:"m" ~target:"mem" ~kind:Transaction.Write
+           ~bytes:4));
+  Sim.Kernel.run k;
+  Alcotest.(check (option int))
+    "two retries charged" (Some 8) (Gov.patterns_left gov)
+
 let qcheck_transfer_monotone =
   QCheck.Test.make ~name:"bus transfer cost monotone in size" ~count:200
     QCheck.(pair (int_bound 4096) (int_bound 4096))
@@ -247,6 +323,13 @@ let suite =
     Alcotest.test_case "bus FIFO within priority" `Quick
       bus_fifo_within_priority;
     Alcotest.test_case "bus wait accounting" `Quick bus_wait_accounted;
+    Alcotest.test_case "bus retry then ok" `Quick bus_retry_then_ok;
+    Alcotest.test_case "bus error exhausts retries" `Quick
+      bus_error_exhausts_retries;
+    Alcotest.test_case "bus exhausted governor fails fast" `Quick
+      bus_exhausted_governor_fails_fast;
+    Alcotest.test_case "bus retry charges governor" `Quick
+      bus_retry_charges_governor;
     Alcotest.test_case "memory poke/peek" `Quick memory_poke_peek;
     Alcotest.test_case "memory bounds check" `Quick memory_bounds;
     Alcotest.test_case "memory bus read latency" `Quick memory_bus_read_latency;
