@@ -826,6 +826,140 @@ let resil out =
   if not report.Campaign.passed then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* LINT: the static-analysis pass — per-target diagnostic counts      *)
+(* over the repo corpus plus rule throughput on the largest           *)
+(* synthesised netlist.  `dune exec bench/main.exe -- lint [FILE]`    *)
+(* also writes the figures as JSON (the committed BENCH_lint.json     *)
+(* baseline; the per-target counts are deterministic, the throughput  *)
+(* row carries host timings).                                         *)
+
+let prop_pairs props =
+  List.map (fun p -> (Symbad_mc.Prop.name p, Symbad_mc.Prop.formula p)) props
+
+let lint_bench out =
+  let module Lint = Symbad_lint.Lint in
+  let module Json = Symbad_obs.Json in
+  section "LINT" "static-analysis corpus counts and rule throughput";
+  let wall_time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let l3 = Level3.run graph mapping3 in
+  let row (r : Lint.report) =
+    Format.printf "%-24s %d rules, %d errors, %d warnings@." r.Lint.target
+      (List.length r.Lint.rules_run)
+      (Lint.errors r) (Lint.warnings r);
+    ( r.Lint.target,
+      Json.Obj
+        [
+          ("rules", Json.Int (List.length r.Lint.rules_run));
+          ("errors", Json.Int (Lint.errors r));
+          ("warnings", Json.Int (Lint.warnings r));
+        ] )
+  in
+  let targets =
+    List.map
+      (fun (m : Level4.rtl_module) ->
+        row
+          (Lint.run_netlist
+             ~properties:(prop_pairs m.Level4.properties)
+             m.Level4.netlist))
+      (Level4.modules ())
+    @ [
+        (let nl = Symbad_resil.Recovery.netlist () in
+         row
+           (Lint.run_netlist
+              ~properties:(prop_pairs (Symbad_resil.Recovery.properties nl))
+              nl));
+        row
+          (Lint.run_program ~name:"instrumented software"
+             l3.Level3.config_info l3.Level3.instrumented_sw);
+        row (Lint.run_netlist Symbad_lint.Seeded.demo);
+      ]
+  in
+  (* throughput: all seven netlist rules over the largest synthesised
+     netlist in the repo, repeated for a stable figure *)
+  let spec = Wrapper_gen.make_spec ~data_width:32 ~depth:2 () in
+  let nl = Wrapper_gen.synthesize spec in
+  let props = prop_pairs (Wrapper_gen.checkers spec nl) in
+  let repeats = 50 in
+  let (), secs =
+    wall_time (fun () ->
+        for _ = 1 to repeats do
+          ignore (Lint.run_netlist ~properties:props nl)
+        done)
+  in
+  let rules = List.length Lint.netlist_rule_ids * repeats in
+  let per_sec = float_of_int rules /. secs in
+  Format.printf
+    "throughput: %d rule runs over %s (%d registers) in %.2fs = %.0f rules/s@."
+    rules
+    (Symbad_hdl.Netlist.name nl)
+    (List.length (Symbad_hdl.Netlist.registers nl))
+    secs per_sec;
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ("targets", Json.Obj targets);
+           ( "throughput",
+             Json.Obj
+               [
+                 ("netlist", Json.Str (Symbad_hdl.Netlist.name nl));
+                 ( "registers",
+                   Json.Int (List.length (Symbad_hdl.Netlist.registers nl)) );
+                 ("rule_runs", Json.Int rules);
+                 ("seconds", Json.Float secs);
+                 ("rules_per_second", Json.Float per_sec);
+               ] );
+         ])
+  in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json
+
+(* ---------------------------------------------------------------- *)
+(* Lint guard: the shipped corpus must stay diagnostic-free.  CI      *)
+(* runs this via the @lint-guard alias: the recovery controller, one  *)
+(* synthesised wrapper and the face-app reconfiguration program are   *)
+(* linted and any diagnostic at all fails the build.                  *)
+
+let lint_guard () =
+  let module Lint = Symbad_lint.Lint in
+  section "LINT-GUARD" "repo corpus stays diagnostic-free";
+  let failures = ref [] in
+  let check (r : Lint.report) =
+    Format.printf "%a" Lint.pp r;
+    if r.Lint.diagnostics <> [] then failures := r.Lint.target :: !failures
+  in
+  let recovery = Symbad_resil.Recovery.netlist () in
+  check
+    (Lint.run_netlist
+       ~properties:(prop_pairs (Symbad_resil.Recovery.properties recovery))
+       recovery);
+  let spec = Wrapper_gen.make_spec ~data_width:8 ~depth:2 () in
+  let wrapper = Wrapper_gen.synthesize spec in
+  check
+    (Lint.run_netlist
+       ~properties:(prop_pairs (Wrapper_gen.checkers spec wrapper))
+       wrapper);
+  let l3 = Level3.run graph mapping3 in
+  check
+    (Lint.run_program ~name:"instrumented software" l3.Level3.config_info
+       l3.Level3.instrumented_sw);
+  match !failures with
+  | [] -> Format.printf "lint-guard: corpus clean.@."
+  | fs ->
+      List.iter (fun f -> Format.printf "lint-guard FAILURE: %s@." f) fs;
+      exit 1
+
+(* ---------------------------------------------------------------- *)
 (* Fault guard: one injected-and-recovered flow, sub-second.  CI      *)
 (* runs this via the @fault-guard alias: a bitstream SEU must be      *)
 (* caught by the download CRC, re-downloaded, and the pipeline must   *)
@@ -880,6 +1014,9 @@ let () =
   | "resil" ->
       resil (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "fault_guard" -> fault_guard ()
+  | "lint" ->
+      lint_bench (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "lint_guard" -> lint_guard ()
   | _ ->
       tables ();
       micro_benchmarks ());

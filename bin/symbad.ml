@@ -338,22 +338,41 @@ let run_verify what c markdown json =
         Some
           (List.concat_map
              (fun (m : Level4.module_report) ->
-               [
-                 Verdict.make
-                   ~name:
-                     (Printf.sprintf "model checking %s" m.Level4.module_name)
-                   ~passed:m.Level4.all_proved
-                   ~detail:
-                     (Printf.sprintf "%d properties"
-                        (List.length m.Level4.mc_reports))
-                   (if m.Level4.all_proved then Verdict.Proved
-                    else Verdict.Inconclusive "not all properties proved");
+               let lint_v =
                  {
-                   (Verdict.of_pcc m.Level4.pcc) with
+                   (Verdict.of_lint m.Level4.lint) with
                    Verdict.name =
-                     Printf.sprintf "PCC completeness %s" m.Level4.module_name;
-                 };
-               ])
+                     Printf.sprintf "lint %s" m.Level4.module_name;
+                 }
+               in
+               let mc_v =
+                 let name =
+                   Printf.sprintf "model checking %s" m.Level4.module_name
+                 in
+                 if m.Level4.gated then
+                   Verdict.make ~name
+                     ~detail:"static lint already disproved the module"
+                     (Verdict.Inconclusive "skipped: lint gate")
+                 else
+                   Verdict.make ~name ~passed:m.Level4.all_proved
+                     ~detail:
+                       (Printf.sprintf "%d properties"
+                          (List.length m.Level4.mc_reports))
+                     (if m.Level4.all_proved then Verdict.Proved
+                      else Verdict.Inconclusive "not all properties proved")
+               in
+               let pcc_v =
+                 let name =
+                   Printf.sprintf "PCC completeness %s" m.Level4.module_name
+                 in
+                 match m.Level4.pcc with
+                 | Some pcc -> { (Verdict.of_pcc pcc) with Verdict.name = name }
+                 | None ->
+                     Verdict.make ~name
+                       ~detail:"static lint already disproved the module"
+                       (Verdict.Inconclusive "skipped: lint gate")
+               in
+               [ lint_v; mc_v; pcc_v ])
              l4.Level4.modules)
     | other ->
         Format.printf "unknown check %S (deadlock|timing|symbc|rtl)@." other;
@@ -379,6 +398,122 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run_verify $ what_arg $ common_term $ markdown_arg $ json_arg)
+
+(* --- lint --- *)
+
+let prop_pairs props =
+  List.map (fun p -> (Symbad_mc.Prop.name p, Symbad_mc.Prop.formula p)) props
+
+(* The lintable corpus.  Netlists are linted WITH their properties:
+   property cones keep verification-only registers (recovery's [nsave],
+   [nonop]) live, so lint agrees with what the engines actually read. *)
+let lint_reports c target rules =
+  let module Lint = Symbad_lint.Lint in
+  with_pool c (fun pool ->
+      let gov = gov_of ~label:"lint" c in
+      let rtl () =
+        List.map
+          (fun (m : Level4.rtl_module) ->
+            Lint.run_netlist ~pool ?gov ?rules
+              ~properties:(prop_pairs m.Level4.properties)
+              m.Level4.netlist)
+          (Level4.modules ())
+      in
+      let recovery () =
+        let nl = Symbad_resil.Recovery.netlist () in
+        [
+          Lint.run_netlist ~pool ?gov ?rules
+            ~properties:(prop_pairs (Symbad_resil.Recovery.properties nl))
+            nl;
+        ]
+      in
+      let program () =
+        let w = workload c in
+        let graph = Face_app.graph w in
+        let l1 = Level1.run graph in
+        let m =
+          Mapping.refine_to_fpga
+            (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+            Face_app.level3_refinement
+        in
+        let r = Level3.run graph m in
+        [
+          Lint.run_program ~pool ?gov ?rules ~name:"instrumented software"
+            r.Level3.config_info r.Level3.instrumented_sw;
+        ]
+      in
+      match target with
+      | "all" -> Some (rtl () @ recovery () @ program ())
+      | "rtl" -> Some (rtl ())
+      | "recovery" -> Some (recovery ())
+      | "program" -> Some (program ())
+      | "demo" ->
+          (* the seeded defective netlist: a stable exercise target for
+             the error path (comb loop + width + multiple drivers) *)
+          Some [ Lint.run_netlist ~pool ?gov ?rules Symbad_lint.Seeded.demo ]
+      | _ -> None)
+
+let run_lint target c rules_opt threshold markdown json =
+  let module Lint = Symbad_lint.Lint in
+  let rules =
+    Option.map
+      (fun s -> List.map String.trim (String.split_on_char ',' s))
+      rules_opt
+  in
+  match lint_reports c target rules with
+  | exception Invalid_argument msg ->
+      Format.eprintf "symbad: %s@." msg;
+      2
+  | None ->
+      Format.eprintf
+        "symbad: unknown lint target %S (all|rtl|recovery|program|demo)@."
+        target;
+      2
+  | Some reports ->
+      let merged = Lint.merge ~target reports in
+      List.iter (fun r -> Format.printf "%a" Lint.pp r) reports;
+      artefact ~what:"json report"
+        (fun () -> Json.to_string (Lint.to_json merged) ^ "\n")
+        json;
+      artefact ~what:"markdown report"
+        (fun () -> String.concat "\n" (List.map Lint.to_markdown reports))
+        markdown;
+      if Lint.count_at_least threshold merged > 0 then 1 else 0
+
+let lint_cmd =
+  let doc =
+    "Statically lint netlists and reconfiguration programs — the \
+     diagnostics pass that runs before simulation and model checking."
+  in
+  let target_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"TARGET"
+             ~doc:"What to lint: all (default), rtl (the level-4 modules), \
+                   recovery (the recovery controller), program (the \
+                   instrumented reconfiguration software) or demo (a \
+                   seeded defective netlist).")
+  in
+  let rules_arg =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ] ~docv:"R1,R2"
+             ~doc:"Comma-separated rule ids to run (default: every rule \
+                   applicable to the target).  Unknown ids are rejected, \
+                   not ignored.")
+  in
+  let threshold_arg =
+    let sev_conv =
+      Arg.enum
+        (let module D = Symbad_lint.Diagnostic in
+         [ ("error", D.Error); ("warning", D.Warning); ("info", D.Info) ])
+    in
+    Arg.(value & opt sev_conv Symbad_lint.Diagnostic.Error
+         & info [ "severity-threshold" ] ~docv:"SEV"
+             ~doc:"Lowest severity that fails the run: error (default), \
+                   warning or info.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run_lint $ target_arg $ common_term $ rules_arg
+          $ threshold_arg $ markdown_arg $ json_arg)
 
 (* --- explore --- *)
 
@@ -633,5 +768,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ flow_cmd; level_cmd; verify_cmd; explore_cmd; recognize_cmd;
-            stats_cmd; faults_cmd; wrapper_cmd ]))
+          [ flow_cmd; level_cmd; verify_cmd; lint_cmd; explore_cmd;
+            recognize_cmd; stats_cmd; faults_cmd; wrapper_cmd ]))

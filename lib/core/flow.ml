@@ -166,6 +166,21 @@ let emit_verdicts level verifications =
    at level 4, so it gets the lion's share of whatever remains. *)
 let level_fractions = [ (1, 0.125); (2, 1. /. 7.); (3, 1. /. 6.) ]
 
+(* A level whose governor is exhausted before any engine starts still
+   gets an explicit verdict row — skipped work must never be silently
+   absent from the report. *)
+let entry_verdicts level g =
+  match Gov.exhaustion g with
+  | None -> []
+  | Some reason ->
+      [
+        Verdict.make
+          ~name:(Printf.sprintf "level %d entry gate" level)
+          ~detail:"no engine started; the rows below report partial work only"
+          (Verdict.Inconclusive
+             (Printf.sprintf "governor: %s" (Degrade.reason_string reason)));
+      ]
+
 let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
     ?(deadline_ns = 40_000_000) ?budget () =
   let gov =
@@ -187,6 +202,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let l1, level1 =
     Obs.span ~cat:"level" "level1" @@ fun () ->
   let g1 = level_gov 1 in
+  let entry1 = entry_verdicts 1 g1 in
   let t0 = Sys.time () in
   let l1 = Level1.run graph in
   let l1_seconds = Sys.time () -. t0 in
@@ -208,12 +224,13 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
       latency_ns = None;
       sim_speed_khz = None;
       verifications =
-        [
-          compare_traces ~check:"trace match vs C reference model"
-            ~reference ~actual:l1.Level1.trace;
-          atpg_verification ?pool ~gov:atpg_gov ~seed ();
-          deadlock;
-        ];
+        entry1
+        @ [
+            compare_traces ~check:"trace match vs C reference model"
+              ~reference ~actual:l1.Level1.trace;
+            atpg_verification ?pool ~gov:atpg_gov ~seed ();
+            deadlock;
+          ];
     }
   in
   emit_verdicts 1 level1.verifications;
@@ -223,6 +240,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let l2, level2, mapping2 =
     Obs.span ~cat:"level" "level2" @@ fun () ->
   let g2 = level_gov 2 in
+  let entry2 = entry_verdicts 2 g2 in
   let mapping2 = Face_app.level2_mapping ~profile:l1.Level1.profile graph in
   let t0 = Sys.time () in
   let l2 = Level2.run graph mapping2 in
@@ -247,7 +265,8 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
           (Level2.simulation_speed_khz
              ~bus_period_ns:Level2.default_config.Level2.bus_period_ns l2);
       verifications =
-        [
+        entry2
+        @ [
           compare_traces ~check:"trace match vs level 1"
             ~reference:l1.Level1.trace ~actual:l2.Level2.trace;
           Verdict.of_lpv_timing ~deadline_ns ~met:deadline_ok period_verdict;
@@ -265,7 +284,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
           | None, None ->
               Verdict.make ~name:"LPV FIFO dimensioning"
                 (Verdict.Disproved "no capacity meets the deadline"));
-        ];
+          ];
     }
   in
   emit_verdicts 2 level2.verifications;
@@ -275,26 +294,43 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let level3, mapping3 =
     Obs.span ~cat:"level" "level3" @@ fun () ->
   let g3 = level_gov 3 in
+  let entry3 = entry_verdicts 3 g3 in
   let mapping3 = Mapping.refine_to_fpga mapping2 Face_app.level3_refinement in
   let t0 = Sys.time () in
   let l3 = Level3.run graph mapping3 in
   let l3_seconds = Sys.time () -. t0 in
+  (* the static reconfiguration lint gates dynamic SymbC: a program the
+     dataflow pass disproves is never simulated.  Warnings (the may/must
+     gap) defer to SymbC, which decides them dynamically. *)
+  let lint_report, lint_secs =
+    timed (fun () ->
+        Symbad_lint.Lint.run_program ?pool
+          ~gov:(Gov.slice ~label:"lint" ~fraction:0.1 g3)
+          ~name:"instrumented software" l3.Level3.config_info
+          l3.Level3.instrumented_sw)
+  in
+  let lint_v = Verdict.of_lint ~host_seconds:lint_secs lint_report in
   let symbc =
-    (* SymbC itself has no resource knob (one linear pass over the call
-       sites), so the governor gates it at entry only *)
-    match Gov.exhaustion g3 with
-    | Some reason ->
-        Gov.note_degraded g3 ~what:"symbc" reason;
-        Verdict.make ~name:"SymbC reconfiguration consistency"
-          (Verdict.Inconclusive
-             (Printf.sprintf "governor: %s" (Degrade.reason_string reason)))
-    | None ->
-        let v, secs =
-          timed (fun () ->
-              Symbad_symbc.Check.check l3.Level3.config_info
-                l3.Level3.instrumented_sw)
-        in
-        Verdict.of_symbc ~host_seconds:secs v
+    if Symbad_lint.Lint.errors lint_report > 0 then
+      Verdict.make ~name:"SymbC reconfiguration consistency"
+        ~detail:"static lint already disproved the program"
+        (Verdict.Inconclusive "skipped: lint gate")
+    else
+      (* SymbC itself has no resource knob (one linear pass over the
+         call sites), so the governor gates it at entry only *)
+      match Gov.exhaustion g3 with
+      | Some reason ->
+          Gov.note_degraded g3 ~what:"symbc" reason;
+          Verdict.make ~name:"SymbC reconfiguration consistency"
+            (Verdict.Inconclusive
+               (Printf.sprintf "governor: %s" (Degrade.reason_string reason)))
+      | None ->
+          let v, secs =
+            timed (fun () ->
+                Symbad_symbc.Check.check l3.Level3.config_info
+                  l3.Level3.instrumented_sw)
+          in
+          Verdict.of_symbc ~host_seconds:secs v
   in
   let level3 =
     {
@@ -307,14 +343,17 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
           (Level3.simulation_speed_khz
              ~bus_period_ns:Level2.default_config.Level2.bus_period_ns l3);
       verifications =
-        [
-          compare_traces ~check:"trace match vs level 2"
-            ~reference:l2.Level2.trace ~actual:l3.Level3.trace;
-          symbc;
-          Verdict.make ~name:"FPGA reconfiguration activity"
-            ~detail:(Fmt.str "%a" Symbad_fpga.Fpga.pp_stats l3.Level3.fpga_stats)
-            Verdict.Proved;
-        ];
+        entry3
+        @ [
+            compare_traces ~check:"trace match vs level 2"
+              ~reference:l2.Level2.trace ~actual:l3.Level3.trace;
+            lint_v;
+            symbc;
+            Verdict.make ~name:"FPGA reconfiguration activity"
+              ~detail:
+                (Fmt.str "%a" Symbad_fpga.Fpga.pp_stats l3.Level3.fpga_stats)
+              Verdict.Proved;
+          ];
     }
   in
   emit_verdicts 3 level3.verifications;
@@ -323,28 +362,43 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   (* ---- Level 4: RTL + model checking + PCC ---- *)
   let level4 =
     Obs.span ~cat:"level" "level4" @@ fun () ->
+  let g4 = level_gov 4 in
+  let entry4 = entry_verdicts 4 g4 in
   let t0 = Sys.time () in
-  let l4 = Level4.run ?pool ~gov:(level_gov 4) () in
+  let l4 = Level4.run ?pool ~gov:g4 () in
   let l4_seconds = Sys.time () -. t0 in
+  let lint_ver =
+    List.map
+      (fun (m : Level4.module_report) ->
+        (* the adapter names the netlist; the flow names the module *)
+        { (Verdict.of_lint m.Level4.lint) with
+          Verdict.name = Printf.sprintf "lint %s" m.Level4.module_name })
+      l4.Level4.modules
+  in
   let mc_ver =
     List.map
       (fun (m : Level4.module_report) ->
-        Verdict.make
-          ~name:(Printf.sprintf "model checking %s" m.Level4.module_name)
-          ~passed:m.Level4.all_proved
-          ~detail:
-            (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports))
-          (if m.Level4.all_proved then Verdict.Proved
-           else Verdict.Inconclusive "not all properties proved"))
+        let name = Printf.sprintf "model checking %s" m.Level4.module_name in
+        if m.Level4.gated then
+          Verdict.make ~name ~detail:"static lint already disproved the module"
+            (Verdict.Inconclusive "skipped: lint gate")
+        else
+          Verdict.make ~name ~passed:m.Level4.all_proved
+            ~detail:
+              (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports))
+            (if m.Level4.all_proved then Verdict.Proved
+             else Verdict.Inconclusive "not all properties proved"))
       l4.Level4.modules
   in
   let pcc_ver =
     List.map
       (fun (m : Level4.module_report) ->
-        (* the adapter names the netlist; the flow names the module *)
-        { (Verdict.of_pcc m.Level4.pcc) with
-          Verdict.name =
-            Printf.sprintf "PCC completeness %s" m.Level4.module_name })
+        let name = Printf.sprintf "PCC completeness %s" m.Level4.module_name in
+        match m.Level4.pcc with
+        | Some pcc -> { (Verdict.of_pcc pcc) with Verdict.name = name }
+        | None ->
+            Verdict.make ~name ~detail:"static lint already disproved the module"
+              (Verdict.Inconclusive "skipped: lint gate"))
       l4.Level4.modules
   in
   let level4 =
@@ -354,7 +408,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
       host_seconds = l4_seconds;
       latency_ns = None;
       sim_speed_khz = None;
-      verifications = mc_ver @ pcc_ver;
+      verifications = entry4 @ lint_ver @ mc_ver @ pcc_ver;
     }
   in
   emit_verdicts 4 level4.verifications;

@@ -201,9 +201,11 @@ let modules () =
 
 type module_report = {
   module_name : string;
+  lint : Symbad_lint.Lint.report;
+  gated : bool;
   mc_reports : Mc.Engine.report list;
   all_proved : bool;
-  pcc : Symbad_pcc.Pcc.report;
+  pcc : Symbad_pcc.Pcc.report option;
 }
 
 type result = { modules : module_report list }
@@ -211,20 +213,42 @@ type result = { modules : module_report list }
 let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
     ?(max_reg_bits = 4) m =
   let gov = Symbad_gov.Gov.get gov in
-  (* half the module's budget to model checking up front; PCC then runs
-     over whatever the proofs left unspent *)
-  let mc_gov = Symbad_gov.Gov.slice ~label:"mc" ~fraction:0.5 gov in
-  let mc_reports =
-    Mc.Engine.check_all ?pool ~max_depth ~gov:mc_gov m.netlist m.properties
+  (* the static gate comes first, over a thin slice: a netlist the lint
+     disproves never reaches the SAT engines.  Only errors gate —
+     warnings and governor-skipped rules let verification proceed. *)
+  let lint_gov = Symbad_gov.Gov.slice ~label:"lint" ~fraction:0.1 gov in
+  let lint =
+    Symbad_lint.Lint.run_netlist ?pool ~gov:lint_gov
+      ~properties:(List.map (fun p -> (Prop.name p, Prop.formula p)) m.properties)
+      m.netlist
   in
-  {
-    module_name = m.module_name;
-    mc_reports;
-    all_proved = Mc.Engine.all_proved mc_reports;
-    pcc =
-      Symbad_pcc.Pcc.run ?pool ~depth:pcc_depth ~max_reg_bits ~gov m.netlist
-        m.properties;
-  }
+  if Symbad_lint.Lint.errors lint > 0 then
+    {
+      module_name = m.module_name;
+      lint;
+      gated = true;
+      mc_reports = [];
+      all_proved = false;
+      pcc = None;
+    }
+  else
+    (* half the module's budget to model checking up front; PCC then
+       runs over whatever the proofs left unspent *)
+    let mc_gov = Symbad_gov.Gov.slice ~label:"mc" ~fraction:0.5 gov in
+    let mc_reports =
+      Mc.Engine.check_all ?pool ~max_depth ~gov:mc_gov m.netlist m.properties
+    in
+    {
+      module_name = m.module_name;
+      lint;
+      gated = false;
+      mc_reports;
+      all_proved = Mc.Engine.all_proved mc_reports;
+      pcc =
+        Some
+          (Symbad_pcc.Pcc.run ?pool ~depth:pcc_depth ~max_reg_bits ~gov
+             m.netlist m.properties);
+    }
 
 let run ?pool ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
   let gov = Symbad_gov.Gov.get gov in
@@ -241,9 +265,23 @@ let run ?pool ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
 
 let pp_module_report fmt r =
   Fmt.pf fmt "RTL module %s:@." r.module_name;
-  List.iter (fun m -> Fmt.pf fmt "  %a@." Mc.Engine.pp_report m) r.mc_reports;
-  Fmt.pf fmt "  property coverage: %.0f%% (%d/%d detectable faults)@."
-    (100. *. r.pcc.Symbad_pcc.Pcc.coverage)
-    r.pcc.Symbad_pcc.Pcc.covered r.pcc.Symbad_pcc.Pcc.detectable
+  Fmt.pf fmt "  lint: %d errors, %d warnings over %d rules@."
+    (Symbad_lint.Lint.errors r.lint)
+    (Symbad_lint.Lint.warnings r.lint)
+    (List.length r.lint.Symbad_lint.Lint.rules_run);
+  List.iter
+    (fun d -> Fmt.pf fmt "    %a@." Symbad_lint.Diagnostic.pp d)
+    r.lint.Symbad_lint.Lint.diagnostics;
+  if r.gated then
+    Fmt.pf fmt "  model checking and PCC skipped: lint gate@."
+  else begin
+    List.iter (fun m -> Fmt.pf fmt "  %a@." Mc.Engine.pp_report m) r.mc_reports;
+    match r.pcc with
+    | Some pcc ->
+        Fmt.pf fmt "  property coverage: %.0f%% (%d/%d detectable faults)@."
+          (100. *. pcc.Symbad_pcc.Pcc.coverage)
+          pcc.Symbad_pcc.Pcc.covered pcc.Symbad_pcc.Pcc.detectable
+    | None -> ()
+  end
 
 let pp fmt r = List.iter (pp_module_report fmt) r.modules

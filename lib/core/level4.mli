@@ -21,9 +21,13 @@ val modules : unit -> rtl_module list
 
 type module_report = {
   module_name : string;
-  mc_reports : Symbad_mc.Engine.report list;
+  lint : Symbad_lint.Lint.report;
+      (** the static gate, run before any engine; properties included
+          in its cone *)
+  gated : bool;  (** lint errors: model checking and PCC were skipped *)
+  mc_reports : Symbad_mc.Engine.report list;  (** empty when gated *)
   all_proved : bool;
-  pcc : Symbad_pcc.Pcc.report;
+  pcc : Symbad_pcc.Pcc.report option;  (** [None] when gated *)
 }
 
 type result = { modules : module_report list }
@@ -38,9 +42,13 @@ val verify_module :
   module_report
 (** [pool] fans the per-fault PCC checks and per-property model-checking
     runs across domains; verdicts are identical at any pool width.
-    [gov] governs the module: half its remaining budget is sliced off
-    for model checking, PCC runs over the rest; exhausted shares
-    degrade to [Unknown] / [Unresolved] partial reports. *)
+    The lint gate runs first over a small budget slice; lint {e errors}
+    (never warnings or governor skips) gate the expensive engines off —
+    the module report then carries the diagnostics instead of MC/PCC
+    results.  [gov] governs the rest of the module: half the remaining
+    budget is sliced off for model checking, PCC runs over what is
+    left; exhausted shares degrade to [Unknown] / [Unresolved] partial
+    reports. *)
 
 val run :
   ?pool:Symbad_par.Par.pool ->

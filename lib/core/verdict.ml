@@ -138,6 +138,41 @@ let of_symbc ?host_seconds (v : Symbad_symbc.Check.verdict) =
       make ?host_seconds ~name
         (Disproved (cex.Symbad_symbc.Check.failing_call ^ " unavailable"))
 
+let of_lint ?host_seconds (r : Symbad_lint.Lint.report) =
+  let module Lint = Symbad_lint.Lint in
+  let module D = Symbad_lint.Diagnostic in
+  let name = "lint " ^ r.Lint.target in
+  let errors = Lint.errors r and warnings = Lint.warnings r in
+  if errors > 0 then
+    let first =
+      List.find (fun d -> d.D.severity = D.Error) r.Lint.diagnostics
+    in
+    make ?host_seconds ~name
+      ~detail:
+        (Printf.sprintf "%d errors, %d warnings over %d rules" errors warnings
+           (List.length r.Lint.rules_run))
+      (Disproved
+         (Printf.sprintf "%s: %s: %s" first.D.rule first.D.location
+            first.D.message))
+  else if r.Lint.skipped_rules <> [] then
+    make ?host_seconds ~name
+      ~detail:
+        (Printf.sprintf "%d/%d rules afforded"
+           (List.length r.Lint.rules_run)
+           (List.length r.Lint.rules_run + List.length r.Lint.skipped_rules))
+      (Inconclusive
+         (Printf.sprintf "governor: rules skipped: %s"
+            (String.concat " " r.Lint.skipped_rules)))
+  else
+    make ?host_seconds ~name
+      ~detail:
+        (Printf.sprintf "%d rules, %d warnings%s"
+           (List.length r.Lint.rules_run)
+           warnings
+           (if r.Lint.suppressed = [] then ""
+            else "; suppressed: " ^ String.concat " " r.Lint.suppressed))
+      Proved
+
 (* A governed run that ran out of budget: Inconclusive carrying the
    degradation reason and whatever partial progress the engine made. *)
 let degraded ?host_seconds ~name ~partial reason =

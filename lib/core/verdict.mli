@@ -64,6 +64,12 @@ val of_symbc : ?host_seconds:float -> Symbad_symbc.Check.verdict -> t
 (** [Proved] with the number of certified call sites, or [Disproved]
     naming the failing reconfiguration call. *)
 
+val of_lint : ?host_seconds:float -> Symbad_lint.Lint.report -> t
+(** Any error ⇒ [Disproved] with the gravest diagnostic as the
+    disproof; rules skipped by the governor (and no errors) ⇒
+    [Inconclusive]; otherwise [Proved] over the rule set, warnings in
+    the detail line. *)
+
 val degraded :
   ?host_seconds:float ->
   name:string ->

@@ -45,44 +45,65 @@ let binop_to_string = function
   | Ult -> "<u"
   | Ule -> "<=u"
 
-(* Width of an expression, given the declared widths of inputs and
-   registers.  Raises [Invalid_argument] on undeclared names or width
-   inconsistencies — the static elaboration check. *)
-let rec width ~input_width ~reg_width e =
-  let recur = width ~input_width ~reg_width in
+(* Width inference, given the declared widths of inputs and registers.
+   [infer_width] is the total (result-typed) static elaboration check;
+   [width] is the raising wrapper the evaluators use. *)
+let ( let* ) = Result.bind
+
+let rec infer_width ~input_width ~reg_width e =
+  let recur = infer_width ~input_width ~reg_width in
   match e with
-  | Const v -> Bitvec.width v
+  | Const v -> Ok (Bitvec.width v)
   | Input n -> (
       match input_width n with
-      | Some w -> w
-      | None -> invalid_arg ("Expr.width: undeclared input " ^ n))
+      | Some w -> Ok w
+      | None -> Error ("undeclared input " ^ n))
   | Reg n -> (
       match reg_width n with
-      | Some w -> w
-      | None -> invalid_arg ("Expr.width: undeclared register " ^ n))
+      | Some w -> Ok w
+      | None -> Error ("undeclared register " ^ n))
   | Unop (_, a) -> recur a
-  | Binop ((Eq | Ult | Ule), a, b) ->
-      let wa = recur a and wb = recur b in
-      if wa <> wb then invalid_arg "Expr.width: comparison width mismatch";
-      1
-  | Binop (op, a, b) ->
-      let wa = recur a and wb = recur b in
+  | Binop ((Eq | Ult | Ule) as op, a, b) ->
+      let* wa = recur a in
+      let* wb = recur b in
       if wa <> wb then
-        invalid_arg
-          (Printf.sprintf "Expr.width: %s width mismatch %d vs %d"
-             (binop_to_string op) wa wb);
-      wa
+        Error
+          (Printf.sprintf "comparison %s width mismatch %d vs %d"
+             (binop_to_string op) wa wb)
+      else Ok 1
+  | Binop (op, a, b) ->
+      let* wa = recur a in
+      let* wb = recur b in
+      if wa <> wb then
+        Error
+          (Printf.sprintf "%s width mismatch %d vs %d" (binop_to_string op) wa
+             wb)
+      else Ok wa
   | Mux (sel, t, f) ->
-      if recur sel <> 1 then invalid_arg "Expr.width: mux selector width";
-      let wt = recur t and wf = recur f in
-      if wt <> wf then invalid_arg "Expr.width: mux arm width mismatch";
-      wt
+      let* ws = recur sel in
+      if ws <> 1 then
+        Error (Printf.sprintf "mux selector width %d, expected 1" ws)
+      else
+        let* wt = recur t in
+        let* wf = recur f in
+        if wt <> wf then
+          Error (Printf.sprintf "mux arm width mismatch %d vs %d" wt wf)
+        else Ok wt
   | Slice (a, hi, lo) ->
-      let wa = recur a in
+      let* wa = recur a in
       if lo < 0 || hi < lo || hi >= wa then
-        invalid_arg "Expr.width: slice out of range";
-      hi - lo + 1
-  | Concat (hi, lo) -> recur hi + recur lo
+        Error
+          (Printf.sprintf "slice [%d:%d] out of range for width %d" hi lo wa)
+      else Ok (hi - lo + 1)
+  | Concat (hi, lo) ->
+      let* wh = recur hi in
+      let* wl = recur lo in
+      Ok (wh + wl)
+
+let width ~input_width ~reg_width e =
+  match infer_width ~input_width ~reg_width e with
+  | Ok w -> w
+  | Error msg -> invalid_arg ("Expr.width: " ^ msg)
 
 (* Evaluate with the given environments. *)
 let rec eval ~input ~reg e =

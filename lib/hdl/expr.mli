@@ -40,13 +40,22 @@ val concat : t -> t -> t
 
 val binop_to_string : binop -> string
 
+val infer_width :
+  input_width:(string -> int option) ->
+  reg_width:(string -> int option) ->
+  t ->
+  (int, string) result
+(** Total static width inference: [Ok width], or [Error message] on
+    undeclared names or width inconsistencies.  The message names the
+    offending operator/name and the widths involved. *)
+
 val width :
   input_width:(string -> int option) ->
   reg_width:(string -> int option) ->
   t ->
   int
 (** Static width; raises [Invalid_argument] on undeclared names or width
-    inconsistencies. *)
+    inconsistencies.  [width e = infer_width e] with the error raised. *)
 
 val eval : input:(string -> Bitvec.t) -> reg:(string -> Bitvec.t) -> t -> Bitvec.t
 

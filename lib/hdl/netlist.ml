@@ -18,14 +18,20 @@ let reg_width n nl =
   List.find_opt (fun (r : register) -> String.equal r.name n) nl.registers
   |> Option.map (fun (r : register) -> r.width)
 
-let expr_width nl e =
-  Expr.width
+let infer_expr_width nl e =
+  Expr.infer_width
     ~input_width:(fun n -> input_width n nl)
     ~reg_width:(fun n -> reg_width n nl)
     e
 
+let expr_width nl e =
+  match infer_expr_width nl e with
+  | Ok w -> w
+  | Error msg -> invalid_arg ("Expr.width: " ^ msg)
+
 (* Structural elaboration: check name uniqueness, width consistency of
-   every next-state and output expression. *)
+   every next-state and output expression.  Errors carry the netlist and
+   the register/output the offending expression belongs to. *)
 let validate nl =
   let names = List.map fst nl.inputs @ List.map (fun (r : register) -> r.name) nl.registers in
   let dedup = List.sort_uniq String.compare names in
@@ -40,17 +46,34 @@ let validate nl =
     (fun (r : register) ->
       if Bitvec.width r.init <> r.width then
         invalid_arg ("Netlist " ^ nl.name ^ ": init width of " ^ r.name);
-      let w = expr_width nl r.next in
-      if w <> r.width then
-        invalid_arg
-          (Printf.sprintf "Netlist %s: next(%s) width %d, declared %d" nl.name
-             r.name w r.width))
+      match infer_expr_width nl r.next with
+      | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Netlist %s: next(%s): %s" nl.name r.name msg)
+      | Ok w ->
+          if w <> r.width then
+            invalid_arg
+              (Printf.sprintf "Netlist %s: next(%s) width %d, declared %d"
+                 nl.name r.name w r.width))
     nl.registers;
-  List.iter (fun (_, e) -> ignore (expr_width nl e)) nl.outputs;
+  List.iter
+    (fun (n, e) ->
+      match infer_expr_width nl e with
+      | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Netlist %s: output %s: %s" nl.name n msg)
+      | Ok _ -> ())
+    nl.outputs;
   nl
 
 let make ~name ~inputs ~registers ~outputs =
   validate { name; inputs; registers; outputs }
+
+(* No elaboration at all: the carrier for lint fixtures and for
+   netlists under repair, where the defects [make] rejects must be
+   representable so the lint can diagnose them. *)
+let make_unchecked ~name ~inputs ~registers ~outputs =
+  { name; inputs; registers; outputs }
 
 let name nl = nl.name
 let inputs nl = nl.inputs

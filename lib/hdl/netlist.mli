@@ -21,7 +21,18 @@ val make :
   outputs:(string * Expr.t) list ->
   t
 (** Elaborates and validates: unique names, consistent widths everywhere.
-    Raises [Invalid_argument] on violations. *)
+    Raises [Invalid_argument] on violations; the message names the
+    register or output whose expression failed. *)
+
+val make_unchecked :
+  name:string ->
+  inputs:(string * int) list ->
+  registers:register list ->
+  outputs:(string * Expr.t) list ->
+  t
+(** Builds the netlist with {e no} elaboration.  Defective netlists
+    must be representable so [Symbad_lint] can diagnose them; everything
+    else should use {!make}. *)
 
 val name : t -> string
 val inputs : t -> (string * int) list
@@ -31,8 +42,13 @@ val outputs : t -> (string * Expr.t) list
 val input_width : string -> t -> int option
 val reg_width : string -> t -> int option
 
+val infer_expr_width : t -> Expr.t -> (int, string) result
+(** Total width inference for an expression in this netlist's context
+    (see {!Expr.infer_width}). *)
+
 val expr_width : t -> Expr.t -> int
-(** Width of an expression in this netlist's context. *)
+(** Width of an expression in this netlist's context.  Raises
+    [Invalid_argument] where {!infer_expr_width} returns [Error]. *)
 
 val find_register : t -> string -> register option
 val find_output : t -> string -> Expr.t option

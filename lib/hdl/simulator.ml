@@ -10,7 +10,33 @@ let initial_state nl =
     (fun (r : Netlist.register) -> (r.Netlist.name, r.Netlist.init))
     (Netlist.registers nl)
 
-let create nl = { netlist = nl; state = initial_state nl; cycle = 0 }
+(* Reject malformed netlists up front (make_unchecked can build them):
+   a width error surfaces here with the offending register/output named,
+   not as an untyped exception mid-evaluation. *)
+let check nl =
+  List.iter
+    (fun (r : Netlist.register) ->
+      match Netlist.infer_expr_width nl r.Netlist.next with
+      | Ok w when w = r.Netlist.width -> ()
+      | Ok w ->
+          invalid_arg
+            (Printf.sprintf "Simulator: next(%s) width %d, declared %d"
+               r.Netlist.name w r.Netlist.width)
+      | Error msg ->
+          invalid_arg
+            (Printf.sprintf "Simulator: next(%s): %s" r.Netlist.name msg))
+    (Netlist.registers nl);
+  List.iter
+    (fun (n, e) ->
+      match Netlist.infer_expr_width nl e with
+      | Ok _ -> ()
+      | Error msg ->
+          invalid_arg (Printf.sprintf "Simulator: output %s: %s" n msg))
+    (Netlist.outputs nl)
+
+let create nl =
+  check nl;
+  { netlist = nl; state = initial_state nl; cycle = 0 }
 
 let reset t =
   t.state <- initial_state t.netlist;

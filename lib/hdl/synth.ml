@@ -18,19 +18,28 @@ type dataflow = {
 }
 
 (* Substitute defs (referenced via [Expr.Reg]) into one expression,
-   yielding an expression over inputs only. *)
-let rec inline defs (e : Expr.t) =
+   yielding an expression over inputs only.  [stack] tracks the defs
+   currently being expanded: a cyclic definition (a combinational loop)
+   is a clear error instead of a stack overflow. *)
+let rec inline ?(stack = []) defs (e : Expr.t) =
   match e with
   | Expr.Const _ | Expr.Input _ -> e
   | Expr.Reg n -> (
+      if List.mem n stack then
+        invalid_arg
+          ("Synth: combinational loop through def "
+          ^ String.concat " -> " (List.rev (n :: stack)));
       match List.assoc_opt n defs with
-      | Some def -> inline defs def
+      | Some def -> inline ~stack:(n :: stack) defs def
       | None -> invalid_arg ("Synth: reference to unknown def " ^ n))
-  | Expr.Unop (op, a) -> Expr.Unop (op, inline defs a)
-  | Expr.Binop (op, a, b) -> Expr.Binop (op, inline defs a, inline defs b)
-  | Expr.Mux (s, t, f) -> Expr.Mux (inline defs s, inline defs t, inline defs f)
-  | Expr.Slice (a, hi, lo) -> Expr.Slice (inline defs a, hi, lo)
-  | Expr.Concat (a, b) -> Expr.Concat (inline defs a, inline defs b)
+  | Expr.Unop (op, a) -> Expr.Unop (op, inline ~stack defs a)
+  | Expr.Binop (op, a, b) ->
+      Expr.Binop (op, inline ~stack defs a, inline ~stack defs b)
+  | Expr.Mux (s, t, f) ->
+      Expr.Mux (inline ~stack defs s, inline ~stack defs t, inline ~stack defs f)
+  | Expr.Slice (a, hi, lo) -> Expr.Slice (inline ~stack defs a, hi, lo)
+  | Expr.Concat (a, b) ->
+      Expr.Concat (inline ~stack defs a, inline ~stack defs b)
 
 let resolve_output df (out_name, source) =
   if List.mem_assoc source df.df_inputs then (out_name, Expr.Input source)

@@ -1,0 +1,57 @@
+(* The shared diagnostic currency of the lint passes. *)
+
+module Json = Symbad_obs.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  target : string;
+  location : string;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ~rule ~severity ~target ~location message =
+  { rule; severity; target; location; message; hint }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare a.location b.location in
+      if c <> 0 then c else String.compare a.message b.message
+
+let to_json d =
+  Json.Obj
+    ([
+       ("rule", Json.Str d.rule);
+       ("severity", Json.Str (severity_label d.severity));
+       ("target", Json.Str d.target);
+       ("location", Json.Str d.location);
+       ("message", Json.Str d.message);
+     ]
+    @ match d.hint with None -> [] | Some h -> [ ("hint", Json.Str h) ])
+
+let pp fmt d =
+  Fmt.pf fmt "%s: %s: %s: %s: %s"
+    (severity_label d.severity)
+    d.rule d.target d.location d.message;
+  match d.hint with None -> () | Some h -> Fmt.pf fmt " (hint: %s)" h

@@ -1,0 +1,38 @@
+(** The shared diagnostic currency of the lint passes.
+
+    Every rule reports findings in this one shape so reports, verdicts
+    and artefacts render uniformly regardless of which analyzer family
+    (netlist or reconfiguration) produced them. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** stable rule id, e.g. ["net.comb-loop"] *)
+  severity : severity;
+  target : string;  (** netlist or program the finding is about *)
+  location : string;  (** where inside the target, e.g. ["output ack"] *)
+  message : string;
+  hint : string option;  (** how to fix it, when the rule knows *)
+}
+
+val make :
+  ?hint:string ->
+  rule:string ->
+  severity:severity ->
+  target:string ->
+  location:string ->
+  string ->
+  t
+
+val severity_label : severity -> string
+val severity_of_string : string -> severity option
+
+val severity_rank : severity -> int
+(** [Error] ranks 0, [Warning] 1, [Info] 2 — lower is graver. *)
+
+val compare : t -> t -> int
+(** Severity rank, then rule id, then location, then message — the
+    stable report order. *)
+
+val to_json : t -> Symbad_obs.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,203 @@
+(* The pass framework: rule selection, governed parallel fan-out, one
+   report shape for both analyzer families. *)
+
+module Par = Symbad_par.Par
+module Gov = Symbad_gov.Gov
+module Obs = Symbad_obs.Obs
+module Json = Symbad_obs.Json
+module D = Diagnostic
+
+type report = {
+  target : string;
+  rules_run : string list;
+  suppressed : string list;
+  skipped_rules : string list;
+  diagnostics : D.t list;
+}
+
+let netlist_rule_ids =
+  [
+    "net.width";
+    "net.undriven";
+    "net.multi-driven";
+    "net.comb-loop";
+    "net.unused";
+    "net.dead-logic";
+    "net.no-reset";
+  ]
+
+let program_rule_ids =
+  [
+    "cfg.never-loaded";
+    "cfg.maybe-unloaded";
+    "cfg.unknown-config";
+    "cfg.redundant-config";
+    "cfg.unreachable-config";
+  ]
+
+let all_rule_ids = netlist_rule_ids @ program_rule_ids
+
+(* Selection: [rules] restricts (unknown ids rejected — a CLI typo must
+   not read as "clean"), [suppress] disables but is recorded. *)
+let select ~family ?rules ?(suppress = []) () =
+  (match rules with
+  | None -> ()
+  | Some ids ->
+      List.iter
+        (fun id ->
+          if not (List.mem id all_rule_ids) then
+            invalid_arg
+              (Printf.sprintf "Lint: unknown rule '%s' (known: %s)" id
+                 (String.concat ", " all_rule_ids)))
+        ids);
+  let wanted id = match rules with None -> true | Some ids -> List.mem id ids in
+  let active =
+    List.filter (fun id -> wanted id && not (List.mem id suppress)) family
+  in
+  (active, List.filter (fun id -> List.mem id family) suppress)
+
+(* Governed fan-out: one rule = one pattern.  The allowance is read
+   once, before the parallel map, so the set of rules run — and with it
+   the report — is the same at any pool width. *)
+let run_rules ~target ~family ~impl ?pool ?gov ?rules ?suppress () =
+  let pool = Par.get pool and gov = Gov.get gov in
+  let active, suppressed = select ~family ?rules ?suppress () in
+  let affordable =
+    match Gov.patterns_left gov with
+    | None -> List.length active
+    | Some k -> min k (List.length active)
+  in
+  let rec split n = function
+    | rest when n = 0 -> ([], rest)
+    | [] -> ([], [])
+    | x :: rest ->
+        let run, skip = split (n - 1) rest in
+        (x :: run, skip)
+  in
+  let to_run, skipped = split affordable active in
+  let run () =
+    let diags =
+      Par.map ~label:"lint" pool (fun id -> impl id) to_run |> List.concat
+    in
+    Gov.charge_patterns gov (List.length to_run);
+    if Obs.enabled () then begin
+      Obs.incr_counter ~by:(List.length to_run) "lint.rules_run";
+      Obs.incr_counter ~by:(List.length diags) "lint.diagnostics";
+      Obs.incr_counter
+        ~by:(List.length (List.filter (fun d -> d.D.severity = D.Error) diags))
+        "lint.errors"
+    end;
+    {
+      target;
+      rules_run = to_run;
+      suppressed;
+      skipped_rules = skipped;
+      diagnostics = List.stable_sort D.compare diags;
+    }
+  in
+  if Obs.enabled () then
+    Obs.span ~track:"lint" ~args:[ ("target", Json.Str target) ] "lint" run
+  else run ()
+
+let run_netlist ?pool ?gov ?rules ?suppress ?properties nl =
+  let ctx = Netlist_rules.context ?properties nl in
+  let impl = function
+    | "net.width" -> Netlist_rules.rule_width ctx
+    | "net.undriven" -> Netlist_rules.rule_undriven ctx
+    | "net.multi-driven" -> Netlist_rules.rule_multi_driven ctx
+    | "net.comb-loop" -> Netlist_rules.rule_comb_loop ctx
+    | "net.unused" -> Netlist_rules.rule_unused ctx
+    | "net.dead-logic" -> Netlist_rules.rule_dead_logic ctx
+    | "net.no-reset" -> Netlist_rules.rule_no_reset ctx
+    | id -> invalid_arg ("Lint: not a netlist rule: " ^ id)
+  in
+  run_rules ~target:ctx.Netlist_rules.target ~family:netlist_rule_ids ~impl
+    ?pool ?gov ?rules ?suppress ()
+
+let run_cfg ?pool ?gov ?rules ?suppress ?(name = "program") ci cfg =
+  let ctx = Program_rules.context ~target:name ci cfg in
+  let impl = function
+    | "cfg.never-loaded" -> Program_rules.rule_never_loaded ctx
+    | "cfg.maybe-unloaded" -> Program_rules.rule_maybe_unloaded ctx
+    | "cfg.unknown-config" -> Program_rules.rule_unknown_config ctx
+    | "cfg.redundant-config" -> Program_rules.rule_redundant_config ctx
+    | "cfg.unreachable-config" -> Program_rules.rule_unreachable_config ctx
+    | id -> invalid_arg ("Lint: not a program rule: " ^ id)
+  in
+  run_rules ~target:name ~family:program_rule_ids ~impl ?pool ?gov ?rules
+    ?suppress ()
+
+let run_program ?pool ?gov ?rules ?suppress ?name ci program =
+  run_cfg ?pool ?gov ?rules ?suppress ?name ci (Symbad_symbc.Cfg.build program)
+
+let merge ~target reports =
+  let union ls =
+    List.fold_left
+      (fun acc l ->
+        List.fold_left
+          (fun acc x -> if List.mem x acc then acc else acc @ [ x ])
+          acc l)
+      [] ls
+  in
+  {
+    target;
+    rules_run = union (List.map (fun r -> r.rules_run) reports);
+    suppressed = union (List.map (fun r -> r.suppressed) reports);
+    skipped_rules = union (List.map (fun r -> r.skipped_rules) reports);
+    diagnostics =
+      List.stable_sort D.compare
+        (List.concat_map (fun r -> r.diagnostics) reports);
+  }
+
+let count_at_least sev r =
+  List.length
+    (List.filter
+       (fun d -> D.severity_rank d.D.severity <= D.severity_rank sev)
+       r.diagnostics)
+
+let errors r = count_at_least D.Error r
+let warnings r = count_at_least D.Warning r - errors r
+
+let to_json r =
+  Json.Obj
+    [
+      ("lint", Json.Str r.target);
+      ("rules_run", Json.List (List.map (fun s -> Json.Str s) r.rules_run));
+      ("suppressed", Json.List (List.map (fun s -> Json.Str s) r.suppressed));
+      ("skipped", Json.List (List.map (fun s -> Json.Str s) r.skipped_rules));
+      ("errors", Json.Int (errors r));
+      ("warnings", Json.Int (warnings r));
+      ("diagnostics", Json.List (List.map D.to_json r.diagnostics));
+    ]
+
+let to_markdown r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "## Lint: %s\n\n" r.target);
+  Buffer.add_string b
+    (Printf.sprintf "%d rules run, %d errors, %d warnings%s%s\n\n"
+       (List.length r.rules_run) (errors r) (warnings r)
+       (if r.suppressed = [] then ""
+        else ", suppressed: " ^ String.concat " " r.suppressed)
+       (if r.skipped_rules = [] then ""
+        else ", skipped (governor): " ^ String.concat " " r.skipped_rules));
+  if r.diagnostics <> [] then begin
+    Buffer.add_string b "| severity | rule | location | message | hint |\n";
+    Buffer.add_string b "|---|---|---|---|---|\n";
+    List.iter
+      (fun (d : D.t) ->
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %s | %s | %s | %s |\n"
+             (D.severity_label d.D.severity)
+             d.D.rule d.D.location d.D.message
+             (Option.value ~default:"" d.D.hint)))
+      r.diagnostics
+  end;
+  Buffer.contents b
+
+let pp fmt r =
+  Fmt.pf fmt "lint %s: %d rules, %d errors, %d warnings@." r.target
+    (List.length r.rules_run) (errors r) (warnings r);
+  List.iter (fun d -> Fmt.pf fmt "  %a@." D.pp d) r.diagnostics;
+  if r.skipped_rules <> [] then
+    Fmt.pf fmt "  skipped (governor): %s@."
+      (String.concat " " r.skipped_rules)

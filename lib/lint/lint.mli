@@ -1,0 +1,86 @@
+(** The static-analysis pass framework: run rule families over a
+    netlist or a reconfiguration program, get one {!report}.
+
+    Rules fan out per-rule on a [Symbad_par] pool under a [Symbad_gov]
+    budget slice (one rule = one pattern); the allowance is read once
+    before the fan-out, so reports are identical at any [--jobs]
+    width.  Rules the governor could not afford are listed in
+    [skipped_rules], never silently dropped. *)
+
+module Expr := Symbad_hdl.Expr
+module Netlist := Symbad_hdl.Netlist
+
+type report = {
+  target : string;  (** netlist / program name *)
+  rules_run : string list;
+  suppressed : string list;  (** intentionally disabled rule ids *)
+  skipped_rules : string list;  (** unaffordable under the governor *)
+  diagnostics : Diagnostic.t list;  (** stable order, gravest first *)
+}
+
+val netlist_rule_ids : string list
+(** The netlist analyzer family, canonical order: [net.width],
+    [net.undriven], [net.multi-driven], [net.comb-loop], [net.unused],
+    [net.dead-logic], [net.no-reset]. *)
+
+val program_rule_ids : string list
+(** The reconfiguration analyzer family, canonical order:
+    [cfg.never-loaded], [cfg.maybe-unloaded], [cfg.unknown-config],
+    [cfg.redundant-config], [cfg.unreachable-config]. *)
+
+val all_rule_ids : string list
+
+val run_netlist :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?rules:string list ->
+  ?suppress:string list ->
+  ?properties:(string * Expr.t) list ->
+  Netlist.t ->
+  report
+(** Lint a netlist (checked or [make_unchecked]).  [properties] are
+    named width-1 formulas over the netlist's signals (primed register
+    reads allowed); they extend the cone of influence and are width-
+    and vacuity-checked themselves.  [rules] selects a subset (raises
+    [Invalid_argument] on unknown ids); [suppress] disables ids while
+    recording the suppression in the report. *)
+
+val run_program :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?rules:string list ->
+  ?suppress:string list ->
+  ?name:string ->
+  Symbad_symbc.Config_info.t ->
+  Symbad_symbc.Ast.program ->
+  report
+(** Lint a reconfiguration program against its configuration
+    information ([name] labels the target, default ["program"]). *)
+
+val run_cfg :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?rules:string list ->
+  ?suppress:string list ->
+  ?name:string ->
+  Symbad_symbc.Config_info.t ->
+  Symbad_symbc.Cfg.t ->
+  report
+(** {!run_program} over an already-built (possibly hand-built) CFG. *)
+
+val merge : target:string -> report list -> report
+(** Concatenate reports into one (rule lists unioned in first-seen
+    order, diagnostics re-sorted). *)
+
+val errors : report -> int
+val warnings : report -> int
+
+val count_at_least : Diagnostic.severity -> report -> int
+(** Diagnostics at or above the given severity. *)
+
+val to_json : report -> Symbad_obs.Json.t
+(** Timing-free by construction: byte-comparable across runs and
+    [--jobs] widths. *)
+
+val to_markdown : report -> string
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,185 @@
+(* The reconfiguration analyzer family: static dataflow over the
+   mini-C CFG, no simulation.
+
+   One forward may-analysis computes, per CFG node, the set of FPGA
+   states — [None] (unloaded) or [Some config] — that can hold when
+   control reaches it.  [Reconfig c] is a strong update (the whole
+   fabric is reloaded, so the post-state is exactly [{Some c}]); every
+   other action is the identity.  Because reconfiguration replaces the
+   state wholesale, a singleton may-set is simultaneously the must-set,
+   which is what makes the redundancy rule exact.
+
+   The may/must gap is the documented warning direction: a call whose
+   context is loaded on only *some* paths is a warning here (dynamic
+   SymbC decides), never a silent pass. *)
+
+module Cfg = Symbad_symbc.Cfg
+module Ci = Symbad_symbc.Config_info
+module D = Diagnostic
+
+module States = Set.Make (struct
+  type t = string option
+
+  let compare = Option.compare String.compare
+end)
+
+type ctx = { ci : Ci.t; cfg : Cfg.t; target : string }
+
+let context ~target ci cfg = { ci; cfg; target }
+
+let diag ctx ?hint ~rule ~severity ~location message =
+  D.make ?hint ~rule ~severity ~target:ctx.target ~location message
+
+let edge_loc (e : Cfg.edge) =
+  Printf.sprintf "edge %d->%d (%s)" e.Cfg.src e.Cfg.dst
+    (Cfg.action_to_string e.Cfg.action)
+
+(* Deterministic edge order for reporting. *)
+let edges ctx =
+  List.sort
+    (fun (a : Cfg.edge) (b : Cfg.edge) ->
+      compare
+        (a.Cfg.src, a.Cfg.dst, Cfg.action_to_string a.Cfg.action)
+        (b.Cfg.src, b.Cfg.dst, Cfg.action_to_string b.Cfg.action))
+    ctx.cfg.Cfg.edges
+
+(* The may-analysis fixpoint: reachable nodes have non-empty sets. *)
+let may_states ctx =
+  let cfg = ctx.cfg in
+  let states = Array.make cfg.Cfg.nnodes States.empty in
+  states.(cfg.Cfg.entry) <- States.singleton None;
+  let transfer (a : Cfg.action) s =
+    match a with
+    | Cfg.Reconfig c -> if States.is_empty s then s else States.singleton (Some c)
+    | Cfg.Nop | Cfg.Call _ -> s
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Cfg.edge) ->
+        let out = transfer e.Cfg.action states.(e.Cfg.src) in
+        let merged = States.union states.(e.Cfg.dst) out in
+        if not (States.equal merged states.(e.Cfg.dst)) then begin
+          states.(e.Cfg.dst) <- merged;
+          changed := true
+        end)
+      cfg.Cfg.edges
+  done;
+  states
+
+let state_label = function None -> "unloaded" | Some c -> c
+
+let providers ctx f s =
+  States.filter
+    (function
+      | Some c -> Ci.has_configuration ctx.ci c && Ci.provides ctx.ci ~config:c f
+      | None -> false)
+    s
+
+(* --- cfg.never-loaded / cfg.maybe-unloaded ----------------------------- *)
+
+let call_findings ctx =
+  let may = may_states ctx in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.Call f when Ci.is_fpga_function ctx.ci f ->
+          let s = may.(e.Cfg.src) in
+          if States.is_empty s then None (* unreachable: not a call defect *)
+          else
+            let good = providers ctx f s in
+            if States.is_empty good then Some (`Never, e, f, s)
+            else if States.cardinal good < States.cardinal s then
+              Some (`Maybe, e, f, s)
+            else None
+      | _ -> None)
+    (edges ctx)
+
+let rule_never_loaded ctx =
+  List.filter_map
+    (fun finding ->
+      match finding with
+      | `Never, e, f, _ ->
+          Some
+            (diag ctx ~rule:"cfg.never-loaded" ~severity:D.Error
+               ~location:(edge_loc e)
+               ~hint:
+                 (Printf.sprintf
+                    "insert a reconfiguration loading a context that provides \
+                     '%s' before the call"
+                    f)
+               (Printf.sprintf
+                  "call to FPGA function '%s': no path loads a providing \
+                   configuration"
+                  f))
+      | _ -> None)
+    (call_findings ctx)
+
+let rule_maybe_unloaded ctx =
+  List.filter_map
+    (fun finding ->
+      match finding with
+      | `Maybe, e, f, s ->
+          Some
+            (diag ctx ~rule:"cfg.maybe-unloaded" ~severity:D.Warning
+               ~location:(edge_loc e)
+               ~hint:"dynamic SymbC decides; reconfigure on every path to fix"
+               (Printf.sprintf
+                  "call to FPGA function '%s' reachable with states {%s}; not \
+                   all provide it"
+                  f
+                  (String.concat ", "
+                     (List.map state_label (States.elements s)))))
+      | _ -> None)
+    (call_findings ctx)
+
+(* --- cfg.unknown-config ------------------------------------------------ *)
+
+let rule_unknown_config ctx =
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.Reconfig c when not (Ci.has_configuration ctx.ci c) ->
+          Some
+            (diag ctx ~rule:"cfg.unknown-config" ~severity:D.Error
+               ~location:(edge_loc e)
+               ~hint:"declare it in the configuration information"
+               (Printf.sprintf "reconfiguration loads unknown configuration \
+                                '%s'" c))
+      | _ -> None)
+    (edges ctx)
+
+(* --- cfg.redundant-config ---------------------------------------------- *)
+
+let rule_redundant_config ctx =
+  let may = may_states ctx in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.Reconfig c
+        when States.equal may.(e.Cfg.src) (States.singleton (Some c)) ->
+          Some
+            (diag ctx ~rule:"cfg.redundant-config" ~severity:D.Warning
+               ~location:(edge_loc e)
+               ~hint:"drop the call; reconfiguration is not free"
+               (Printf.sprintf
+                  "configuration '%s' is already loaded on every path here" c))
+      | _ -> None)
+    (edges ctx)
+
+(* --- cfg.unreachable-config -------------------------------------------- *)
+
+let rule_unreachable_config ctx =
+  let may = may_states ctx in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.Reconfig c when States.is_empty may.(e.Cfg.src) ->
+          Some
+            (diag ctx ~rule:"cfg.unreachable-config" ~severity:D.Warning
+               ~location:(edge_loc e)
+               ~hint:"dead code: remove it or fix the control flow"
+               (Printf.sprintf "unreachable reconfiguration of '%s'" c))
+      | _ -> None)
+    (edges ctx)

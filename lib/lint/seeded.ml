@@ -1,0 +1,182 @@
+(* Seeded-defect fixtures: for every rule, one target that must fire
+   it and one clean counterpart that must not.  Built with
+   [Netlist.make_unchecked] where the defect is one [Netlist.make]
+   would reject — representing such netlists is the whole point of the
+   lint.  The [demo] netlist combines the three acceptance defects
+   (combinational loop, width mismatch, multiply-driven net) for the
+   CLI walkthrough. *)
+
+module Expr = Symbad_hdl.Expr
+module Bitvec = Symbad_hdl.Bitvec
+module Netlist = Symbad_hdl.Netlist
+module Ast = Symbad_symbc.Ast
+module Ci = Symbad_symbc.Config_info
+module Cfg = Symbad_symbc.Cfg
+
+let reg name width init next = { Netlist.name; width; init; next }
+let z w = Bitvec.zero ~width:w
+let c ~width v = Expr.const ~width v
+
+(* --- netlist fixtures --------------------------------------------------- *)
+
+(* A well-formed 4-bit accumulator every clean variant derives from. *)
+let clean =
+  let acc = Expr.reg "acc" and en = Expr.input "en" and d = Expr.input "d" in
+  Netlist.make ~name:"seed_clean"
+    ~inputs:[ ("en", 1); ("d", 4) ]
+    ~registers:
+      [ reg "acc" 4 (z 4) (Expr.mux en (Expr.add acc d) acc) ]
+    ~outputs:[ ("acc", acc) ]
+
+(* net.width: 8-bit next-state expression into a 4-bit register. *)
+let width_mismatch =
+  let acc = Expr.reg "acc" in
+  Netlist.make_unchecked ~name:"seed_width"
+    ~inputs:[ ("d", 8) ]
+    ~registers:
+      [ reg "acc" 4 (z 4) (Expr.add (Expr.concat (c ~width:4 0) acc) (Expr.input "d")) ]
+    ~outputs:[ ("acc", acc) ]
+
+(* net.undriven: output reads a net nothing drives. *)
+let undriven =
+  Netlist.make_unchecked ~name:"seed_undriven"
+    ~inputs:[ ("d", 4) ]
+    ~registers:[]
+    ~outputs:[ ("q", Expr.add (Expr.input "d") (Expr.reg "ghost")) ]
+
+(* net.multi-driven: two registers share one name. *)
+let multi_driven =
+  Netlist.make_unchecked ~name:"seed_multi"
+    ~inputs:[ ("d", 4) ]
+    ~registers:
+      [
+        reg "x" 4 (z 4) (Expr.input "d");
+        reg "x" 4 (z 4) (Expr.not_ (Expr.input "d"));
+      ]
+    ~outputs:[ ("x", Expr.reg "x") ]
+
+(* net.comb-loop: two combinational nets feed each other. *)
+let comb_loop =
+  Netlist.make_unchecked ~name:"seed_loop"
+    ~inputs:[ ("d", 1) ]
+    ~registers:[]
+    ~outputs:
+      [
+        ("a", Expr.and_ (Expr.input "d") (Expr.reg "b"));
+        ("b", Expr.not_ (Expr.reg "a"));
+      ]
+
+(* net.unused: an input and a register outside every cone. *)
+let unused =
+  let acc = Expr.reg "acc" in
+  Netlist.make ~name:"seed_unused"
+    ~inputs:[ ("d", 4); ("nc", 1) ]
+    ~registers:
+      [
+        reg "acc" 4 (z 4) (Expr.add acc (Expr.input "d"));
+        reg "orphan" 4 (z 4) (Expr.reg "orphan");
+      ]
+    ~outputs:[ ("acc", acc) ]
+
+(* net.dead-logic: a constant mux selector. *)
+let dead_logic =
+  let d = Expr.input "d" in
+  Netlist.make ~name:"seed_dead"
+    ~inputs:[ ("d", 4) ]
+    ~registers:[]
+    ~outputs:[ ("q", Expr.mux (c ~width:1 1) d (Expr.not_ d)) ]
+
+(* net.no-reset: an explicit rst input that one register ignores. *)
+let no_reset =
+  let a = Expr.reg "a" and b = Expr.reg "b" and rst = Expr.input "rst" in
+  let d = Expr.input "d" in
+  Netlist.make ~name:"seed_noreset"
+    ~inputs:[ ("rst", 1); ("d", 4) ]
+    ~registers:
+      [
+        reg "a" 4 (z 4) (Expr.mux rst (z 4 |> fun v -> Expr.Const v) d);
+        reg "b" 4 (z 4) (Expr.add b d);
+      ]
+    ~outputs:[ ("a", a); ("b", b) ]
+
+(* The acceptance demo: a combinational loop, a width mismatch and a
+   multiply-driven net in one netlist. *)
+let demo =
+  let acc = Expr.reg "acc" in
+  Netlist.make_unchecked ~name:"demo"
+    ~inputs:[ ("en", 1); ("d", 8) ]
+    ~registers:
+      [
+        (* width mismatch: 8-bit d into the 4-bit acc *)
+        reg "acc" 4 (z 4) (Expr.input "d");
+        (* multiply-driven: second declaration of acc *)
+        reg "acc" 4 (z 4) (Expr.reg "acc");
+      ]
+    ~outputs:
+      [
+        ("acc", acc);
+        (* combinational loop: p and q feed each other *)
+        ("p", Expr.and_ (Expr.input "en") (Expr.reg "q"));
+        ("q", Expr.not_ (Expr.reg "p"));
+      ]
+
+let fixtures =
+  [
+    ("net.width", width_mismatch);
+    ("net.undriven", undriven);
+    ("net.multi-driven", multi_driven);
+    ("net.comb-loop", comb_loop);
+    ("net.unused", unused);
+    ("net.dead-logic", dead_logic);
+    ("net.no-reset", no_reset);
+  ]
+
+(* --- program fixtures --------------------------------------------------- *)
+
+let ci =
+  Ci.make
+    ~fpga_functions:[ "edge"; "erosion" ]
+    ~configurations:[ ("c_edge", [ "edge" ]); ("c_erosion", [ "erosion" ]) ]
+    ()
+
+let program_clean =
+  [ Ast.reconfig "c_edge"; Ast.call "edge"; Ast.reconfig "c_erosion";
+    Ast.call "erosion" ]
+
+(* cfg.never-loaded: the call's context is loaded on no path. *)
+let program_never_loaded = [ Ast.reconfig "c_erosion"; Ast.call "edge" ]
+
+(* cfg.maybe-unloaded: loaded on one branch only — dynamic SymbC's
+   counterexample direction, a warning here. *)
+let program_maybe_unloaded =
+  [ Ast.if_ [ Ast.reconfig "c_edge" ] []; Ast.call "edge" ]
+
+(* cfg.unknown-config. *)
+let program_unknown_config = [ Ast.reconfig "c_typo"; Ast.call "edge" ]
+
+(* cfg.redundant-config: back-to-back loads of the same context. *)
+let program_redundant =
+  [ Ast.reconfig "c_edge"; Ast.reconfig "c_edge"; Ast.call "edge" ]
+
+(* cfg.unreachable-config: [Ast.build] cannot produce unreachable
+   nodes (branches are nondeterministic), so the fixture is a
+   hand-built CFG with an orphaned reconfiguration edge. *)
+let cfg_unreachable =
+  {
+    Cfg.entry = 0;
+    exit_ = 1;
+    nnodes = 4;
+    edges =
+      [
+        { Cfg.src = 0; dst = 1; action = Cfg.Nop };
+        { Cfg.src = 2; dst = 3; action = Cfg.Reconfig "c_edge" };
+      ];
+  }
+
+let program_fixtures =
+  [
+    ("cfg.never-loaded", program_never_loaded);
+    ("cfg.maybe-unloaded", program_maybe_unloaded);
+    ("cfg.unknown-config", program_unknown_config);
+    ("cfg.redundant-config", program_redundant);
+  ]

@@ -17,4 +17,5 @@ let () =
       ("par", Test_par.suite);
       ("gov", Test_gov.suite);
       ("resil", Test_resil.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,365 @@
+(* Tests for the static-analysis subsystem: per-rule seeded-defect
+   fixtures (one target that must fire each rule, one clean target that
+   must not), the governed/parallel framework contracts (jobs-width
+   invariant reports, governor skips recorded, suppressions recorded),
+   the documented may/must-vs-dynamic-SymbC warning direction, and the
+   satellite bugfixes (Expr.infer_width, early Simulator errors, Synth
+   combinational-loop detection). *)
+
+module Lint = Symbad_lint.Lint
+module Diagnostic = Symbad_lint.Diagnostic
+module Seeded = Symbad_lint.Seeded
+module Expr = Symbad_hdl.Expr
+module Bitvec = Symbad_hdl.Bitvec
+module Netlist = Symbad_hdl.Netlist
+module Simulator = Symbad_hdl.Simulator
+module Synth = Symbad_hdl.Synth
+module Json = Symbad_obs.Json
+module Par = Symbad_par.Par
+module Gov = Symbad_gov.Gov
+module Budget = Symbad_gov.Budget
+module Ast = Symbad_symbc.Ast
+module Check = Symbad_symbc.Check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let fired rule report =
+  List.exists
+    (fun (d : Diagnostic.t) -> String.equal d.Diagnostic.rule rule)
+    report.Lint.diagnostics
+
+(* --- netlist rules: each fixture fires exactly its rule -------------- *)
+
+let netlist_fixtures_fire () =
+  List.iter
+    (fun (rule, nl) ->
+      let r = Lint.run_netlist nl in
+      check_bool (rule ^ " fires on its fixture") true (fired rule r))
+    Seeded.fixtures
+
+let clean_netlist_is_clean () =
+  let r = Lint.run_netlist Seeded.clean in
+  check_int "no diagnostics on the clean netlist" 0
+    (List.length r.Lint.diagnostics);
+  check_int "all netlist rules ran" (List.length Lint.netlist_rule_ids)
+    (List.length r.Lint.rules_run)
+
+(* Defects do not bleed across rules: the width fixture must not fire
+   comb-loop, the loop fixture must not fire width (no cascades). *)
+let no_cross_fire () =
+  let r = Lint.run_netlist Seeded.width_mismatch in
+  check_bool "width fixture: no comb-loop" false (fired "net.comb-loop" r);
+  let r = Lint.run_netlist Seeded.comb_loop in
+  check_bool "loop fixture: no width cascade" false (fired "net.width" r);
+  check_bool "loop fixture: fires comb-loop" true (fired "net.comb-loop" r)
+
+let demo_reports_all_three () =
+  let r = Lint.run_netlist Seeded.demo in
+  List.iter
+    (fun rule -> check_bool (rule ^ " on demo") true (fired rule r))
+    [ "net.comb-loop"; "net.width"; "net.multi-driven" ];
+  check_bool "demo has errors" true (Lint.errors r >= 3)
+
+(* Properties extend the cone of influence: a register referenced only
+   by a property is not unused. *)
+let properties_extend_cone () =
+  let nl =
+    Netlist.make ~name:"prop_cone"
+      ~inputs:[ ("d", 4) ]
+      ~registers:
+        [
+          {
+            Netlist.name = "shadow";
+            width = 4;
+            init = Bitvec.zero ~width:4;
+            next = Expr.input "d";
+          };
+        ]
+      ~outputs:[ ("d", Expr.input "d") ]
+  in
+  let without = Lint.run_netlist nl in
+  check_bool "unused without property" true (fired "net.unused" without);
+  let with_prop =
+    Lint.run_netlist
+      ~properties:
+        [ ("shadow_bounded", Expr.ule (Expr.reg "shadow") (Expr.input "d")) ]
+      nl
+  in
+  check_bool "property keeps the register live" false
+    (fired "net.unused" with_prop)
+
+(* Primed property reads resolve to the base register. *)
+let primed_property_reads () =
+  let r =
+    Lint.run_netlist
+      ~properties:
+        [ ("acc_step", Expr.ule (Expr.reg "acc") (Expr.reg "acc'")) ]
+      Seeded.clean
+  in
+  check_int "primed property is clean" 0 (List.length r.Lint.diagnostics)
+
+let vacuous_property_flagged () =
+  let never = Expr.const ~width:1 0 in
+  let r =
+    Lint.run_netlist
+      ~properties:
+        [
+          ("vacuous", Expr.or_ (Expr.not_ never) (Expr.reg "acc"));
+          ("wide", Expr.reg "acc");
+        ]
+      Seeded.clean
+  in
+  check_bool "vacuous antecedent fires dead-logic" true
+    (fired "net.dead-logic" r);
+  check_bool "non-1-width property fires width" true (fired "net.width" r)
+
+(* --- program rules --------------------------------------------------- *)
+
+let program_fixtures_fire () =
+  List.iter
+    (fun (rule, p) ->
+      let r = Lint.run_program Seeded.ci p in
+      check_bool (rule ^ " fires on its fixture") true (fired rule r))
+    Seeded.program_fixtures;
+  let r = Lint.run_cfg Seeded.ci Seeded.cfg_unreachable in
+  check_bool "cfg.unreachable-config fires on the hand-built CFG" true
+    (fired "cfg.unreachable-config" r)
+
+let clean_program_is_clean () =
+  let r = Lint.run_program Seeded.ci Seeded.program_clean in
+  check_int "no diagnostics on the clean program" 0
+    (List.length r.Lint.diagnostics)
+
+(* The documented warning direction: on a partially-loaded path the
+   static may/must analysis warns (never errors), while dynamic SymbC
+   finds the concrete counterexample.  The static pass must never be
+   *more* optimistic than SymbC: a lint-clean program is dynamically
+   consistent. *)
+let warning_direction_vs_symbc () =
+  let p = Seeded.program_maybe_unloaded in
+  let r = Lint.run_program Seeded.ci p in
+  check_int "static: no errors" 0 (Lint.errors r);
+  check_bool "static: warns maybe-unloaded" true (fired "cfg.maybe-unloaded" r);
+  (match Check.check Seeded.ci p with
+  | Check.Inconsistent cex ->
+      check_str "dynamic: the same call fails" "edge" cex.Check.failing_call
+  | Check.Consistent _ -> Alcotest.fail "SymbC should find the unloaded path");
+  let r = Lint.run_program Seeded.ci Seeded.program_clean in
+  check_int "clean program: no diagnostics" 0 (List.length r.Lint.diagnostics);
+  match Check.check Seeded.ci Seeded.program_clean with
+  | Check.Consistent _ -> ()
+  | Check.Inconsistent _ -> Alcotest.fail "lint-clean program must be consistent"
+
+let never_loaded_is_error () =
+  let r = Lint.run_program Seeded.ci Seeded.program_never_loaded in
+  check_bool "never-loaded fires" true (fired "cfg.never-loaded" r);
+  check_bool "never-loaded is an error" true (Lint.errors r >= 1)
+
+(* --- framework contracts --------------------------------------------- *)
+
+let suppression_recorded () =
+  let r = Lint.run_netlist ~suppress:[ "net.width" ] Seeded.width_mismatch in
+  check_bool "suppressed rule does not fire" false (fired "net.width" r);
+  check_bool "suppression recorded" true
+    (List.mem "net.width" r.Lint.suppressed)
+
+let unknown_rule_rejected () =
+  match Lint.run_netlist ~rules:[ "net.typo" ] Seeded.clean with
+  | _ -> Alcotest.fail "unknown rule id must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let governor_skips_recorded () =
+  let gov = Gov.create (Budget.make ~patterns:3 ()) in
+  let r = Lint.run_netlist ~gov Seeded.demo in
+  check_int "three rules afforded" 3 (List.length r.Lint.rules_run);
+  check_int "rest recorded as skipped"
+    (List.length Lint.netlist_rule_ids - 3)
+    (List.length r.Lint.skipped_rules);
+  (* allowance is read once before the fan-out: same skips at width 4 *)
+  Par.with_pool ~jobs:4 (fun pool ->
+      let gov = Gov.create (Budget.make ~patterns:3 ()) in
+      let r4 = Lint.run_netlist ~pool ~gov Seeded.demo in
+      check_str "same report at jobs 4"
+        (Json.to_string (Lint.to_json r))
+        (Json.to_string (Lint.to_json r4)))
+
+(* qcheck: reports are jobs-width invariant — the JSON digest at any
+   pool width equals the sequential one, for every fixture. *)
+let qcheck_jobs_invariant =
+  let targets =
+    Array.of_list
+      (List.map snd Seeded.fixtures @ [ Seeded.clean; Seeded.demo ])
+  in
+  QCheck.Test.make ~count:20 ~name:"lint report is jobs-width invariant"
+    QCheck.(pair (int_range 0 (Array.length targets - 1)) (int_range 2 4))
+    (fun (i, jobs) ->
+      let digest nl pool =
+        Digest.to_hex
+          (Digest.string (Json.to_string (Lint.to_json (Lint.run_netlist ?pool nl))))
+      in
+      let seq = digest targets.(i) None in
+      Par.with_pool ~jobs (fun pool ->
+          String.equal seq (digest targets.(i) (Some pool))))
+
+let merge_reports () =
+  let a = Lint.run_netlist Seeded.width_mismatch in
+  let b = Lint.run_program Seeded.ci Seeded.program_never_loaded in
+  let m = Lint.merge ~target:"both" [ a; b ] in
+  check_bool "merged keeps netlist finding" true (fired "net.width" m);
+  check_bool "merged keeps program finding" true (fired "cfg.never-loaded" m);
+  check_int "rule lists unioned"
+    (List.length Lint.netlist_rule_ids + List.length Lint.program_rule_ids)
+    (List.length m.Lint.rules_run)
+
+let json_roundtrips () =
+  let r = Lint.run_netlist Seeded.demo in
+  match Json.parse (Json.to_string (Lint.to_json r)) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+      check_bool "errors field present" true
+        (Json.member "errors" j |> Option.is_some);
+      let diags =
+        Json.member "diagnostics" j |> Option.get |> Json.to_list |> Option.get
+      in
+      check_int "diagnostic count matches" (List.length r.Lint.diagnostics)
+        (List.length diags)
+
+(* --- satellite bugfixes ---------------------------------------------- *)
+
+let infer_width_result () =
+  let iw = function "a" -> Some 4 | _ -> None in
+  let rw = function "r" -> Some 4 | _ -> None in
+  (match
+     Expr.infer_width ~input_width:iw ~reg_width:rw
+       (Expr.add (Expr.input "a") (Expr.reg "r"))
+   with
+  | Ok w -> check_int "inferred" 4 w
+  | Error e -> Alcotest.fail e);
+  (match
+     Expr.infer_width ~input_width:iw ~reg_width:rw
+       (Expr.add (Expr.input "a") (Expr.const ~width:8 1))
+   with
+  | Ok _ -> Alcotest.fail "mismatch must be an Error"
+  | Error msg ->
+      check_bool "message names the operator and widths" true
+        (String.length msg > 0
+        && String.equal msg "+ width mismatch 4 vs 8"));
+  match
+    Expr.infer_width ~input_width:iw ~reg_width:rw (Expr.input "ghost")
+  with
+  | Ok _ -> Alcotest.fail "undeclared input must be an Error"
+  | Error msg -> check_str "undeclared named" "undeclared input ghost" msg
+
+let simulator_rejects_malformed () =
+  match Simulator.create Seeded.width_mismatch with
+  | _ -> Alcotest.fail "Simulator.create must reject a width mismatch"
+  | exception Invalid_argument msg ->
+      check_bool "error names the register" true
+        (String.length msg >= 4
+        && String.sub msg 0 4 |> String.equal "Simu")
+
+let synth_detects_comb_loop () =
+  let df =
+    {
+      Synth.df_name = "loop";
+      df_inputs = [ ("x", 4) ];
+      df_defs =
+        [
+          ("a", Expr.add (Expr.reg "b") (Expr.input "x"));
+          ("b", Expr.not_ (Expr.reg "a"));
+        ];
+      df_outputs = [ ("y", "a") ];
+    }
+  in
+  match Synth.combinational df with
+  | _ -> Alcotest.fail "cyclic defs must be rejected"
+  | exception Invalid_argument msg ->
+      check_bool "error mentions the loop" true
+        (String.length msg > 0
+        && Option.is_some
+             (String.index_opt msg '>' (* "a -> b -> a" arrow *)))
+
+(* --- the repo corpus lints clean -------------------------------------
+
+   Every netlist the repo builds, with its intentional suppressions
+   documented here:
+   - [distance_datapath_buggy] drops the [start] clear (the seeded
+     memory-init bug), leaving [start] genuinely unused — net.unused is
+     the symptom of the bug, so it is suppressed, not fixed;
+   - [sobel_window_datapath]'s centre pixel [p4] has Sobel weight 0 in
+     both gradients, so the input is unused by construction. *)
+let repo_corpus_is_clean () =
+  let module R = Symbad_hdl.Rtl_lib in
+  let clean ?suppress name nl =
+    let r = Lint.run_netlist ?suppress nl in
+    check_int (name ^ " lints clean") 0 (List.length r.Lint.diagnostics)
+  in
+  clean "counter" (R.counter ~width:4);
+  clean "distance" (R.distance_datapath ());
+  clean "distance_buggy" ~suppress:[ "net.unused" ]
+    (R.distance_datapath_buggy ());
+  clean "wrapper" (R.handshake_wrapper ());
+  clean "wrapper_buggy" (R.handshake_wrapper_buggy ());
+  clean "fifo_ctrl" (R.fifo_ctrl ());
+  clean "fifo_ctrl_buggy" (R.fifo_ctrl_buggy ());
+  clean "sobel_window" ~suppress:[ "net.unused" ] (R.sobel_window_datapath ());
+  clean "min9" (R.min9_datapath ());
+  clean "argmin" (R.argmin_datapath ());
+  (* verification-only registers (ROOT's [nsave], recovery's [nonop])
+     are live only through property cones: these two lint clean WITH
+     their properties, and warn net.unused without them *)
+  let pairs props =
+    List.map (fun p -> (Symbad_mc.Prop.name p, Symbad_mc.Prop.formula p)) props
+  in
+  let clean_with_props name nl props =
+    let bare = Lint.run_netlist nl in
+    check_bool
+      (name ^ " warns net.unused without properties")
+      true
+      (fired "net.unused" bare);
+    let r = Lint.run_netlist ~properties:(pairs props) nl in
+    check_int (name ^ " lints clean with properties") 0
+      (List.length r.Lint.diagnostics)
+  in
+  clean_with_props "root" (R.root_datapath ())
+    (Symbad_core.Level4.root_properties ());
+  let module Recovery = Symbad_resil.Recovery in
+  let nl = Recovery.netlist () in
+  clean_with_props "recovery_ctrl" nl (Recovery.properties nl)
+
+let suite =
+  [
+    Alcotest.test_case "netlist fixtures fire their rules" `Quick
+      netlist_fixtures_fire;
+    Alcotest.test_case "repo corpus lints clean" `Quick repo_corpus_is_clean;
+    Alcotest.test_case "clean netlist is clean" `Quick clean_netlist_is_clean;
+    Alcotest.test_case "no cross-rule cascades" `Quick no_cross_fire;
+    Alcotest.test_case "demo reports loop+width+multi-driven" `Quick
+      demo_reports_all_three;
+    Alcotest.test_case "properties extend the cone" `Quick
+      properties_extend_cone;
+    Alcotest.test_case "primed property reads resolve" `Quick
+      primed_property_reads;
+    Alcotest.test_case "vacuous/wide properties flagged" `Quick
+      vacuous_property_flagged;
+    Alcotest.test_case "program fixtures fire their rules" `Quick
+      program_fixtures_fire;
+    Alcotest.test_case "clean program is clean" `Quick clean_program_is_clean;
+    Alcotest.test_case "warning direction vs dynamic SymbC" `Quick
+      warning_direction_vs_symbc;
+    Alcotest.test_case "never-loaded is an error" `Quick never_loaded_is_error;
+    Alcotest.test_case "suppressions are recorded" `Quick suppression_recorded;
+    Alcotest.test_case "unknown rule ids rejected" `Quick unknown_rule_rejected;
+    Alcotest.test_case "governor skips are recorded" `Quick
+      governor_skips_recorded;
+    QCheck_alcotest.to_alcotest qcheck_jobs_invariant;
+    Alcotest.test_case "merge unions reports" `Quick merge_reports;
+    Alcotest.test_case "report JSON parses back" `Quick json_roundtrips;
+    Alcotest.test_case "Expr.infer_width is total" `Quick infer_width_result;
+    Alcotest.test_case "Simulator.create rejects malformed netlists" `Quick
+      simulator_rejects_malformed;
+    Alcotest.test_case "Synth rejects cyclic defs" `Quick
+      synth_detects_comb_loop;
+  ]
