@@ -781,6 +781,57 @@ let guard () =
     (counter "sim.events_dispatched")
     (counter "bus.transactions")
     (Tracer.span_count tracer);
+  (* two-domain trace-merge smoke: telemetry emitted on a worker domain
+     must survive the buffer merge, land on its own lane track and stay
+     parent-linked to the dispatch span.  The two jobs rendezvous (with
+     a timeout escape) so both really run, one per domain. *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  let started = Atomic.make 0 in
+  let lanes =
+    Symbad_par.Par.with_pool ~jobs:2 (fun pool ->
+        Symbad_par.Par.map ~label:"guard.rv" pool
+          (fun _ ->
+            Atomic.incr started;
+            let t0 = Unix.gettimeofday () in
+            while Atomic.get started < 2 && Unix.gettimeofday () -. t0 < 5. do
+              Domain.cpu_relax ()
+            done;
+            Obs.incr_counter "guard.rv.work";
+            Symbad_par.Par.current_lane ())
+          [ 0; 1 ])
+  in
+  Obs.set_enabled false;
+  let merged =
+    Option.value ~default:0
+      (Metrics.find_counter (Obs.metrics ()) "guard.rv.work")
+  in
+  let spans = Tracer.spans_with_cat (Obs.tracer ()) "par" in
+  let dispatch =
+    List.find_opt (fun s -> String.equal s.Tracer.track "par") spans
+  in
+  let job_spans =
+    List.filter (fun s -> not (String.equal s.Tracer.track "par")) spans
+  in
+  check "rendezvous ran on two distinct lanes"
+    (match lanes with [ a; b ] -> a <> b | _ -> false);
+  check "worker-lane counter merged (2 of 2)" (merged = 2);
+  check "no telemetry dropped" (Obs.dropped_count () = 0);
+  check "job spans on two distinct lane tracks"
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun s -> s.Tracer.track) job_spans))
+    = 2);
+  check "job spans parent-linked to dispatch"
+    (match dispatch with
+    | Some d ->
+        job_spans <> []
+        && List.for_all
+             (fun s -> s.Tracer.parent = Some d.Tracer.id)
+             job_spans
+    | None -> false);
+  Format.printf "trace-merge smoke: merged=%d lanes=%d@." merged
+    (List.length (List.sort_uniq compare lanes));
   match !failures with
   | [] -> Format.printf "guard: telemetry wired.@."
   | fs ->

@@ -11,6 +11,8 @@
      symbad explore [...]
      symbad recognize --identity I --pose P
      symbad stats [...]                 flow + telemetry summary table
+     symbad report [...]                the unified verification report
+     symbad bench [--check]             compare fresh runs vs BENCH_*.json
 
    Every subcommand that does verification work shares the same option
    vocabulary: [--jobs] (worker domains, also $SYMBAD_JOBS), [--seed]
@@ -44,6 +46,23 @@ let write_artefact ~what path content =
 let artefact ~what serialise = function
   | Some path -> write_artefact ~what path (serialise ())
   | None -> ()
+
+(* Telemetry-consuming subcommands call this once their run is over: a
+   nonzero dropped count means emissions were lost (a worker domain ran
+   outside a buffered job), so every exported figure under-reports. *)
+let warned_dropped = ref false
+
+let warn_dropped () =
+  let n = Obs.dropped_count () in
+  if n > 0 && not !warned_dropped then begin
+    warned_dropped := true;
+    Format.eprintf
+      "symbad: warning: %d telemetry emission%s dropped (worker domain \
+       outside a buffered job) — counters and spans under-report the \
+       parallel work@."
+      n
+      (if n = 1 then "" else "s")
+  end
 
 (* --- the shared option vocabulary --- *)
 
@@ -179,6 +198,7 @@ let run_flow c markdown json no_timings trace metrics =
     (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
     trace;
   artefact ~what:"metrics" (fun () -> Metrics.to_jsonl (Obs.metrics ())) metrics;
+  if trace <> None || metrics <> None then warn_dropped ();
   if report.Flow.all_passed then 0 else 1
 
 let flow_cmd =
@@ -602,6 +622,7 @@ let run_stats c =
     (List.length (Tracer.spans_with_cat tracer "sat"))
     (List.length (Tracer.spans_with_cat tracer "mc"))
     (List.length (Tracer.spans_with_cat tracer "par"));
+  warn_dropped ();
   if report.Flow.all_passed then 0 else 1
 
 let stats_cmd =
@@ -673,6 +694,7 @@ let run_faults c markdown json trials kinds_opt scrub_period trace metrics =
       artefact ~what:"metrics"
         (fun () -> Metrics.to_jsonl (Obs.metrics ()))
         metrics;
+      if trace <> None || metrics <> None then warn_dropped ();
       if report.Campaign.passed then 0 else 1
 
 let faults_cmd =
@@ -762,6 +784,328 @@ let wrapper_cmd =
   Cmd.v (Cmd.info "wrapper" ~doc)
     Term.(const run_wrapper $ width_arg $ depth_arg $ vcd_arg)
 
+(* --- report (the unified verification artefact) --- *)
+
+let run_report c trials no_faults no_timings markdown json trace =
+  let module Report = Symbad_report.Report in
+  let w = workload c in
+  let r =
+    with_pool c (fun pool ->
+        Report.assemble ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c)
+          ~faults:(not no_faults) ~trials_per_kind:trials ())
+  in
+  let timings = not no_timings in
+  (match (markdown, json) with
+  | None, None ->
+      (* no artefact requested: the markdown report goes to stdout *)
+      print_string (Report.to_markdown ~timings r)
+  | _ ->
+      artefact ~what:"markdown report"
+        (fun () -> Report.to_markdown ~timings r)
+        markdown;
+      artefact ~what:"json report" (fun () -> Report.to_json ~timings r) json);
+  artefact ~what:"chrome trace"
+    (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
+    trace;
+  warn_dropped ();
+  if r.Report.all_passed then 0 else 1
+
+let report_cmd =
+  let doc =
+    "Run the whole methodology — the four-level flow, the static lints \
+     and a fault campaign — under one governor tree and assemble a \
+     single self-contained report: verdict table, lint diagnostics, \
+     self-time profile, merged counters, budget waterfall and trace \
+     summary.  With $(b,--no-timings) the JSON and markdown are \
+     byte-identical at any $(b,--jobs) width."
+  in
+  let trials_arg =
+    Arg.(value & opt int 1
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Fault-campaign trials per fault kind.")
+  in
+  let no_faults_arg =
+    Arg.(value & flag
+         & info [ "no-faults" ] ~doc:"Skip the fault-injection campaign.")
+  in
+  let no_timings_arg =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Zero host times in the report, making it \
+                   byte-comparable across runs and $(b,--jobs) widths.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Also write the run's Chrome trace (one lane per worker \
+                   domain, governor spend as counter tracks; \"-\" for \
+                   stdout).")
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run_report $ common_term $ trials_arg $ no_faults_arg
+          $ no_timings_arg $ markdown_arg $ json_arg $ trace_arg)
+
+(* --- bench --check (regression gate over the committed baselines) --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_bench check baseline_dir tolerance full =
+  let module Campaign = Symbad_resil.Campaign in
+  let module Lint = Symbad_lint.Lint in
+  let module Budget = Symbad_gov.Budget in
+  let baseline name =
+    let path = Filename.concat baseline_dir name in
+    match read_file path with
+    | s -> Some (Json.parse_exn (String.trim s))
+    | exception Sys_error _ ->
+        Format.eprintf "symbad: missing baseline %s@." path;
+        None
+  in
+  let mem path j =
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+  in
+  let num path j = Option.bind (mem path j) Json.to_number in
+  let results = ref [] in
+  let ok name = results := (name, None) :: !results in
+  let fail name detail = results := (name, Some detail) :: !results in
+  let check_exact name ~expected ~fresh =
+    if String.equal expected fresh then ok name
+    else fail name "fresh output differs from the committed baseline"
+  in
+  (match (baseline "BENCH_resil.json", check) with
+  | None, _ -> fail "resil" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true ->
+      (* the campaign report is byte-stable (simulated time only), so
+         the strongest check is the cheapest: exact JSON equality *)
+      let fresh = Campaign.run ~seed:1 () in
+      check_exact "resil campaign (exact)"
+        ~expected:(Json.to_string b)
+        ~fresh:(Json.to_string (Campaign.to_json fresh)));
+  (match (baseline "BENCH_lint.json", check) with
+  | None, _ -> fail "lint" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true -> (
+      match mem [ "targets" ] b with
+      | None -> fail "lint targets" "baseline has no targets object"
+      | Some expected ->
+          (* regenerate the per-target diagnostic counts (deterministic);
+             the throughput row carries host timings and is not checked *)
+          let w = Face_app.default_workload in
+          let graph = Face_app.graph w in
+          let l1 = Level1.run graph in
+          let m3 =
+            Mapping.refine_to_fpga
+              (Face_app.level2_mapping ~profile:l1.Level1.profile graph)
+              Face_app.level3_refinement
+          in
+          let l3 = Level3.run graph m3 in
+          let row (r : Lint.report) =
+            ( r.Lint.target,
+              Json.Obj
+                [
+                  ("rules", Json.Int (List.length r.Lint.rules_run));
+                  ("errors", Json.Int (Lint.errors r));
+                  ("warnings", Json.Int (Lint.warnings r));
+                ] )
+          in
+          let fresh =
+            Json.Obj
+              (List.map
+                 (fun (m : Level4.rtl_module) ->
+                   row
+                     (Lint.run_netlist
+                        ~properties:(prop_pairs m.Level4.properties)
+                        m.Level4.netlist))
+                 (Level4.modules ())
+              @ [
+                  (let nl = Symbad_resil.Recovery.netlist () in
+                   row
+                     (Lint.run_netlist
+                        ~properties:
+                          (prop_pairs (Symbad_resil.Recovery.properties nl))
+                        nl));
+                  row
+                    (Lint.run_program ~name:"instrumented software"
+                       l3.Level3.config_info l3.Level3.instrumented_sw);
+                  row (Lint.run_netlist Symbad_lint.Seeded.demo);
+                ])
+          in
+          check_exact "lint targets (exact)"
+            ~expected:(Json.to_string expected)
+            ~fresh:(Json.to_string fresh)));
+  (match (baseline "BENCH_gov.json", check) with
+  | None, _ -> fail "gov" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true ->
+      let verdict_mix (report : Flow.t) =
+        List.fold_left
+          (fun (p, f, i) (l : Flow.level_report) ->
+            List.fold_left
+              (fun (p, f, i) (v : Verdict.t) ->
+                match v.Verdict.outcome with
+                | Verdict.Inconclusive _ -> (p, f, i + 1)
+                | _ when v.Verdict.passed -> (p + 1, f, i)
+                | _ -> (p, f + 1, i))
+              (p, f, i) l.Flow.verifications)
+          (0, 0, 0) report.Flow.levels
+      in
+      let row label budget_of =
+        match mem [ label ] b with
+        | None -> fail ("gov " ^ label) "row missing from baseline"
+        | Some base ->
+            let t0 = Unix.gettimeofday () in
+            let report =
+              Flow.run ~workload:Face_app.smoke_workload ?budget:(budget_of ())
+                ()
+            in
+            let secs = Unix.gettimeofday () -. t0 in
+            let p, f, i = verdict_mix report in
+            let want what = num [ what ] base in
+            let mix_ok =
+              want "passed" = Some (float_of_int p)
+              && want "failed" = Some (float_of_int f)
+              && want "inconclusive" = Some (float_of_int i)
+            in
+            if not mix_ok then
+              fail
+                ("gov " ^ label ^ " (verdict mix)")
+                (Printf.sprintf "fresh %d/%d/%d" p f i)
+            else ok ("gov " ^ label ^ " (verdict mix)");
+            (match want "seconds" with
+            | Some base_s when base_s > 0. ->
+                (* host timing: a wide non-exceeding gate, not equality *)
+                if secs <= base_s *. tolerance then
+                  ok ("gov " ^ label ^ " (wall)")
+                else
+                  fail
+                    ("gov " ^ label ^ " (wall)")
+                    (Printf.sprintf "%.2fs > %.2fs x%.1f" secs base_s tolerance)
+            | _ -> ())
+      in
+      let logical n () = Some (Budget.make ~conflicts:n ~patterns:n ()) in
+      row "conflicts+patterns 1k" (logical 1_000);
+      row "conflicts+patterns 0" (logical 0);
+      if full then begin
+        row "conflicts+patterns 10k" (logical 10_000);
+        row "conflicts+patterns 100k" (logical 100_000);
+        row "unlimited" (fun () -> None)
+      end);
+  (match (baseline "BENCH_par.json", check) with
+  | None, _ -> fail "par" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true ->
+      (* the committed identity flags must all be true — a false one
+         means a recorded determinism break shipped *)
+      (match b with
+      | Json.Obj fields ->
+          List.iter
+            (fun (name, v) ->
+              match Json.member "identical" v with
+              | Some (Json.Bool true) -> ok ("par " ^ name ^ " (identical)")
+              | Some _ -> fail ("par " ^ name ^ " (identical)") "flag is false"
+              | None -> ())
+            fields
+      | _ -> fail "par" "baseline is not an object");
+      if full then begin
+        (* re-establish the flagship identity fresh: the refined-plan
+           PCC fan-out at jobs=1 vs jobs=4 *)
+        let fifo = Symbad_hdl.Rtl_lib.fifo_ctrl ~addr_width:2 () in
+        let module E = Symbad_hdl.Expr in
+        let module P = Symbad_mc.Prop in
+        let push_ok = E.and_ (E.input "push") (E.not_ (P.output fifo "full")) in
+        let pop_ok = E.and_ (E.input "pop") (E.not_ (P.output fifo "empty")) in
+        let delta = E.sub (P.next (E.reg "count")) (E.reg "count") in
+        let props =
+          [
+            P.make ~name:"not_full_and_empty"
+              (E.not_ (E.and_ (P.output fifo "full") (P.output fifo "empty")));
+            P.make ~name:"count_le_depth"
+              (E.ule (E.reg "count") (E.const ~width:3 4));
+            P.make_step ~name:"push_increments"
+              (P.implies (E.and_ push_ok (E.not_ pop_ok))
+                 (E.eq delta (E.const ~width:3 1)));
+          ]
+        in
+        let run jobs =
+          Par.with_pool ~jobs (fun pool ->
+              Symbad_pcc.Pcc.run ~pool ~depth:8 fifo props)
+        in
+        if run 1 = run 4 then ok "par pcc identity (fresh, jobs 1 vs 4)"
+        else fail "par pcc identity (fresh, jobs 1 vs 4)" "results differ"
+      end);
+  let rows = List.rev !results in
+  if not check then begin
+    Format.printf
+      "committed baselines in %s:@.  %s@.run with --check to compare fresh \
+       runs against them@."
+      baseline_dir
+      (String.concat ", "
+         [ "BENCH_par.json"; "BENCH_gov.json"; "BENCH_resil.json";
+           "BENCH_lint.json" ]);
+    if List.exists (fun (_, d) -> d <> None) rows then 2 else 0
+  end
+  else begin
+    let failed = ref 0 in
+    List.iter
+      (fun (name, detail) ->
+        match detail with
+        | None -> Format.printf "ok    %s@." name
+        | Some d ->
+            incr failed;
+            Format.printf "FAIL  %s: %s@." name d)
+      rows;
+    if !failed > 0 then begin
+      Format.printf "bench --check: %d regression%s@." !failed
+        (if !failed = 1 then "" else "s");
+      1
+    end
+    else begin
+      Format.printf "bench --check: all baselines hold@.";
+      0
+    end
+  end
+
+let bench_cmd =
+  let doc =
+    "Compare fresh runs against the committed BENCH_*.json baselines: \
+     the fault campaign and lint counts must match exactly (they are \
+     deterministic), governed verdict mixes must match with wall times \
+     under a tolerance, and the recorded parallel-identity flags must \
+     hold.  Nonzero exit on any regression."
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Run the comparisons (without it, just list the \
+                   baselines).")
+  in
+  let dir_arg =
+    Arg.(value & opt string "."
+         & info [ "baseline-dir" ] ~docv:"DIR"
+             ~doc:"Directory holding the BENCH_*.json files (default: the \
+                   current directory).")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 5.0
+         & info [ "tolerance" ] ~docv:"X"
+             ~doc:"Wall-clock gate: fresh seconds may be at most X times \
+                   the committed figure (host timings are noisy; logical \
+                   figures are always exact).")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Also run the expensive rows (ungoverned flow, large \
+                   budgets, a fresh parallel-identity run).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run_bench $ check_arg $ dir_arg $ tolerance_arg $ full_arg)
+
 let () =
   let doc = "Symbad: design and verification flow for reconfigurable SoCs." in
   let info = Cmd.info "symbad" ~version:"1.0.0" ~doc in
@@ -769,4 +1113,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ flow_cmd; level_cmd; verify_cmd; lint_cmd; explore_cmd;
-            recognize_cmd; stats_cmd; faults_cmd; wrapper_cmd ]))
+            recognize_cmd; stats_cmd; faults_cmd; wrapper_cmd; report_cmd;
+            bench_cmd ]))

@@ -182,11 +182,12 @@ let entry_verdicts level g =
       ]
 
 let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
-    ?(deadline_ns = 40_000_000) ?budget () =
+    ?(deadline_ns = 40_000_000) ?budget ?gov () =
   let gov =
-    match budget with
-    | Some b -> Gov.create ~label:"flow" b
-    | None -> Gov.unlimited
+    match (gov, budget) with
+    | Some g, _ -> g
+    | None, Some b -> Gov.create ~label:"flow" b
+    | None, None -> Gov.unlimited
   in
   (* sequential slices: each level gets its fraction of what the levels
      before it left unspent; level 4 runs over the rest *)

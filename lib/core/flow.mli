@@ -38,6 +38,7 @@ val run :
   ?workload:Face_app.workload ->
   ?deadline_ns:int ->
   ?budget:Symbad_gov.Budget.t ->
+  ?gov:Symbad_gov.Gov.t ->
   unit ->
   t
 (** [deadline_ns] (default 40 ms, i.e. 25 frames/s) is the level-2
@@ -54,7 +55,11 @@ val run :
     result instead of running long.  With only logical allowances
     (conflicts/patterns) the degraded report is deterministic at any
     [pool] width; the wall-clock deadline is best-effort.  Omitting
-    [budget] reproduces the ungoverned flow exactly. *)
+    [budget] reproduces the ungoverned flow exactly.
+
+    [gov] overrides [budget] with a caller-built root governor — what
+    `symbad report` uses to attach a {!Symbad_gov.Ledger} so the run's
+    budget waterfall can be reported. *)
 
 val to_markdown : t -> string
 (** The report as a markdown document (CI artefacts, experiment logs). *)

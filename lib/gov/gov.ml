@@ -22,9 +22,28 @@ type t = {
   spent_conflicts : int Atomic.t;
   spent_patterns : int Atomic.t;
   parent : t option;
+  ledger : Ledger.t option;  (* inherited root → children *)
 }
 
-let make ?(label = "gov") ?(cancel = Cancel.none) ?parent budget =
+let make ?(label = "gov") ?(cancel = Cancel.none) ?parent ?ledger budget =
+  let ledger =
+    match (ledger, parent) with
+    | (Some _ as l), _ -> l
+    | None, Some p -> p.ledger
+    | None, None -> None
+  in
+  (match ledger with
+  | Some l ->
+      Ledger.record l ~node:label
+        (Ledger.Created
+           {
+             parent = Option.map (fun p -> p.label) parent;
+             conflicts = budget.Budget.conflicts;
+             patterns = budget.Budget.patterns;
+             deadline_s = Budget.remaining_s budget;
+             retries = budget.Budget.retries;
+           })
+  | None -> ());
   {
     label;
     budget;
@@ -32,14 +51,16 @@ let make ?(label = "gov") ?(cancel = Cancel.none) ?parent budget =
     spent_conflicts = Atomic.make 0;
     spent_patterns = Atomic.make 0;
     parent;
+    ledger;
   }
 
-let create ?label ?cancel budget = make ?label ?cancel budget
+let create ?label ?cancel ?ledger budget = make ?label ?cancel ?ledger budget
 let unlimited = make ~label:"unlimited" Budget.unlimited
 let get = function Some g -> g | None -> unlimited
 let label t = t.label
 let budget t = t.budget
 let cancel_token t = t.cancel
+let ledger t = t.ledger
 
 (* --- spend accounting ------------------------------------------------- *)
 
@@ -49,8 +70,26 @@ let rec charge counter_of t n =
     match t.parent with Some p -> charge counter_of p n | None -> ()
   end
 
-let charge_conflicts t n = charge (fun t -> t.spent_conflicts) t n
-let charge_patterns t n = charge (fun t -> t.spent_patterns) t n
+(* each charge is recorded once, on the directly-charged node (the
+   atomic propagation handles the ancestors), so ledger sums equal the
+   root's spend counters exactly *)
+let note_charge t axis n =
+  if n > 0 then
+    match t.ledger with
+    | Some l ->
+        Ledger.record l ~node:t.label (Ledger.Charge { axis; amount = n })
+    | None -> ()
+
+let charge_conflicts t n =
+  note_charge t Ledger.Conflicts n;
+  charge (fun t -> t.spent_conflicts) t n
+
+let charge_patterns t n =
+  note_charge t Ledger.Patterns n;
+  charge (fun t -> t.spent_patterns) t n
+
+let spent_conflicts t = Atomic.get t.spent_conflicts
+let spent_patterns t = Atomic.get t.spent_patterns
 
 let left allowance spent =
   Option.map (fun a -> max 0 (a - Atomic.get spent)) allowance
@@ -76,9 +115,9 @@ let out_of_budget t = exhaustion t <> None
 
 (* --- telemetry -------------------------------------------------------- *)
 
-(* All reporting happens on the owning domain only (Obs.enabled is false
-   on Par workers), so a child governor used inside a parallel job stays
-   silent and the split event at the fan-out point tells the story. *)
+(* Obs routes these through the per-job buffer when called inside a Par
+   worker (merged at the fan-in) and straight to the registry on the
+   owning domain; the ledger records in parallel with its own lock. *)
 let event ?(severity = Severity.Info) ~counter name args =
   if Obs.enabled () then begin
     Obs.incr_counter counter;
@@ -88,6 +127,11 @@ let event ?(severity = Severity.Info) ~counter name args =
 let opt_int = function None -> Json.Null | Some n -> Json.Int n
 
 let note_degraded t ~what reason =
+  (match t.ledger with
+  | Some l ->
+      Ledger.record l ~node:t.label
+        (Ledger.Degraded { what; reason = Degrade.reason_string reason })
+  | None -> ());
   event ~severity:Severity.Warn ~counter:"gov.degradations" "gov.degrade"
     [
       ("gov", Json.Str t.label);
@@ -134,6 +178,11 @@ let with_retry ?label:(l = "engine") t ~inconclusive run =
     if inconclusive r && attempt < t.budget.Budget.retries
        && not (out_of_budget t)
     then begin
+      (match t.ledger with
+      | Some led ->
+          Ledger.record led ~node:t.label
+            (Ledger.Retry { what = l; attempt = attempt + 1 })
+      | None -> ());
       event ~counter:"gov.retries" "gov.retry"
         [
           ("gov", Json.Str t.label);

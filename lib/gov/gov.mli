@@ -18,14 +18,19 @@
     ones at any pool width.
 
     Telemetry: splits, exhaustions, retries and degradations are
-    reported as [gov.*] events and counters on the ["gov"] metrics
-    track whenever [Symbad_obs] is enabled. *)
+    reported as [gov.*] events and counters whenever [Symbad_obs] is
+    enabled (buffered and merged when emitted inside a Par job).  With a
+    {!Ledger} attached at the root, every node creation, charge, retry
+    and degradation is additionally recorded as a timestamped ledger
+    entry — the budget waterfall `symbad report` renders. *)
 
 type t
 
-val create : ?label:string -> ?cancel:Cancel.t -> Budget.t -> t
+val create : ?label:string -> ?cancel:Cancel.t -> ?ledger:Ledger.t -> Budget.t -> t
 (** A root governor over [budget].  [label] names it in telemetry
-    (default ["gov"]); [cancel] defaults to {!Cancel.none}. *)
+    (default ["gov"]); [cancel] defaults to {!Cancel.none}; [ledger],
+    when given, records the budget timeline of the whole tree (children
+    inherit it). *)
 
 val unlimited : t
 (** The shared do-nothing governor: unlimited budget, never cancelled.
@@ -43,6 +48,9 @@ val budget : t -> Budget.t
 
 val cancel_token : t -> Cancel.t
 
+val ledger : t -> Ledger.t option
+(** The ledger this tree records into, if one was attached. *)
+
 (** {1 Spend accounting} *)
 
 val charge_conflicts : t -> int -> unit
@@ -57,6 +65,13 @@ val conflicts_left : t -> int option
 (** Allowance minus spend, floored at 0; [None] = unlimited. *)
 
 val patterns_left : t -> int option
+
+val spent_conflicts : t -> int
+(** Total conflicts charged to this node and its whole subtree (charges
+    propagate upward).  At the root this equals the ledger's
+    {!Ledger.spent_conflicts} exactly. *)
+
+val spent_patterns : t -> int
 
 val remaining : t -> Budget.t
 (** The budget still available: granted allowances minus spend, same
@@ -106,8 +121,8 @@ val with_retry :
 
 val note_degraded : t -> what:string -> Degrade.reason -> unit
 (** Report that a run under this governor degraded: a [gov.degrade]
-    warning event plus the [gov.degradations] counter.  No-op while
-    telemetry is disabled or on worker domains. *)
+    warning event plus the [gov.degradations] counter (buffered on
+    worker domains), and a ledger entry when one is attached. *)
 
 val pp : Format.formatter -> t -> unit
 (** Label, remaining budget and exhaustion state. *)

@@ -1,0 +1,287 @@
+(* The budget timeline: every governor-tree event — node creation with
+   its grant (splits and slices create nodes), every logical charge,
+   every retry, every degradation — appended as a timestamped entry.
+
+   One ledger serves a whole governor tree (children inherit it), and
+   charges may arrive from any domain (a SAT solve inside a Par job
+   charges its governor directly), so the entry list is mutex-protected.
+   Entry *order* between parallel jobs is scheduling-dependent; the
+   waterfall therefore aggregates per node before reporting, and
+   everything timing-flavoured (timestamps, deadline grants) is zeroed
+   under [~timings:false] — which is how `symbad report` stays
+   byte-identical at any pool width while the per-node logical sums
+   still include every worker-lane charge. *)
+
+module Json = Symbad_obs.Json
+module Tracer = Symbad_obs.Tracer
+
+type axis = Conflicts | Patterns
+
+let axis_string = function Conflicts -> "conflicts" | Patterns -> "patterns"
+
+type kind =
+  | Created of {
+      parent : string option;
+      conflicts : int option;  (* granted allowance; None = unlimited *)
+      patterns : int option;
+      deadline_s : float option;  (* seconds left at creation *)
+      retries : int;
+    }
+  | Charge of { axis : axis; amount : int }
+  | Retry of { what : string; attempt : int }
+  | Degraded of { what : string; reason : string }
+
+type entry = {
+  at_us : float;  (* relative to the ledger epoch *)
+  node : string;
+  kind : kind;
+}
+
+type t = {
+  lock : Mutex.t;
+  epoch_us : float;
+  mutable entries : entry list;  (* newest first *)
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let create () = { lock = Mutex.create (); epoch_us = now_us (); entries = [] }
+
+let record t ~node kind =
+  let at_us = now_us () -. t.epoch_us in
+  Mutex.lock t.lock;
+  t.entries <- { at_us; node; kind } :: t.entries;
+  Mutex.unlock t.lock
+
+let entries t =
+  Mutex.lock t.lock;
+  let es = t.entries in
+  Mutex.unlock t.lock;
+  List.rev es
+
+let entry_count t = List.length (entries t)
+
+let sum_axis axis es =
+  List.fold_left
+    (fun acc e ->
+      match e.kind with
+      | Charge c when c.axis = axis -> acc + c.amount
+      | _ -> acc)
+    0 es
+
+let spent_conflicts t = sum_axis Conflicts (entries t)
+let spent_patterns t = sum_axis Patterns (entries t)
+
+(* --- the waterfall ---------------------------------------------------- *)
+
+type row = {
+  label : string;
+  parent : string option;
+  depth : int;  (* tree depth, for indentation *)
+  created : int;  (* node creations under this label *)
+  granted_conflicts : int option;  (* summed grants; None if any unlimited *)
+  granted_patterns : int option;
+  granted_deadline_s : float option;  (* first creation's remaining deadline *)
+  granted_retries : int;
+  charged_conflicts : int;  (* charges on this node alone *)
+  charged_patterns : int;
+  subtree_conflicts : int;  (* this node plus every descendant *)
+  subtree_patterns : int;
+  retries : int;
+  degradations : string list;  (* sorted, deduplicated *)
+  first_at_us : float;  (* earliest entry, relative to the epoch *)
+}
+
+let waterfall t =
+  let es = entries t in
+  (* aggregate per node label *)
+  let tbl : (string, row ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let get node =
+    match Hashtbl.find_opt tbl node with
+    | Some r -> r
+    | None ->
+        let r =
+          ref
+            {
+              label = node;
+              parent = None;
+              depth = 0;
+              created = 0;
+              granted_conflicts = Some 0;
+              granted_patterns = Some 0;
+              granted_deadline_s = None;
+              granted_retries = 0;
+              charged_conflicts = 0;
+              charged_patterns = 0;
+              subtree_conflicts = 0;
+              subtree_patterns = 0;
+              retries = 0;
+              degradations = [];
+              first_at_us = infinity;
+            }
+        in
+        Hashtbl.add tbl node r;
+        order := node :: !order;
+        r
+  in
+  let add_grant acc g =
+    match (acc, g) with Some a, Some b -> Some (a + b) | _ -> None
+  in
+  List.iter
+    (fun e ->
+      let r = get e.node in
+      let v = !r in
+      let v = { v with first_at_us = Float.min v.first_at_us e.at_us } in
+      r :=
+        (match e.kind with
+        | Created c ->
+            {
+              v with
+              created = v.created + 1;
+              parent = (match v.parent with None -> c.parent | p -> p);
+              granted_conflicts = add_grant v.granted_conflicts c.conflicts;
+              granted_patterns = add_grant v.granted_patterns c.patterns;
+              granted_deadline_s =
+                (match v.granted_deadline_s with
+                | None -> c.deadline_s
+                | d -> d);
+              granted_retries = max v.granted_retries c.retries;
+            }
+        | Charge { axis = Conflicts; amount } ->
+            { v with charged_conflicts = v.charged_conflicts + amount }
+        | Charge { axis = Patterns; amount } ->
+            { v with charged_patterns = v.charged_patterns + amount }
+        | Retry _ -> { v with retries = v.retries + 1 }
+        | Degraded d ->
+            { v with degradations = d.reason :: v.degradations }))
+    es;
+  (* deterministic tree order: roots then children, each level sorted by
+     label — creation structure is width-invariant even when entry order
+     between parallel charges is not *)
+  let nodes = List.rev !order in
+  let children parent =
+    List.filter (fun n -> !(Hashtbl.find tbl n).parent = Some parent) nodes
+    |> List.sort compare
+  in
+  let roots =
+    List.filter
+      (fun n ->
+        match !(Hashtbl.find tbl n).parent with
+        | None -> true
+        | Some p -> not (Hashtbl.mem tbl p))
+      nodes
+    |> List.sort compare
+  in
+  let rec emit depth n =
+    let r = Hashtbl.find tbl n in
+    let kids = children n in
+    let sub = List.concat_map (emit (depth + 1)) kids in
+    let v = !r in
+    let v =
+      {
+        v with
+        depth;
+        degradations = List.sort_uniq compare v.degradations;
+        first_at_us = (if v.first_at_us = infinity then 0. else v.first_at_us);
+        subtree_conflicts =
+          List.fold_left
+            (fun acc (k : row) ->
+              if k.depth = depth + 1 then acc + k.subtree_conflicts else acc)
+            v.charged_conflicts sub;
+        subtree_patterns =
+          List.fold_left
+            (fun acc (k : row) ->
+              if k.depth = depth + 1 then acc + k.subtree_patterns else acc)
+            v.charged_patterns sub;
+      }
+    in
+    v :: sub
+  in
+  List.concat_map (emit 0) roots
+
+(* --- export ------------------------------------------------------------ *)
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+
+let row_to_json ~timings (r : row) =
+  Json.Obj
+    [
+      ("node", Json.Str r.label);
+      ("parent", match r.parent with Some p -> Json.Str p | None -> Json.Null);
+      ("depth", Json.Int r.depth);
+      ("created", Json.Int r.created);
+      ("granted_conflicts", opt_int r.granted_conflicts);
+      ("granted_patterns", opt_int r.granted_patterns);
+      ( "granted_deadline_s",
+        if timings then
+          match r.granted_deadline_s with
+          | Some d -> Json.Float d
+          | None -> Json.Null
+        else Json.Null );
+      ("granted_retries", Json.Int r.granted_retries);
+      ("charged_conflicts", Json.Int r.charged_conflicts);
+      ("charged_patterns", Json.Int r.charged_patterns);
+      ("subtree_conflicts", Json.Int r.subtree_conflicts);
+      ("subtree_patterns", Json.Int r.subtree_patterns);
+      ("retries", Json.Int r.retries);
+      ("degradations", Json.List (List.map (fun d -> Json.Str d) r.degradations));
+      ("first_at_us", Json.Float (if timings then r.first_at_us else 0.));
+    ]
+
+let to_json ?(timings = true) t =
+  Json.Obj
+    [
+      ("spent_conflicts", Json.Int (spent_conflicts t));
+      ("spent_patterns", Json.Int (spent_patterns t));
+      ("entries", Json.Int (entry_count t));
+      ("waterfall", Json.List (List.map (row_to_json ~timings) (waterfall t)));
+    ]
+
+let grant_cell c p =
+  let one = function None -> "∞" | Some n -> string_of_int n in
+  Printf.sprintf "%s / %s" (one c) (one p)
+
+let to_markdown t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "| governor | granted (confl/patt) | spent (confl/patt) | subtree \
+     (confl/patt) | retries | degraded |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (r : row) ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s%s | %s | %d / %d | %d / %d | %d | %s |\n"
+           (String.concat "" (List.init r.depth (fun _ -> "&nbsp;&nbsp;")))
+           r.label
+           (grant_cell r.granted_conflicts r.granted_patterns)
+           r.charged_conflicts r.charged_patterns r.subtree_conflicts
+           r.subtree_patterns r.retries
+           (match r.degradations with
+           | [] -> "—"
+           | ds -> String.concat ", " ds)))
+    (waterfall t);
+  Buffer.contents b
+
+(* Replay the charges as cumulative Chrome counter samples, one counter
+   track per axis — the trace-side view of the budget waterfall. *)
+let counter_track t tracer =
+  let conflicts = ref 0 and patterns = ref 0 in
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Charge { axis; amount } ->
+          let counter, total =
+            match axis with
+            | Conflicts ->
+                conflicts := !conflicts + amount;
+                ("gov.conflicts_spent", !conflicts)
+            | Patterns ->
+                patterns := !patterns + amount;
+                ("gov.patterns_spent", !patterns)
+          in
+          Tracer.counter_sample tracer
+            ~ts_us:(t.epoch_us +. e.at_us)
+            counter (float_of_int total)
+      | _ -> ())
+    (entries t)

@@ -1,0 +1,84 @@
+(** The budget timeline of a governor tree: node creations (with their
+    grants — splits and slices create nodes), logical charges, retries
+    and degradations, each a timestamped entry, aggregated into a
+    "budget waterfall" per governor node.
+
+    One ledger serves a whole tree (children inherit their parent's);
+    entries may arrive from any domain, so recording is mutex-protected.
+    The waterfall aggregates per node and orders rows by tree structure
+    (which is pool-width-invariant) so that, with timestamps zeroed
+    ([~timings:false]), the export is byte-identical at any [--jobs]
+    while the per-node sums include every worker-lane charge. *)
+
+type t
+
+type axis = Conflicts | Patterns
+
+val axis_string : axis -> string
+
+type kind =
+  | Created of {
+      parent : string option;
+      conflicts : int option;
+      patterns : int option;
+      deadline_s : float option;
+      retries : int;
+    }  (** a governor node came into being with this grant *)
+  | Charge of { axis : axis; amount : int }
+  | Retry of { what : string; attempt : int }
+  | Degraded of { what : string; reason : string }
+
+type entry = {
+  at_us : float;  (** microseconds since the ledger epoch *)
+  node : string;  (** governor label *)
+  kind : kind;
+}
+
+val create : unit -> t
+val record : t -> node:string -> kind -> unit
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val entry_count : t -> int
+
+val spent_conflicts : t -> int
+(** Sum of every conflict charge across all nodes — each charge is
+    recorded once, on the directly-charged node, so this equals the
+    root governor's propagated spend counter. *)
+
+val spent_patterns : t -> int
+
+type row = {
+  label : string;
+  parent : string option;
+  depth : int;
+  created : int;
+  granted_conflicts : int option;
+  granted_patterns : int option;
+  granted_deadline_s : float option;
+  granted_retries : int;
+  charged_conflicts : int;
+  charged_patterns : int;
+  subtree_conflicts : int;
+  subtree_patterns : int;
+  retries : int;
+  degradations : string list;
+  first_at_us : float;
+}
+
+val waterfall : t -> row list
+(** One row per governor node, in deterministic tree order (roots and
+    siblings sorted by label, children after their parent). *)
+
+val to_json : ?timings:bool -> t -> Symbad_obs.Json.t
+(** Totals plus the waterfall rows; [~timings:false] zeroes timestamps
+    and deadline grants for reproducible output. *)
+
+val to_markdown : t -> string
+(** The waterfall as a markdown table (logical columns only). *)
+
+val counter_track : t -> Symbad_obs.Tracer.t -> unit
+(** Replay the cumulative spend as Chrome counter samples
+    ([gov.conflicts_spent] / [gov.patterns_spent]) on a tracer — the
+    trace-side budget waterfall. *)

@@ -3,22 +3,31 @@
 
     Everything is a no-op while disabled; instrumentation sites on hot
     paths should still guard with [if Obs.enabled () then ...] so that
-    argument lists are not even allocated. *)
+    argument lists are not even allocated.
+
+    Direct writes to the tracer/registry belong to the {e owner} domain
+    (the one that last called [set_enabled true]).  Other domains record
+    into a per-domain {!Telemetry_buffer.t} installed by their dispatcher
+    ({!with_buffer} — [Par] installs one per job) and the dispatcher
+    replays the buffers at the fan-in ({!merge_buffer}) in job order, so
+    merged metrics are byte-identical at any pool width.  Emissions from
+    a domain with neither role are dropped and counted
+    ({!dropped_count}). *)
 
 val enabled : unit -> bool
-(** True only on the owning domain (see [set_enabled]): worker domains
-    of a [Symbad_par] pool always read false, so instrumentation inside
-    parallel jobs is a safe no-op. *)
+(** True on the owner domain and on any domain running under an
+    installed buffer; false (and emissions are dropped-and-counted)
+    elsewhere. *)
 
 val set_enabled : bool -> unit
 (** [set_enabled true] also makes the calling domain the owner of the
     switchboard — the tracer and registry are single-domain state. *)
 
 val tracer : unit -> Tracer.t
-(** The process-wide span timeline. *)
+(** The process-wide span timeline (owner domain only). *)
 
 val metrics : unit -> Metrics.t
-(** The process-wide metrics registry. *)
+(** The process-wide metrics registry (owner domain only). *)
 
 val add_sink : Sink.t -> unit
 (** Register an event sink; every subsequent {!event} reaches it. *)
@@ -27,8 +36,23 @@ val sink_list : unit -> Sink.t list
 (** The registered sinks, in registration order. *)
 
 val reset : unit -> unit
-(** Fresh tracer, fresh registry, no sinks.  Does not change the
-    enabled flag. *)
+(** Fresh tracer, fresh registry, no sinks, dropped count zeroed.  Does
+    not change the enabled flag. *)
+
+(** {1 Cross-domain buffering} *)
+
+val set_buffering : bool -> unit
+(** [set_buffering false] disables per-job buffering in [Par] (worker
+    emissions are dropped and counted, as before the merge existed) —
+    regression-test escape hatch.  Default: enabled. *)
+
+val buffering : unit -> bool
+(** Whether per-job buffering is on. *)
+
+val dropped_count : unit -> int
+(** Emissions dropped since the last {!reset} because they came from a
+    domain that is neither the owner nor under a buffer.  Nonzero means
+    counters/spans under-report parallel work — the CLI warns on it. *)
 
 (** {1 Events} *)
 
@@ -71,13 +95,31 @@ val span :
   'a
 (** Scoped span around a computation; transparent while disabled. *)
 
+val with_buffer : Telemetry_buffer.t -> (unit -> 'a) -> 'a
+(** Run a thunk with every telemetry emission of the calling domain
+    recorded into the buffer (restores the previous buffer, if any, on
+    exit).  [Par] wraps each job in this. *)
+
+val merge_buffer : ?parent:span -> lane:int -> Telemetry_buffer.t -> unit
+(** Replay a buffer into the caller's telemetry target: the global
+    tracer/registry on the owner domain, or the caller's own buffer
+    when Par maps nest.  Top-level buffered spans are parented to
+    [parent] (the dispatch span) and placed on track ["lane<lane>"];
+    nested spans keep their original track under a ["lane<lane>/"]
+    prefix.  Counter deltas, gauge samples, histogram observations and
+    events replay in recorded order — merging buffers in job-dispatch
+    order makes the merged registry deterministic. *)
+
 (** {1 Metric shorthands} *)
 
 val incr_counter : ?by:int -> string -> unit
-(** [Metrics.incr] on the named counter of the global registry. *)
+(** [Metrics.incr] on the named counter of the global registry (or the
+    installed buffer). *)
 
 val set_gauge : ?x:float -> string -> float -> unit
-(** [Metrics.set] on the named gauge of the global registry. *)
+(** [Metrics.set] on the named gauge of the global registry (or the
+    installed buffer). *)
 
 val observe : string -> int -> unit
-(** [Metrics.observe] on the named histogram of the global registry. *)
+(** [Metrics.observe] on the named histogram of the global registry (or
+    the installed buffer). *)

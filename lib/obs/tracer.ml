@@ -8,11 +8,27 @@
    the default track carries the sequential flow (levels, verifications,
    solver calls), while each bus master gets its own track so that the
    interleaved transactions of concurrent simulation processes still
-   render as properly nested rectangles. *)
+   render as properly nested rectangles.
 
-type track = { tid : int; label : string; mutable depth : int }
+   Every span has a timeline-unique [id] and an optional causal
+   [parent]: by default the innermost still-open span on the same track,
+   or an explicit [?parent] for cross-track causality (a Par dispatch
+   span parenting the job spans that ran on worker lanes).  Cross-track
+   parent links are exported as Chrome flow events ("s"/"f"), so
+   Perfetto draws the dispatch→job arrows.  [reserve_ids] and
+   [add_completed] exist for [Obs.merge_buffer], which replays spans
+   recorded off-domain into this timeline. *)
+
+type track = {
+  tid : int;
+  label : string;
+  mutable depth : int;
+  mutable open_ids : int list;  (* innermost first *)
+}
 
 type span = {
+  s_id : int;
+  s_parent : int option;
   s_name : string;
   s_cat : string;
   s_track : track;
@@ -23,6 +39,8 @@ type span = {
 }
 
 type completed = {
+  id : int;
+  parent : int option;
   name : string;
   cat : string;
   track : string;
@@ -43,12 +61,17 @@ type instant = {
   i_args : (string * Json.t) list;
 }
 
+(* one sample of a Chrome counter track (ph "C") *)
+type counter_sample = { c_name : string; c_ts_us : float; c_value : float }
+
 type t = {
   epoch_us : float;
   tracks : (string, track) Hashtbl.t;
   mutable next_tid : int;
+  mutable next_span_id : int;
   mutable completed : completed list;  (* newest first *)
   mutable instants : instant list;
+  mutable counters : counter_sample list;  (* newest first *)
   mutable completed_count : int;
 }
 
@@ -61,8 +84,10 @@ let create () =
     epoch_us = now_us ();
     tracks = Hashtbl.create 8;
     next_tid = 1;
+    next_span_id = 1;
     completed = [];
     instants = [];
+    counters = [];
     completed_count = 0;
   }
 
@@ -70,16 +95,30 @@ let track_of t label =
   match Hashtbl.find_opt t.tracks label with
   | Some tr -> tr
   | None ->
-      let tr = { tid = t.next_tid; label; depth = 0 } in
+      let tr = { tid = t.next_tid; label; depth = 0; open_ids = [] } in
       t.next_tid <- t.next_tid + 1;
       Hashtbl.add t.tracks label tr;
       tr
 
-let begin_span t ?(track = default_track) ?(cat = "app") ?(args = []) ?sim_ns
-    name =
+let reserve_ids t n =
+  let base = t.next_span_id in
+  t.next_span_id <- base + n;
+  base
+
+let begin_span t ?(track = default_track) ?(cat = "app") ?(args = [])
+    ?sim_ns ?parent name =
   let tr = track_of t track in
+  let id = t.next_span_id in
+  t.next_span_id <- id + 1;
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> ( match tr.open_ids with [] -> None | p :: _ -> Some p)
+  in
   let s =
     {
+      s_id = id;
+      s_parent = parent;
       s_name = name;
       s_cat = cat;
       s_track = tr;
@@ -90,11 +129,15 @@ let begin_span t ?(track = default_track) ?(cat = "app") ?(args = []) ?sim_ns
     }
   in
   tr.depth <- tr.depth + 1;
+  tr.open_ids <- id :: tr.open_ids;
   s
+
+let span_id s = s.s_id
 
 let end_span t ?(args = []) ?sim_ns s =
   let tr = s.s_track in
   if tr.depth > 0 then tr.depth <- tr.depth - 1;
+  tr.open_ids <- List.filter (fun id -> id <> s.s_id) tr.open_ids;
   let sim_dur_ns =
     match (s.s_sim_start_ns, sim_ns) with
     | Some a, Some b -> Some (b - a)
@@ -102,6 +145,8 @@ let end_span t ?(args = []) ?sim_ns s =
   in
   t.completed <-
     {
+      id = s.s_id;
+      parent = s.s_parent;
       name = s.s_name;
       cat = s.s_cat;
       track = tr.label;
@@ -115,6 +160,12 @@ let end_span t ?(args = []) ?sim_ns s =
     :: t.completed;
   t.completed_count <- t.completed_count + 1
 
+let add_completed t (c : completed) =
+  (* used by the merge path: ids must come from [reserve_ids] *)
+  ignore (track_of t c.track);
+  t.completed <- c :: t.completed;
+  t.completed_count <- t.completed_count + 1
+
 let with_span t ?track ?cat ?args ?sim_ns name f =
   let s = begin_span t ?track ?cat ?args ?sim_ns name in
   match f () with
@@ -126,17 +177,26 @@ let with_span t ?track ?cat ?args ?sim_ns name f =
       raise e
 
 let instant t ?(track = default_track) ?(severity = Severity.Info)
-    ?(args = []) ?sim_ns name =
+    ?(args = []) ?sim_ns ?ts_us name =
   t.instants <-
     {
       i_name = name;
       i_severity = severity;
-      i_ts_us = now_us ();
+      i_ts_us = (match ts_us with Some ts -> ts | None -> now_us ());
       i_track = track_of t track;
       i_sim_ns = sim_ns;
       i_args = args;
     }
     :: t.instants
+
+let counter_sample t ?ts_us name value =
+  t.counters <-
+    {
+      c_name = name;
+      c_ts_us = (match ts_us with Some ts -> ts | None -> now_us ());
+      c_value = value;
+    }
+    :: t.counters
 
 let span_count t = t.completed_count
 
@@ -158,6 +218,13 @@ let sim_args sim_start_ns sim_dur_ns =
 
 let to_chrome_json t =
   let rel us = us -. t.epoch_us in
+  let id_args (c : completed) =
+    ("span_id", Json.Int c.id)
+    ::
+    (match c.parent with
+    | Some p -> [ ("parent_span_id", Json.Int p) ]
+    | None -> [])
+  in
   let span_event (c : completed) =
     Json.Obj
       [
@@ -168,7 +235,9 @@ let to_chrome_json t =
         ("tid", Json.Int (track_of t c.track).tid);
         ("ts", Json.Float (rel c.start_us));
         ("dur", Json.Float c.dur_us);
-        ("args", Json.Obj (sim_args c.sim_start_ns c.sim_dur_ns @ c.args));
+        ( "args",
+          Json.Obj (id_args c @ sim_args c.sim_start_ns c.sim_dur_ns @ c.args)
+        );
       ]
   in
   let instant_event (i : instant) =
@@ -184,6 +253,44 @@ let to_chrome_json t =
         ("args", Json.Obj (sim_args i.i_sim_ns None @ i.i_args));
       ]
   in
+  let counter_event (c : counter_sample) =
+    Json.Obj
+      [
+        ("name", Json.Str c.c_name);
+        ("ph", Json.Str "C");
+        ("pid", Json.Int 1);
+        ("ts", Json.Float (rel c.c_ts_us));
+        ("args", Json.Obj [ ("value", Json.Float c.c_value) ]);
+      ]
+  in
+  (* cross-track parent links render as flow arrows dispatch → job *)
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (c : completed) -> Hashtbl.replace by_id c.id c) t.completed;
+  let flow_events (c : completed) =
+    match c.parent with
+    | None -> []
+    | Some p -> (
+        match Hashtbl.find_opt by_id p with
+        | Some pc when not (String.equal pc.track c.track) ->
+            let arrow ph extra ts track =
+              Json.Obj
+                ([
+                   ("name", Json.Str "dispatch");
+                   ("cat", Json.Str "par");
+                   ("ph", Json.Str ph);
+                   ("id", Json.Int c.id);
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int (track_of t track).tid);
+                   ("ts", Json.Float (rel ts));
+                 ]
+                @ extra)
+            in
+            [
+              arrow "s" [] (pc.start_us +. (pc.dur_us /. 2.)) pc.track;
+              arrow "f" [ ("bp", Json.Str "e") ] c.start_us c.track;
+            ]
+        | _ -> [])
+  in
   let thread_name tr =
     Json.Obj
       [
@@ -198,6 +305,7 @@ let to_chrome_json t =
     Hashtbl.fold (fun _ tr acc -> tr :: acc) t.tracks []
     |> List.sort (fun a b -> Int.compare a.tid b.tid)
   in
+  let spans = completed_spans t in
   Json.to_string
     (Json.Obj
        [
@@ -205,6 +313,8 @@ let to_chrome_json t =
          ( "traceEvents",
            Json.List
              (List.map thread_name tracks
-             @ List.map span_event (completed_spans t)
-             @ List.map instant_event (List.rev t.instants)) );
+             @ List.map span_event spans
+             @ List.concat_map flow_events spans
+             @ List.map instant_event (List.rev t.instants)
+             @ List.map counter_event (List.rev t.counters)) );
        ])

@@ -5,13 +5,21 @@
     passes [sim_ns].  Spans are grouped on named {e tracks} (Chrome
     threads): the default track serialises the flow itself, while
     concurrent simulation processes (e.g. bus masters) should each use
-    their own track so their interleaved spans still nest. *)
+    their own track so their interleaved spans still nest.
+
+    Every span has a timeline-unique id and an optional causal parent
+    (defaulting to the innermost open span on the same track); parents
+    that live on a {e different} track are exported as Chrome flow
+    arrows, which is how a [Par] dispatch span points at the job spans
+    that ran on worker lanes. *)
 
 type t
 
 type span
 
 type completed = {
+  id : int;  (** timeline-unique span id (also exported in the args) *)
+  parent : int option;  (** causal parent span id, if any *)
   name : string;
   cat : string;
   track : string;
@@ -35,11 +43,16 @@ val begin_span :
   ?cat:string ->
   ?args:(string * Json.t) list ->
   ?sim_ns:int ->
+  ?parent:int ->
   string ->
   span
 (** Open a span on [track] (default {!default_track}) at the current
     host time; [cat] is the Chrome category, [sim_ns] the simulated
-    start time. *)
+    start time.  [parent] overrides the causal parent (default: the
+    innermost span still open on the same track). *)
+
+val span_id : span -> int
+(** The timeline-unique id of an open span (usable as [?parent]). *)
 
 val end_span : t -> ?args:(string * Json.t) list -> ?sim_ns:int -> span -> unit
 (** Close the span; [sim_ns] here yields a simulated duration in the
@@ -62,9 +75,26 @@ val instant :
   ?severity:Severity.t ->
   ?args:(string * Json.t) list ->
   ?sim_ns:int ->
+  ?ts_us:float ->
   string ->
   unit
-(** A zero-duration marker on the timeline. *)
+(** A zero-duration marker on the timeline.  [ts_us] overrides the
+    timestamp (absolute host microseconds) — the merge path uses it to
+    replay events recorded on worker domains at their original time. *)
+
+val counter_sample : t -> ?ts_us:float -> string -> float -> unit
+(** One sample of a named Chrome counter track (ph ["C"]) — the budget
+    waterfall exports the governor's cumulative spend this way. *)
+
+val reserve_ids : t -> int -> int
+(** [reserve_ids t n] reserves [n] consecutive span ids and returns the
+    first; the merge path allocates ids for a whole buffer up front so
+    parent links survive arbitrary completion order. *)
+
+val add_completed : t -> completed -> unit
+(** Append an externally-built completed span (merge path); its [id]
+    must come from {!reserve_ids} and its [track] is registered on
+    first use. *)
 
 val span_count : t -> int
 (** Number of completed spans. *)

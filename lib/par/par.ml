@@ -4,12 +4,19 @@
    calling domain that is itself a full lane: [map] enqueues its chunks
    and then drains the queue until its own batch completes, so a
    [jobs = 1] pool runs the identical code with zero workers and the
-   parallel result is the sequential result by construction.  Workers
-   never touch [Symbad_obs] (the switchboard is owned by one domain);
-   all pool telemetry is recorded by the caller after the fan-in. *)
+   parallel result is the sequential result by construction.
+
+   Telemetry crosses domains through per-job buffers: when telemetry is
+   on, [map] wraps each chunk in [Obs.with_buffer] (a job-root span plus
+   every emission the job makes, recorded domain-locally) and merges the
+   buffers back in chunk-index order at the fan-in, parented to the
+   dispatch span and placed on a per-lane track — so traces show one
+   lane per executing domain while the merged metrics are identical at
+   any pool width. *)
 
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
+module Telemetry_buffer = Symbad_obs.Telemetry_buffer
 
 type job = { run : unit -> unit  (* must not raise *) }
 
@@ -55,6 +62,11 @@ let rec worker pool =
       worker pool
   | None -> ()
 
+(* Which lane of a pool the current domain is: 0 for the calling domain,
+   [1 .. width - 1] for workers.  Labels the per-lane trace tracks. *)
+let lane_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let current_lane () = Domain.DLS.get lane_key
+
 let create ?jobs () =
   let width = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   let pool =
@@ -68,7 +80,10 @@ let create ?jobs () =
     }
   in
   pool.workers <-
-    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    List.init (width - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set lane_key (i + 1);
+            worker pool));
   pool
 
 let jobs pool = pool.width
@@ -164,28 +179,55 @@ let run_chunks pool ?progress thunks =
 
 (* --- deterministic fan-out -------------------------------------------- *)
 
+(* The chunk count is a constant, never a function of the pool width:
+   chunk-derived telemetry (job spans, [par.jobs_dispatched], the
+   queue-wait histogram) must be identical at any [--jobs], the
+   invariant `symbad report` is built on.  16 chunks saturate pools up
+   to 16 lanes and still load-balance uneven jobs. *)
+let max_chunks = 16
+
 let map_array ?(label = "par.map") ?progress pool f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
-    (* contiguous balanced chunks; a few per lane so uneven jobs still
-       load-balance, reassembled by index so order never depends on the
-       pool width *)
-    let nchunks = min n (4 * pool.width) in
+    (* contiguous balanced chunks, reassembled by index so order never
+       depends on the pool width *)
+    let nchunks = min n max_chunks in
     let results = Array.make n None in
     let errors = Array.make nchunks None in
+    let telemetry = Obs.enabled () in
+    let buffered = telemetry && Obs.buffering () in
+    let bufs = Array.make (if buffered then nchunks else 0) None in
+    let lanes = Array.make nchunks 0 in
     let thunks =
       Array.init nchunks (fun c ->
           let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
-          fun () ->
+          let body () =
             try
               for i = lo to hi - 1 do
                 results.(i) <- Some (f xs.(i))
               done
-            with e -> errors.(c) <- Some (e, Printexc.get_raw_backtrace ()))
+            with e -> errors.(c) <- Some (e, Printexc.get_raw_backtrace ())
+          in
+          if not buffered then body
+          else begin
+            let buf = Telemetry_buffer.create () in
+            bufs.(c) <- Some buf;
+            fun () ->
+              lanes.(c) <- current_lane ();
+              Obs.with_buffer buf (fun () ->
+                  Obs.span ~cat:"par"
+                    ~args:
+                      [
+                        ("chunk", Json.Int c);
+                        ("lo", Json.Int lo);
+                        ("hi", Json.Int (hi - 1));
+                      ]
+                    label body)
+          end)
     in
     let sp =
-      if Obs.enabled () then
+      if telemetry then
         Obs.begin_span ~track:"par" ~cat:"par"
           ~args:
             [
@@ -197,7 +239,16 @@ let map_array ?(label = "par.map") ?progress pool f xs =
       else Obs.null_span
     in
     let waits = run_chunks pool ?progress thunks in
-    if Obs.enabled () then begin
+    (* merge the per-job buffers in chunk-index order: dispatch order,
+       never completion order, so the merged registry is deterministic *)
+    if buffered then
+      Array.iteri
+        (fun c b ->
+          match b with
+          | Some b -> Obs.merge_buffer ~parent:sp ~lane:lanes.(c) b
+          | None -> ())
+        bufs;
+    if telemetry then begin
       Obs.incr_counter ~by:nchunks "par.jobs_dispatched";
       Array.iter
         (fun w -> Obs.observe "par.queue_wait_us" (int_of_float w))

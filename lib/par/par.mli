@@ -10,10 +10,16 @@
     Exceptions raised inside jobs are captured and re-raised on the
     calling domain (first failing chunk in input order wins).
 
-    Telemetry: every parallel section is a span on the ["par"] track,
-    with [par.jobs_dispatched] counting chunks and [par.queue_wait_us]
-    a histogram of chunk queue-wait times.  All of it is recorded from
-    the calling domain — worker domains never touch [Symbad_obs]. *)
+    Telemetry: every parallel section is a dispatch span on the ["par"]
+    track, with [par.jobs_dispatched] counting chunks and
+    [par.queue_wait_us] a histogram of chunk queue-wait times.  When
+    telemetry is on, each chunk runs under a per-job
+    [Obs.Telemetry_buffer] wrapped in a job-root span; the buffers merge
+    back in chunk-index order at the fan-in, parented to the dispatch
+    span and placed on per-lane tracks (["lane0"] is the calling
+    domain) — worker emissions are never lost, and because chunk counts
+    and merge order are width-independent the merged metrics are
+    byte-identical at any [--jobs].  See [docs/OBSERVABILITY.md]. *)
 
 type pool
 
@@ -41,6 +47,10 @@ val sequential : pool
 
 val get : pool option -> pool
 (** [get (Some p)] is [p]; [get None] is [sequential]. *)
+
+val current_lane : unit -> int
+(** The pool lane the calling domain is: [0] for a dispatching domain,
+    [1 .. jobs - 1] on workers.  Names the ["lane<k>"] trace tracks. *)
 
 (** {1 Deterministic fan-out} *)
 

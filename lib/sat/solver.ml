@@ -442,7 +442,6 @@ let result_string = function Sat -> "sat" | Unsat -> "unsat" | Unknown -> "unkno
    conflicts spent on every exit path, including exceptional ones. *)
 let solve ?assumptions ?max_conflicts ?gov s =
   let module Obs = Symbad_obs.Obs in
-  let module Metrics = Symbad_obs.Metrics in
   let module Json = Symbad_obs.Json in
   let c_start = s.conflicts in
   let settle () =
@@ -471,8 +470,9 @@ let solve ?assumptions ?max_conflicts ?gov s =
         "sat.solve"
     in
     let finish result =
-      let m = Obs.metrics () in
-      let flush name v = Metrics.incr ~by:v (Metrics.counter m name) in
+      (* through the facade: a solve inside a Par job flushes into the
+         job's buffer, not the (foreign) global registry *)
+      let flush name v = Obs.incr_counter ~by:v name in
       flush "sat.solves" 1;
       flush "sat.conflicts" (s.conflicts - c0);
       flush "sat.propagations" (s.propagations - p0);

@@ -8,7 +8,6 @@
 
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
-module Metrics = Symbad_obs.Metrics
 
 type action = unit -> unit
 
@@ -137,11 +136,12 @@ let run ?until k =
     if Obs.enabled () then begin
       let dispatched = k.events_processed - events0 in
       let sim_ns = Time.to_ns k.now in
-      let m = Obs.metrics () in
-      Metrics.incr ~by:dispatched (Metrics.counter m "sim.events_dispatched");
+      (* through the facade, never the registry directly: a kernel run
+         inside a Par job must land in the job's buffer *)
+      Obs.incr_counter ~by:dispatched "sim.events_dispatched";
+      Obs.incr_counter ~by:(int_of_float (dt *. 1e6)) "sim.cpu_us";
       if dt > 0. then
-        Metrics.set
-          (Metrics.gauge m "sim.wall_sim_ratio")
+        Obs.set_gauge "sim.wall_sim_ratio"
           (float_of_int (sim_ns - sim0) /. 1e9 /. dt);
       Obs.end_span
         ~args:[ ("events", Json.Int dispatched) ]

@@ -18,4 +18,5 @@ let () =
       ("gov", Test_gov.suite);
       ("resil", Test_resil.suite);
       ("lint", Test_lint.suite);
+      ("report", Test_report.suite);
     ]

@@ -276,6 +276,44 @@ let qcheck_budget_monotone =
       | Symbad_mc.Engine.Falsified _, Symbad_mc.Engine.Falsified _ -> true
       | _ -> false)
 
+(* --- the budget-timeline ledger --- *)
+
+(* every charge lands in the ledger exactly once (on the directly
+   charged node), even when the charging happens from worker domains,
+   so the ledger sums equal the root's propagated spend counters *)
+let ledger_sums_match_spend () =
+  let module Ledger = Symbad_gov.Ledger in
+  let ledger = Ledger.create () in
+  let root =
+    Gov.create ~label:"root" ~ledger
+      (Budget.make ~conflicts:10_000 ~patterns:10_000 ())
+  in
+  let children = Gov.split ~label:"work" root 4 in
+  Par.with_pool ~jobs:3 (fun pool ->
+      ignore
+        (Par.map pool
+           (fun (i, c) ->
+             Gov.charge_conflicts c (10 * (i + 1));
+             Gov.charge_patterns c (i + 1);
+             i)
+           (List.mapi (fun i c -> (i, c)) children)));
+  Gov.charge_conflicts (Gov.slice ~label:"tail" ~fraction:0.5 root) 7;
+  check_int "root conflicts spend" 107 (Gov.spent_conflicts root);
+  check_int "ledger conflicts sum" (Gov.spent_conflicts root)
+    (Ledger.spent_conflicts ledger);
+  check_int "ledger patterns sum" (Gov.spent_patterns root)
+    (Ledger.spent_patterns ledger);
+  let rows = Ledger.waterfall ledger in
+  (* root + 4 split children + 1 slice *)
+  check_int "one waterfall row per node" 6 (List.length rows);
+  let row label = List.find (fun r -> r.Ledger.label = label) rows in
+  check_int "root subtree includes every worker charge" 107
+    (row "root").Ledger.subtree_conflicts;
+  check_int "slice charge on its own row" 7
+    (row "root.tail").Ledger.charged_conflicts;
+  check_bool "waterfall order is deterministic" true
+    (rows = Ledger.waterfall ledger)
+
 let suite =
   [
     Alcotest.test_case "budget split sums exactly" `Quick budget_split_sums;
@@ -292,5 +330,7 @@ let suite =
     Alcotest.test_case "zero budget: LPV not analyzable" `Quick lpv_degrades;
     Alcotest.test_case "zero-budget flow is deterministic" `Quick
       flow_zero_budget_deterministic;
+    Alcotest.test_case "ledger sums match governor spend" `Quick
+      ledger_sums_match_spend;
     QCheck_alcotest.to_alcotest qcheck_budget_monotone;
   ]

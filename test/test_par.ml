@@ -120,8 +120,208 @@ let pool_telemetry () =
       (match Metrics.find_histogram m "par.queue_wait_us" with
       | Some _ -> ()
       | None -> Alcotest.fail "par.queue_wait_us not recorded");
-      check_int "one span on the par track" 1
-        (List.length (Tracer.spans_with_cat (Obs.tracer ()) "par")))
+      (* one dispatch span on the "par" track plus one merged job span
+         per chunk (16 items -> 16 chunks), each on a lane track and
+         parent-linked to the dispatch span *)
+      let spans = Tracer.spans_with_cat (Obs.tracer ()) "par" in
+      check_int "dispatch + 16 job spans" 17 (List.length spans);
+      let dispatch =
+        List.find (fun s -> String.equal s.Tracer.track "par") spans
+      in
+      let jobs =
+        List.filter (fun s -> not (String.equal s.Tracer.track "par")) spans
+      in
+      check_int "16 job spans" 16 (List.length jobs);
+      List.iter
+        (fun (s : Tracer.completed) ->
+          check_bool "job on a lane track" true
+            (String.length s.Tracer.track >= 4
+            && String.sub s.Tracer.track 0 4 = "lane");
+          check_bool "job parented to the dispatch span" true
+            (s.Tracer.parent = Some dispatch.Tracer.id))
+        jobs)
+
+(* Two jobs forced to run concurrently on distinct domains: each spins
+   until both have started (bounded by a timeout escape so a pathological
+   scheduler cannot hang the suite), so the calling domain takes exactly
+   one chunk and a worker domain the other. *)
+let rendezvous pool name =
+  let started = Atomic.make 0 in
+  Par.map ~label:name pool
+    (fun _ ->
+      Atomic.incr started;
+      let t0 = Unix.gettimeofday () in
+      while Atomic.get started < 2 && Unix.gettimeofday () -. t0 < 5. do
+        Domain.cpu_relax ()
+      done;
+      Obs.incr_counter (name ^ ".work");
+      Par.current_lane ())
+    [ 0; 1 ]
+
+(* Satellite regression for the worker-telemetry drop: with per-job
+   buffering on, emissions from the worker domain reach the merged
+   registry; with buffering off (the pre-merge behaviour), they are
+   dropped and counted — so the buffered flow records strictly more. *)
+let worker_telemetry_merged () =
+  let buffered =
+    with_obs (fun () ->
+        let lanes = Par.with_pool ~jobs:2 (fun pool -> rendezvous pool "rv") in
+        check_bool "two distinct lanes" true
+          (match lanes with [ a; b ] -> a <> b | _ -> false);
+        check_int "no emission dropped" 0 (Obs.dropped_count ());
+        match Metrics.find_counter (Obs.metrics ()) "rv.work" with
+        | Some n -> n
+        | None -> Alcotest.fail "rv.work not recorded")
+  in
+  check_int "both lanes counted" 2 buffered;
+  let unbuffered =
+    with_obs (fun () ->
+        Obs.set_buffering false;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_buffering true)
+          (fun () ->
+            ignore (Par.with_pool ~jobs:2 (fun pool -> rendezvous pool "rv"));
+            check_bool "worker emissions dropped and counted" true
+              (Obs.dropped_count () > 0);
+            match Metrics.find_counter (Obs.metrics ()) "rv.work" with
+            | Some n -> n
+            | None -> 0))
+  in
+  check_int "dispatch lane only" 1 unbuffered;
+  check_bool "buffered records strictly more" true (buffered > unbuffered)
+
+(* Chrome-trace parse-back: the exported timeline must show one thread
+   per lane, the job spans on (at least) two distinct lane threads, each
+   parent-linked to the dispatch span, with flow arrows for the links. *)
+let merged_trace_parse_back () =
+  with_obs (fun () ->
+      ignore (Par.with_pool ~jobs:2 (fun pool -> rendezvous pool "rvt"));
+      let doc = Json.parse_exn (Tracer.to_chrome_json (Obs.tracer ())) in
+      let events =
+        match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+        | Some es -> es
+        | None -> Alcotest.fail "no traceEvents"
+      in
+      let str k e = Option.bind (Json.member k e) Json.to_str in
+      let num k e = Option.bind (Json.member k e) Json.to_number in
+      let arg k e = Option.bind (Json.member "args" e) (Json.member k) in
+      let lane_tids =
+        List.filter_map
+          (fun e ->
+            match (str "ph" e, Option.bind (arg "name" e) Json.to_str) with
+            | Some "M", Some label
+              when String.length label >= 4 && String.sub label 0 4 = "lane" ->
+                Option.map (fun tid -> (int_of_float tid, label)) (num "tid" e)
+            | _ -> None)
+          events
+      in
+      check_bool "at least two lane threads" true (List.length lane_tids >= 2);
+      let xs = List.filter (fun e -> str "ph" e = Some "X") events in
+      let jobs =
+        List.filter
+          (fun e -> str "name" e = Some "rvt" && arg "chunk" e <> None)
+          xs
+      in
+      let dispatch =
+        List.find
+          (fun e -> str "name" e = Some "rvt" && arg "chunks" e <> None)
+          xs
+      in
+      let dispatch_id = Option.bind (arg "span_id" dispatch) Json.to_number in
+      check_int "two job spans" 2 (List.length jobs);
+      let job_tids =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> num "tid" e) jobs)
+      in
+      check_int "job spans on two distinct lane threads" 2
+        (List.length job_tids);
+      List.iter
+        (fun tid ->
+          check_bool "job thread is a lane thread" true
+            (List.mem_assoc (int_of_float tid) lane_tids))
+        job_tids;
+      List.iter
+        (fun e ->
+          check_bool "job parent-linked to dispatch" true
+            (Option.bind (arg "parent_span_id" e) Json.to_number = dispatch_id))
+        jobs;
+      let arrows ph =
+        List.filter_map
+          (fun e ->
+            if str "ph" e = Some ph then num "id" e else None)
+          events
+      in
+      List.iter
+        (fun e ->
+          let id = Option.bind (arg "span_id" e) Json.to_number in
+          check_bool "flow arrow start exists" true
+            (List.exists (fun i -> Some i = id) (arrows "s"));
+          check_bool "flow arrow end exists" true
+            (List.exists (fun i -> Some i = id) (arrows "f")))
+        jobs)
+
+(* qcheck: the merged telemetry is pool-width invariant — the span
+   structure (ids, parents, names, cats, depths) and the deterministic
+   metric figures hash identically at any width. *)
+let telemetry_probe pool =
+  ignore
+    (Par.map ~label:"q.map" pool
+       (fun i ->
+         Obs.span ~cat:"q" "q.work" (fun () ->
+             Obs.incr_counter ~by:(i + 1) "q.count";
+             Obs.observe "q.depth_ns" (i * 100);
+             i * 3))
+       (List.init 24 Fun.id))
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.sub s (ls - lf) lf = suf
+
+let telemetry_digest () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (s : Tracer.completed) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%s|%s|%d|%s;" s.Tracer.id s.Tracer.cat
+           s.Tracer.name s.Tracer.depth
+           (match s.Tracer.parent with
+           | None -> "-"
+           | Some p -> string_of_int p)))
+    (Tracer.completed_spans (Obs.tracer ()));
+  let m = Obs.metrics () in
+  List.iter
+    (fun n ->
+      match Metrics.find_counter m n with
+      | Some v when not (has_suffix n "_us") ->
+          Buffer.add_string buf (Printf.sprintf "%s=%d;" n v)
+      | _ -> (
+          match Metrics.find_histogram m n with
+          | Some h ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s#%d%s;" n (Histogram.count h)
+                   (if has_suffix n "_us" then ""
+                    else Printf.sprintf "/%.0f" (Histogram.sum h)))
+          | None -> ()))
+    (List.sort compare (Metrics.names m));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let qcheck_telemetry_width_invariant =
+  let reference =
+    lazy
+      (with_obs (fun () ->
+           Par.with_pool ~jobs:1 telemetry_probe;
+           telemetry_digest ()))
+  in
+  QCheck.Test.make ~count:8
+    ~name:"merged telemetry md5 is pool-width invariant"
+    QCheck.(int_range 1 6)
+    (fun jobs ->
+      let d =
+        with_obs (fun () ->
+            Par.with_pool ~jobs telemetry_probe;
+            telemetry_digest ())
+      in
+      String.equal d (Lazy.force reference))
 
 let progress_reaches_caller () =
   let calls = ref [] in
@@ -217,6 +417,9 @@ let suite =
     Alcotest.test_case "shutdown semantics" `Quick shutdown_semantics;
     Alcotest.test_case "seed split independence" `Quick seed_split_independence;
     Alcotest.test_case "pool telemetry" `Quick pool_telemetry;
+    Alcotest.test_case "worker telemetry merged" `Quick worker_telemetry_merged;
+    Alcotest.test_case "merged trace parses back" `Quick merged_trace_parse_back;
+    QCheck_alcotest.to_alcotest qcheck_telemetry_width_invariant;
     Alcotest.test_case "progress reaches the caller" `Quick
       progress_reaches_caller;
     Alcotest.test_case "parallel PCC equals sequential" `Quick

@@ -1,0 +1,114 @@
+(* Tests for the unified verification report: the md5 width-invariance
+   acceptance property (the no-timings JSON and markdown renders are
+   byte-identical at --jobs 1/2/4), the gov-spend-equals-ledger-sums
+   invariant, and that the JSON export parses back with every section
+   present.  Runs under a small logical budget so each assemble is a
+   sub-second governed run rather than the full unlimited flow. *)
+
+open Symbad_obs
+module Par = Symbad_par.Par
+module Budget = Symbad_gov.Budget
+module Ledger = Symbad_gov.Ledger
+module Report = Symbad_report.Report
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* the 2-frame / 32px / 6-identity smoke workload the CLI guards use *)
+let workload = Symbad_core.Face_app.smoke_workload
+
+let budget () = Budget.make ~conflicts:1_000 ~patterns:1_000 ()
+
+let assemble ~jobs =
+  Par.with_pool ~jobs (fun pool ->
+      let r =
+        Report.assemble ~pool ~seed:1 ~workload ~budget:(budget ())
+          ~trials_per_kind:1 ()
+      in
+      (* assemble leaves telemetry populated for the CLI; the tests
+         don't want it leaking into later suites *)
+      Obs.reset ();
+      Obs.set_enabled false;
+      r)
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let report_md5_width_invariant () =
+  let digests jobs =
+    let r = assemble ~jobs in
+    (md5 (Report.to_json ~timings:false r),
+     md5 (Report.to_markdown ~timings:false r))
+  in
+  let j1, m1 = digests 1 in
+  let j2, m2 = digests 2 in
+  let j4, m4 = digests 4 in
+  check_str "json md5 jobs=2 equals jobs=1" j1 j2;
+  check_str "json md5 jobs=4 equals jobs=1" j1 j4;
+  check_str "markdown md5 jobs=2 equals jobs=1" m1 m2;
+  check_str "markdown md5 jobs=4 equals jobs=1" m1 m4
+
+let gov_spend_equals_ledger_sums () =
+  let r = assemble ~jobs:2 in
+  check_bool "some spend recorded" true (r.Report.gov_conflicts > 0);
+  check_int "conflicts: ledger sums equal gov spend" r.Report.gov_conflicts
+    (Ledger.spent_conflicts r.Report.ledger);
+  check_int "patterns: ledger sums equal gov spend" r.Report.gov_patterns
+    (Ledger.spent_patterns r.Report.ledger);
+  check_int "no telemetry dropped" 0 r.Report.dropped
+
+let json_parses_back () =
+  let r = assemble ~jobs:2 in
+  let doc = Json.parse_exn (Report.to_json ~timings:false r) in
+  let mem k =
+    match Json.member k doc with
+    | Some v -> v
+    | None -> Alcotest.fail (k ^ " missing from report JSON")
+  in
+  List.iter
+    (fun k -> ignore (mem k))
+    [
+      "seed"; "workload"; "all_passed"; "flow"; "lint"; "faults"; "budget";
+      "gov"; "profile"; "counters"; "histograms"; "trace";
+    ];
+  let gov = mem "gov" in
+  let num k =
+    match Option.bind (Json.member k gov) Json.to_number with
+    | Some v -> int_of_float v
+    | None -> Alcotest.fail (k ^ " missing from gov section")
+  in
+  check_int "json gov spend equals record" r.Report.gov_conflicts
+    (num "spent_conflicts");
+  check_int "json ledger sum equals record" r.Report.gov_conflicts
+    (num "ledger_conflicts");
+  (* worker-lane totals present: the merged counters made it out *)
+  check_bool "counters section non-empty" true (r.Report.counters <> []);
+  check_bool "spans recorded" true (r.Report.span_total > 0)
+
+let markdown_has_sections () =
+  let r = assemble ~jobs:1 in
+  let md = Report.to_markdown ~timings:false r in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "markdown contains %S" needle) true
+        (let n = String.length needle and l = String.length md in
+         let rec scan i =
+           i + n <= l && (String.sub md i n = needle || scan (i + 1))
+         in
+         scan 0))
+    [
+      "# Symbad verification report"; "## Verdicts"; "## Lint";
+      "## Budget waterfall"; "## Profile"; "## Counters"; "## Trace";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "report md5 is pool-width invariant" `Slow
+      report_md5_width_invariant;
+    Alcotest.test_case "gov spend equals ledger sums" `Quick
+      gov_spend_equals_ledger_sums;
+    Alcotest.test_case "json parses back with every section" `Quick
+      json_parses_back;
+    Alcotest.test_case "markdown has every section" `Quick
+      markdown_has_sections;
+  ]
