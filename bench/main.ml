@@ -445,6 +445,89 @@ let par_speedup out =
   | None -> Format.printf "%s@." json
 
 (* ---------------------------------------------------------------- *)
+(* INC: incremental sessions + the content-addressed verdict cache —  *)
+(* what a warm cache buys on the level-4 portfolio.                   *)
+(* `dune exec bench/main.exe -- inc [FILE]` writes the figures as     *)
+(* JSON (the committed BENCH_inc.json baseline; host seconds are      *)
+(* informative, the all_cached/identical flags are the checked part). *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let inc out =
+  let module Json = Symbad_obs.Json in
+  let module Cache = Symbad_cache.Cache in
+  section "INC" "incremental verification: cold vs warm verdict cache (level 4)";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "symbad_bench_inc_%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cache = Cache.create ~dir () in
+  let cold, cold_s = wall (fun () -> Level4.run ~cache ()) in
+  let warm, warm_s = wall (fun () -> Level4.run ~cache ()) in
+  (* warm must reproduce the cold verdicts exactly, modulo the cached
+     marker and host timing *)
+  let norm (r : Level4.result) =
+    List.map
+      (fun m ->
+        ( m.Level4.module_name,
+          List.map
+            (fun v -> { v with Verdict.cached = false; Verdict.host_seconds = 0. })
+            (Level4.module_verdicts m) ))
+      r.Level4.modules
+  in
+  let identical = norm cold = norm warm in
+  let all_cached = Level4.all_cached warm in
+  Format.printf
+    "level4 cold %7.2fs (%d stored)   warm %7.2fs (%d hits)   speedup %.0fx   \
+     %s%s@."
+    cold_s (Cache.stores cache) warm_s (Cache.hits cache)
+    (cold_s /. Float.max warm_s 1e-9)
+    (if all_cached then "all cached" else "NOT ALL CACHED")
+    (if identical then ", identical verdicts" else ", VERDICTS DIFFER");
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "level4_cold",
+             Json.Obj
+               [
+                 ("seconds", Json.Float cold_s);
+                 ("stores", Json.Int (Cache.stores cache));
+               ] );
+           ( "level4_warm",
+             Json.Obj
+               [
+                 ("seconds", Json.Float warm_s);
+                 ("hits", Json.Int (Cache.hits cache));
+                 ("all_cached", Json.Bool all_cached);
+                 ("identical", Json.Bool identical);
+               ] );
+           ("speedup_warm", Json.Float (cold_s /. Float.max warm_s 1e-9));
+         ])
+  in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json
+
+(* ---------------------------------------------------------------- *)
 (* GOV: resource-governed verification — what a deadline buys.        *)
 (* Sweeps the flow under shrinking budgets and reports how run time   *)
 (* and verdict mix degrade.  `dune exec bench/main.exe -- gov_deadline *)
@@ -1059,6 +1142,8 @@ let () =
   | "guard" -> guard ()
   | "par_speedup" ->
       par_speedup (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "inc" ->
+      inc (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "gov_deadline" ->
       gov_deadline (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "gov_guard" -> gov_guard ()

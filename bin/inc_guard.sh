@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# The incremental-verification guard (`dune build @inc-guard`):
+#
+#   1. a cold flow run against an empty verdict-cache directory,
+#   2. a warm re-run against the same directory,
+#
+# asserting that the warm run (a) replayed every level-4 module from the
+# cache (>= 1 hit, every module row marked "cached":true), and (b)
+# reproduced the cold run's verdicts byte-identically once the cached
+# markers are stripped.
+set -euo pipefail
+
+symbad=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+args=(flow --frames 2 --size 32 --identities 6
+      --cache-dir "$dir" --no-timings --json)
+
+"$symbad" "${args[@]}" "$dir/cold.json" >"$dir/cold.out"
+"$symbad" "${args[@]}" "$dir/warm.json" >"$dir/warm.out"
+
+if grep -q '"cached":true' "$dir/cold.json"; then
+  echo "inc-guard: cold run claims cached verdicts" >&2
+  exit 1
+fi
+
+hits=$(grep -o '"cached":true' "$dir/warm.json" | wc -l)
+if [ "$hits" -lt 1 ]; then
+  echo "inc-guard: warm run produced no cache hits" >&2
+  exit 1
+fi
+
+# every level-4 module must have replayed: the CLI's own tally says
+# "N hits, 0 misses"
+if ! grep -q 'verdict cache: [1-9][0-9]* hits, 0 misses' "$dir/warm.out"; then
+  echo "inc-guard: warm run was not fully cached:" >&2
+  grep 'verdict cache' "$dir/warm.out" >&2 || true
+  exit 1
+fi
+
+sed 's/,"cached":true//g' "$dir/warm.json" >"$dir/warm.stripped"
+if ! cmp -s "$dir/cold.json" "$dir/warm.stripped"; then
+  echo "inc-guard: warm verdicts differ from cold" >&2
+  diff "$dir/cold.json" "$dir/warm.stripped" | head -5 >&2 || true
+  exit 1
+fi
+
+echo "inc-guard: $hits cached rows, verdicts identical"

@@ -75,6 +75,8 @@ type common = {
   deadline : float option;  (* wall-clock seconds for governed checks *)
   budget : int option;  (* logical allowance: SAT conflicts AND patterns *)
   retries : int;  (* portfolio retries on inconclusive *)
+  no_cache : bool;  (* bypass the content-addressed verdict cache *)
+  cache_dir : string option;  (* overrides $SYMBAD_CACHE_DIR / default *)
 }
 
 let frames_arg =
@@ -130,12 +132,28 @@ let retries_arg =
                  check up to N times, re-seeded, over the remaining \
                  budget.")
 
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Bypass the content-addressed verdict cache: re-verify \
+                 every RTL module even when a stored verdict matches, and \
+                 store nothing back.")
+
+let cache_dir_arg =
+  let env = Cmd.Env.info "SYMBAD_CACHE_DIR" ~doc:"Default for $(b,--cache-dir)." in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~env
+           ~doc:"Directory of the verdict cache (default _symbad_cache).")
+
 let common_term =
-  let mk frames size identities jobs seed deadline budget retries =
-    { frames; size; identities; jobs; seed; deadline; budget; retries }
+  let mk frames size identities jobs seed deadline budget retries no_cache
+      cache_dir =
+    { frames; size; identities; jobs; seed; deadline; budget; retries;
+      no_cache; cache_dir }
   in
   Term.(const mk $ frames_arg $ size_arg $ identities_arg $ jobs_arg $ seed_arg
-        $ deadline_arg $ budget_arg $ retries_arg)
+        $ deadline_arg $ budget_arg $ retries_arg $ no_cache_arg
+        $ cache_dir_arg)
 
 let with_pool c f =
   Par.with_pool ?jobs:(if c.jobs > 0 then Some c.jobs else None) f
@@ -153,6 +171,25 @@ let budget_of c =
 
 let gov_of ?label c =
   Option.map (fun b -> Symbad_gov.Gov.create ?label b) (budget_of c)
+
+(* The verdict cache is on by default for the verification subcommands;
+   --no-cache bypasses it entirely (no reads, no writes). *)
+let cache_of c =
+  if c.no_cache then None
+  else Some (Symbad_cache.Cache.create ?dir:c.cache_dir ())
+
+let report_cache_use c cache =
+  match cache with
+  | Some cc when not c.no_cache ->
+      let h = Symbad_cache.Cache.hits cc
+      and m = Symbad_cache.Cache.misses cc in
+      if h + m > 0 then
+        Format.printf "verdict cache: %d hit%s, %d miss%s (%s)@." h
+          (if h = 1 then "" else "s")
+          m
+          (if m = 1 then "" else "es")
+          (Symbad_cache.Cache.dir cc)
+  | _ -> ()
 
 let workload c =
   {
@@ -185,11 +222,13 @@ let run_flow c markdown json no_timings trace metrics =
     Obs.set_enabled true
   end;
   let w = workload c in
+  let cache = cache_of c in
   let report =
     with_pool c (fun pool ->
-        Flow.run ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
+        Flow.run ~pool ?cache ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
   in
   Format.printf "%a@." Flow.pp report;
+  report_cache_use c cache;
   artefact ~what:"markdown report" (fun () -> Flow.to_markdown report) markdown;
   artefact ~what:"json report"
     (fun () -> Flow.to_json ~timings:(not no_timings) report)
@@ -350,50 +389,14 @@ let run_verify what c markdown json =
                  r.Level3.instrumented_sw);
           ]
     | "rtl" ->
+        let cache = cache_of c in
         let l4 =
           with_pool c (fun pool ->
-              Level4.run ~pool ?gov:(gov_of ~label:"verify" c) ())
+              Level4.run ~pool ?cache ?gov:(gov_of ~label:"verify" c) ())
         in
         Format.printf "%a@." Level4.pp l4;
-        Some
-          (List.concat_map
-             (fun (m : Level4.module_report) ->
-               let lint_v =
-                 {
-                   (Verdict.of_lint m.Level4.lint) with
-                   Verdict.name =
-                     Printf.sprintf "lint %s" m.Level4.module_name;
-                 }
-               in
-               let mc_v =
-                 let name =
-                   Printf.sprintf "model checking %s" m.Level4.module_name
-                 in
-                 if m.Level4.gated then
-                   Verdict.make ~name
-                     ~detail:"static lint already disproved the module"
-                     (Verdict.Inconclusive "skipped: lint gate")
-                 else
-                   Verdict.make ~name ~passed:m.Level4.all_proved
-                     ~detail:
-                       (Printf.sprintf "%d properties"
-                          (List.length m.Level4.mc_reports))
-                     (if m.Level4.all_proved then Verdict.Proved
-                      else Verdict.Inconclusive "not all properties proved")
-               in
-               let pcc_v =
-                 let name =
-                   Printf.sprintf "PCC completeness %s" m.Level4.module_name
-                 in
-                 match m.Level4.pcc with
-                 | Some pcc -> { (Verdict.of_pcc pcc) with Verdict.name = name }
-                 | None ->
-                     Verdict.make ~name
-                       ~detail:"static lint already disproved the module"
-                       (Verdict.Inconclusive "skipped: lint gate")
-               in
-               [ lint_v; mc_v; pcc_v ])
-             l4.Level4.modules)
+        report_cache_use c cache;
+        Some (List.concat_map Level4.module_verdicts l4.Level4.modules)
     | other ->
         Format.printf "unknown check %S (deadlock|timing|symbc|rtl)@." other;
         None
@@ -609,9 +612,10 @@ let run_stats c =
   Obs.reset ();
   Obs.set_enabled true;
   let w = workload c in
+  let cache = cache_of c in
   let report =
     with_pool c (fun pool ->
-        Flow.run ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
+        Flow.run ~pool ?cache ~seed:c.seed ~workload:w ?budget:(budget_of c) ())
   in
   let tracer = Obs.tracer () in
   Format.printf "%s@." (Metrics.to_table (Obs.metrics ()));
@@ -789,10 +793,12 @@ let wrapper_cmd =
 let run_report c trials no_faults no_timings markdown json trace =
   let module Report = Symbad_report.Report in
   let w = workload c in
+  let cache = cache_of c in
   let r =
     with_pool c (fun pool ->
-        Report.assemble ~pool ~seed:c.seed ~workload:w ?budget:(budget_of c)
-          ~faults:(not no_faults) ~trials_per_kind:trials ())
+        Report.assemble ~pool ?cache ~seed:c.seed ~workload:w
+          ?budget:(budget_of c) ~faults:(not no_faults)
+          ~trials_per_kind:trials ())
   in
   let timings = not no_timings in
   (match (markdown, json) with
@@ -995,6 +1001,49 @@ let run_bench check baseline_dir tolerance full =
         row "conflicts+patterns 100k" (logical 100_000);
         row "unlimited" (fun () -> None)
       end);
+  (match (baseline "BENCH_inc.json", check) with
+  | None, _ -> fail "inc" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true ->
+      (* the committed flags: the warm run must have replayed every
+         level-4 module and reproduced the cold verdicts *)
+      (match mem [ "level4_warm"; "all_cached" ] b with
+      | Some (Json.Bool true) -> ok "inc warm all-cached (committed)"
+      | _ -> fail "inc warm all-cached (committed)" "flag is false or missing");
+      (match mem [ "level4_warm"; "identical" ] b with
+      | Some (Json.Bool true) -> ok "inc warm identity (committed)"
+      | _ -> fail "inc warm identity (committed)" "flag is false or missing");
+      (* fresh: one module cold then warm against a scratch cache *)
+      let module Cache = Symbad_cache.Cache in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "symbad_bench_check_inc_%d" (Unix.getpid ()))
+      in
+      let rec rm_rf path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then (
+            Array.iter
+              (fun f -> rm_rf (Filename.concat path f))
+              (Sys.readdir path);
+            Sys.rmdir path)
+          else Sys.remove path
+      in
+      rm_rf dir;
+      Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
+          let cache = Cache.create ~dir () in
+          let m = List.hd (Level4.modules ()) in
+          let cold = Level4.verify_module ~cache m in
+          let warm = Level4.verify_module ~cache m in
+          let norm r =
+            List.map
+              (fun (v : Verdict.t) ->
+                { v with Verdict.cached = false; Verdict.host_seconds = 0. })
+              (Level4.module_verdicts r)
+          in
+          if warm.Level4.cached && norm cold = norm warm then
+            ok "inc replay (fresh, one module)"
+          else fail "inc replay (fresh, one module)" "warm run did not replay"));
   (match (baseline "BENCH_par.json", check) with
   | None, _ -> fail "par" "baseline missing"
   | Some b, false -> ignore b
@@ -1045,8 +1094,8 @@ let run_bench check baseline_dir tolerance full =
        runs against them@."
       baseline_dir
       (String.concat ", "
-         [ "BENCH_par.json"; "BENCH_gov.json"; "BENCH_resil.json";
-           "BENCH_lint.json" ]);
+         [ "BENCH_par.json"; "BENCH_inc.json"; "BENCH_gov.json";
+           "BENCH_resil.json"; "BENCH_lint.json" ]);
     if List.exists (fun (_, d) -> d <> None) rows then 2 else 0
   end
   else begin
@@ -1075,8 +1124,9 @@ let bench_cmd =
     "Compare fresh runs against the committed BENCH_*.json baselines: \
      the fault campaign and lint counts must match exactly (they are \
      deterministic), governed verdict mixes must match with wall times \
-     under a tolerance, and the recorded parallel-identity flags must \
-     hold.  Nonzero exit on any regression."
+     under a tolerance, the recorded parallel-identity flags must \
+     hold, and the verdict cache must replay a warm module identically \
+     to its cold run.  Nonzero exit on any regression."
   in
   let check_arg =
     Arg.(value & flag

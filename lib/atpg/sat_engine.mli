@@ -26,6 +26,11 @@ type report = {
 
 val generate :
   ?max_depth:int -> ?max_conflicts:int -> Symbad_hdl.Netlist.t -> report
-(** Chase every target of the netlist. *)
+(** Chase every target of the netlist.
+
+    [max_conflicts] is the historical per-call budget knob, deprecated
+    in favour of dispatching through a governor-shaped driver (see
+    [Symbad_core.Engines] for the unified
+    [?gov ?pool ?jobs ~seed target] shape). *)
 
 val pp_report : Format.formatter -> report -> unit

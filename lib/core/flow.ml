@@ -62,85 +62,6 @@ let compare_traces ~check ~reference ~actual =
       Verdict.make ~name:check ~host_seconds
         (Verdict.Disproved (Printf.sprintf "%d stream mismatches" (List.length ms)))
 
-let atpg_verification ?pool ?gov ~seed () =
-  (* Laerte++ on the behavioural hot spots: genetic engine, report the
-     worst coverage across models.  Model runs fan out on the pool.
-     The governor bounds the generation loops; an exhausted budget
-     degrades to Inconclusive carrying the coverage reached so far, and
-     granted retries re-dispatch re-seeded over a share of the remaining
-     budget (the portfolio retry). *)
-  let gov = Gov.get gov in
-  let retries = (Gov.budget gov).Budget.retries in
-  let attempt_once ~attempt =
-    (* with retries granted, each attempt gets an even share of what is
-       left, so the last attempt still has budget to spend *)
-    let g =
-      if retries = 0 then gov
-      else
-        Gov.slice
-          ~label:(Printf.sprintf "atpg.try%d" attempt)
-          ~fraction:(1. /. float_of_int (retries + 1 - attempt))
-          gov
-    in
-    let seed =
-      if attempt = 0 then seed else Symbad_par.Par.split_seed ~seed attempt
-    in
-    let evals, host_seconds =
-      timed (fun () ->
-          List.map
-            (fun m ->
-              let params =
-                { Symbad_atpg.Genetic_engine.default_params with
-                  Symbad_atpg.Genetic_engine.seed }
-              in
-              let tests =
-                Symbad_atpg.Genetic_engine.generate ?pool ~gov:g ~params m
-              in
-              Symbad_atpg.Testbench.evaluate ?pool ~engine:"genetic" m tests)
-            (Symbad_atpg.Models.all ()))
-    in
-    let worst =
-      List.fold_left
-        (fun acc e -> min acc e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total)
-        1. evals
-    in
-    let hit, total =
-      List.fold_left
-        (fun (h, t) (e : Symbad_atpg.Testbench.evaluation) ->
-          ( h + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.hit_points,
-            t + e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total_points ))
-        (0, 0) evals
-    in
-    match Gov.exhaustion g with
-    | Some reason when worst <= 0.85 ->
-        (* out of budget short of the gate: report what was covered *)
-        Gov.note_degraded g ~what:"atpg" reason;
-        Verdict.degraded ~host_seconds ~name:"ATPG coverage (Laerte++)"
-          ~partial:
-            { Degrade.units_done = hit;
-              units_total = Some total;
-              what = "coverage points hit" }
-          reason
-    | Some _ | None ->
-        Verdict.make ~name:"ATPG coverage (Laerte++)" ~host_seconds
-          ~passed:(worst > 0.85)
-          ~detail:
-            (String.concat "; "
-               (List.map
-                  (fun e ->
-                    Printf.sprintf "%s %.0f%%" e.Symbad_atpg.Testbench.model
-                      (100.
-                     *. e.Symbad_atpg.Testbench.coverage.Symbad_atpg.Coverage.total))
-                  evals))
-          (Verdict.Coverage { hit; total })
-  in
-  Gov.with_retry ~label:"atpg" gov
-    ~inconclusive:(fun v ->
-      match v.Verdict.outcome with
-      | Verdict.Inconclusive _ -> true
-      | Verdict.Proved | Verdict.Disproved _ | Verdict.Coverage _ -> false)
-    (fun ~attempt -> attempt_once ~attempt)
-
 (* One "flow.verdict" event per verification: a failing check surfaces on
    every sink at [Error] severity without grepping the report. *)
 let emit_verdicts level verifications =
@@ -181,7 +102,7 @@ let entry_verdicts level g =
              (Printf.sprintf "governor: %s" (Degrade.reason_string reason)));
       ]
 
-let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
+let run ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
     ?(deadline_ns = 40_000_000) ?budget ?gov () =
   let gov =
     match (gov, budget) with
@@ -229,7 +150,7 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
         @ [
             compare_traces ~check:"trace match vs C reference model"
               ~reference ~actual:l1.Level1.trace;
-            atpg_verification ?pool ~gov:atpg_gov ~seed ();
+            Engines.atpg ?pool ~gov:atpg_gov ~seed ();
             deadlock;
           ];
     }
@@ -366,42 +287,15 @@ let run ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
   let g4 = level_gov 4 in
   let entry4 = entry_verdicts 4 g4 in
   let t0 = Sys.time () in
-  let l4 = Level4.run ?pool ~gov:g4 () in
+  let l4 = Level4.run ?pool ?cache ~gov:g4 () in
   let l4_seconds = Sys.time () -. t0 in
-  let lint_ver =
-    List.map
-      (fun (m : Level4.module_report) ->
-        (* the adapter names the netlist; the flow names the module *)
-        { (Verdict.of_lint m.Level4.lint) with
-          Verdict.name = Printf.sprintf "lint %s" m.Level4.module_name })
-      l4.Level4.modules
-  in
-  let mc_ver =
-    List.map
-      (fun (m : Level4.module_report) ->
-        let name = Printf.sprintf "model checking %s" m.Level4.module_name in
-        if m.Level4.gated then
-          Verdict.make ~name ~detail:"static lint already disproved the module"
-            (Verdict.Inconclusive "skipped: lint gate")
-        else
-          Verdict.make ~name ~passed:m.Level4.all_proved
-            ~detail:
-              (Printf.sprintf "%d properties" (List.length m.Level4.mc_reports))
-            (if m.Level4.all_proved then Verdict.Proved
-             else Verdict.Inconclusive "not all properties proved"))
-      l4.Level4.modules
-  in
-  let pcc_ver =
-    List.map
-      (fun (m : Level4.module_report) ->
-        let name = Printf.sprintf "PCC completeness %s" m.Level4.module_name in
-        match m.Level4.pcc with
-        | Some pcc -> { (Verdict.of_pcc pcc) with Verdict.name = name }
-        | None ->
-            Verdict.make ~name ~detail:"static lint already disproved the module"
-              (Verdict.Inconclusive "skipped: lint gate"))
-      l4.Level4.modules
-  in
+  (* the consolidated rows come straight off the module reports now
+     (Level4 owns their shape); the table keeps its historical order —
+     all lint rows, then MC, then PCC *)
+  let row f = List.map f l4.Level4.modules in
+  let lint_ver = row (fun m -> m.Level4.lint_verdict) in
+  let mc_ver = row (fun m -> m.Level4.mc_verdict) in
+  let pcc_ver = row (fun m -> m.Level4.pcc_verdict) in
   let level4 =
     {
       level = 4;

@@ -34,6 +34,7 @@ val verification : check:string -> passed:bool -> string -> verification
 
 val run :
   ?pool:Symbad_par.Par.pool ->
+  ?cache:Symbad_cache.Cache.t ->
   ?seed:int ->
   ?workload:Face_app.workload ->
   ?deadline_ns:int ->
@@ -56,6 +57,11 @@ val run :
     (conflicts/patterns) the degraded report is deterministic at any
     [pool] width; the wall-clock deadline is best-effort.  Omitting
     [budget] reproduces the ungoverned flow exactly.
+
+    [cache] hands level 4 a content-addressed verdict store
+    ({!Level4.verify_module}): unchanged modules replay their stored
+    rows ([cached: true] in the JSON) instead of re-running MC/PCC.
+    Omitting it (the library default) never touches the filesystem.
 
     [gov] overrides [budget] with a caller-built root governor — what
     `symbad report` uses to attach a {!Symbad_gov.Ledger} so the run's

@@ -199,8 +199,10 @@ let modules () =
     };
   ]
 
-type module_report = {
-  module_name : string;
+(* The rich per-engine reports of a module that actually ran.  A cache
+   hit replays the consolidated verdict rows only — the traces, fault
+   lists and diagnostics behind them were not recomputed. *)
+type module_results = {
   lint : Symbad_lint.Lint.report;
   gated : bool;
   mc_reports : Mc.Engine.report list;
@@ -208,11 +210,120 @@ type module_report = {
   pcc : Symbad_pcc.Pcc.report option;
 }
 
+type module_report = {
+  module_name : string;
+  cached : bool;
+  lint_verdict : Verdict.t;
+  mc_verdict : Verdict.t;
+  pcc_verdict : Verdict.t;
+  results : module_results option;
+}
+
 type result = { modules : module_report list }
 
-let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
-    ?(max_reg_bits = 4) m =
-  let gov = Symbad_gov.Gov.get gov in
+let module_verdicts r = [ r.lint_verdict; r.mc_verdict; r.pcc_verdict ]
+
+(* The three consolidated verdict rows of a module run — one shape for
+   the flow report, the [verify rtl] CLI and the cache (historically
+   each consumer rebuilt these from the rich reports by hand). *)
+let results_verdicts ~module_name (res : module_results) =
+  let lint_verdict =
+    (* the adapter names the netlist; the flow names the module *)
+    { (Verdict.of_lint res.lint) with
+      Verdict.name = Printf.sprintf "lint %s" module_name }
+  in
+  let skipped name =
+    Verdict.make ~name ~detail:"static lint already disproved the module"
+      (Verdict.Inconclusive "skipped: lint gate")
+  in
+  let mc_verdict =
+    let name = Printf.sprintf "model checking %s" module_name in
+    if res.gated then skipped name
+    else
+      Verdict.make ~name ~passed:res.all_proved
+        ~detail:(Printf.sprintf "%d properties" (List.length res.mc_reports))
+        (if res.all_proved then Verdict.Proved
+         else Verdict.Inconclusive "not all properties proved")
+  in
+  let pcc_verdict =
+    let name = Printf.sprintf "PCC completeness %s" module_name in
+    match res.pcc with
+    | Some pcc -> { (Verdict.of_pcc pcc) with Verdict.name = name }
+    | None -> skipped name
+  in
+  (lint_verdict, mc_verdict, pcc_verdict)
+
+(* --- the verdict cache ------------------------------------------------ *)
+
+let cache_key ~max_depth ~pcc_depth ~max_reg_bits gov m =
+  Symbad_cache.Key.make ~netlist:m.netlist ~props:m.properties
+    ~budget:(Symbad_gov.Gov.budget gov)
+    ~params:
+      [
+        ("max_depth", max_depth);
+        ("pcc_depth", pcc_depth);
+        ("max_reg_bits", max_reg_bits);
+      ]
+    ()
+
+let cached_report cache key (m : rtl_module) =
+  match Symbad_cache.Cache.find cache key with
+  | None -> None
+  | Some entry -> (
+      let module Json = Symbad_obs.Json in
+      let row i =
+        Option.bind (Json.member "verdicts" entry) Json.to_list
+        |> Fun.flip Option.bind (fun l -> List.nth_opt l i)
+        |> Fun.flip Option.bind Verdict.of_json
+        |> Option.map Verdict.with_cached
+      in
+      match (row 0, row 1, row 2) with
+      | Some lint_verdict, Some mc_verdict, Some pcc_verdict ->
+          Some
+            {
+              module_name = m.module_name;
+              cached = true;
+              lint_verdict;
+              mc_verdict;
+              pcc_verdict;
+              results = None;
+            }
+      | _ -> None)
+
+(* Only conclusive work is worth replaying: every property proved, no
+   unresolved PCC faults, a clean ungated lint, and no exhaustion or
+   wall-clock deadline in sight.  Anything else is a budget- or
+   host-dependent partial result — re-running it may genuinely do
+   better, so it must miss. *)
+let storable gov (res : module_results) (lint_v, mc_v, pcc_v) =
+  (not res.gated)
+  && res.all_proved
+  && lint_v.Verdict.passed && mc_v.Verdict.passed && pcc_v.Verdict.passed
+  && (match res.pcc with
+     | Some p ->
+         List.for_all
+           (fun (fr : Symbad_pcc.Pcc.fault_report) ->
+             fr.Symbad_pcc.Pcc.status <> Symbad_pcc.Pcc.Unresolved)
+           p.Symbad_pcc.Pcc.faults
+     | None -> false)
+  && res.lint.Symbad_lint.Lint.skipped_rules = []
+  && Symbad_gov.Gov.exhaustion gov = None
+  && (Symbad_gov.Gov.budget gov).Symbad_gov.Budget.deadline = None
+
+let store_report cache key r =
+  let module Json = Symbad_obs.Json in
+  Symbad_cache.Cache.store cache key
+    (Json.Obj
+       [
+         ("module", Json.Str r.module_name);
+         ( "verdicts",
+           Json.List
+             (List.map (Verdict.to_json ~timings:false) (module_verdicts r)) );
+       ])
+
+(* --- driving one module ----------------------------------------------- *)
+
+let verify_module_live ?pool ~gov ~max_depth ~pcc_depth ~max_reg_bits m =
   (* the static gate comes first, over a thin slice: a netlist the lint
      disproves never reaches the SAT engines.  Only errors gate —
      warnings and governor-skipped rules let verification proceed. *)
@@ -223,14 +334,7 @@ let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
       m.netlist
   in
   if Symbad_lint.Lint.errors lint > 0 then
-    {
-      module_name = m.module_name;
-      lint;
-      gated = true;
-      mc_reports = [];
-      all_proved = false;
-      pcc = None;
-    }
+    { lint; gated = true; mc_reports = []; all_proved = false; pcc = None }
   else
     (* half the module's budget to model checking up front; PCC then
        runs over whatever the proofs left unspent *)
@@ -239,7 +343,6 @@ let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
       Mc.Engine.check_all ?pool ~max_depth ~gov:mc_gov m.netlist m.properties
     in
     {
-      module_name = m.module_name;
       lint;
       gated = false;
       mc_reports;
@@ -250,7 +353,46 @@ let verify_module ?pool ?gov ?(max_depth = 12) ?(pcc_depth = 6)
              m.netlist m.properties);
     }
 
-let run ?pool ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
+let verify_module ?pool ?cache ?gov ?(max_depth = 12) ?(pcc_depth = 6)
+    ?(max_reg_bits = 4) m =
+  let gov = Symbad_gov.Gov.get gov in
+  let key =
+    match cache with
+    | None -> None
+    | Some _ -> Some (cache_key ~max_depth ~pcc_depth ~max_reg_bits gov m)
+  in
+  let hit =
+    match (cache, key) with
+    | Some c, Some k -> cached_report c k m
+    | _ -> None
+  in
+  match hit with
+  | Some r -> r
+  | None ->
+      let res =
+        verify_module_live ?pool ~gov ~max_depth ~pcc_depth ~max_reg_bits m
+      in
+      let lint_verdict, mc_verdict, pcc_verdict =
+        results_verdicts ~module_name:m.module_name res
+      in
+      let r =
+        {
+          module_name = m.module_name;
+          cached = false;
+          lint_verdict;
+          mc_verdict;
+          pcc_verdict;
+          results = Some res;
+        }
+      in
+      (match (cache, key) with
+      | Some c, Some k
+        when storable gov res (lint_verdict, mc_verdict, pcc_verdict) ->
+          store_report c k r
+      | _ -> ());
+      r
+
+let run ?pool ?cache ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
   let gov = Symbad_gov.Gov.get gov in
   let ms = modules () in
   (* per-module budget shares, fixed before any verification runs *)
@@ -259,29 +401,41 @@ let run ?pool ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
     modules =
       List.map2
         (fun m g ->
-          verify_module ?pool ~gov:g ?max_depth ?pcc_depth ?max_reg_bits m)
+          verify_module ?pool ?cache ~gov:g ?max_depth ?pcc_depth ?max_reg_bits
+            m)
         ms shares;
   }
 
+let all_cached r = List.for_all (fun m -> m.cached) r.modules
+
 let pp_module_report fmt r =
   Fmt.pf fmt "RTL module %s:@." r.module_name;
-  Fmt.pf fmt "  lint: %d errors, %d warnings over %d rules@."
-    (Symbad_lint.Lint.errors r.lint)
-    (Symbad_lint.Lint.warnings r.lint)
-    (List.length r.lint.Symbad_lint.Lint.rules_run);
-  List.iter
-    (fun d -> Fmt.pf fmt "    %a@." Symbad_lint.Diagnostic.pp d)
-    r.lint.Symbad_lint.Lint.diagnostics;
-  if r.gated then
-    Fmt.pf fmt "  model checking and PCC skipped: lint gate@."
-  else begin
-    List.iter (fun m -> Fmt.pf fmt "  %a@." Mc.Engine.pp_report m) r.mc_reports;
-    match r.pcc with
-    | Some pcc ->
-        Fmt.pf fmt "  property coverage: %.0f%% (%d/%d detectable faults)@."
-          (100. *. pcc.Symbad_pcc.Pcc.coverage)
-          pcc.Symbad_pcc.Pcc.covered pcc.Symbad_pcc.Pcc.detectable
-    | None -> ()
-  end
+  match r.results with
+  | None ->
+      List.iter
+        (fun v -> Fmt.pf fmt "  %a@." Verdict.pp v)
+        (module_verdicts r)
+  | Some res ->
+      Fmt.pf fmt "  lint: %d errors, %d warnings over %d rules@."
+        (Symbad_lint.Lint.errors res.lint)
+        (Symbad_lint.Lint.warnings res.lint)
+        (List.length res.lint.Symbad_lint.Lint.rules_run);
+      List.iter
+        (fun d -> Fmt.pf fmt "    %a@." Symbad_lint.Diagnostic.pp d)
+        res.lint.Symbad_lint.Lint.diagnostics;
+      if res.gated then
+        Fmt.pf fmt "  model checking and PCC skipped: lint gate@."
+      else begin
+        List.iter
+          (fun m -> Fmt.pf fmt "  %a@." Mc.Engine.pp_report m)
+          res.mc_reports;
+        match res.pcc with
+        | Some pcc ->
+            Fmt.pf fmt
+              "  property coverage: %.0f%% (%d/%d detectable faults)@."
+              (100. *. pcc.Symbad_pcc.Pcc.coverage)
+              pcc.Symbad_pcc.Pcc.covered pcc.Symbad_pcc.Pcc.detectable
+        | None -> ()
+      end
 
 let pp fmt r = List.iter (pp_module_report fmt) r.modules

@@ -19,8 +19,8 @@ val modules : unit -> rtl_module list
 (** DISTANCE, ROOT, the hand-written wrapper, the streaming ARGMIN and
     the synthesised IFGEN wrapper, each with its verification plan. *)
 
-type module_report = {
-  module_name : string;
+(** The rich per-engine reports of a module that actually ran. *)
+type module_results = {
   lint : Symbad_lint.Lint.report;
       (** the static gate, run before any engine; properties included
           in its cone *)
@@ -30,10 +30,28 @@ type module_report = {
   pcc : Symbad_pcc.Pcc.report option;  (** [None] when gated *)
 }
 
+type module_report = {
+  module_name : string;
+  cached : bool;
+      (** replayed from the content-addressed verdict cache: no engine
+          ran and [results] is [None] *)
+  lint_verdict : Verdict.t;
+  mc_verdict : Verdict.t;
+  pcc_verdict : Verdict.t;
+      (** the three consolidated rows every consumer (flow report,
+          [verify rtl], cache) renders, in table order *)
+  results : module_results option;
+      (** the rich reports behind the rows; [None] on a cache hit *)
+}
+
 type result = { modules : module_report list }
+
+val module_verdicts : module_report -> Verdict.t list
+(** [[lint; mc; pcc]] — the rows in table order. *)
 
 val verify_module :
   ?pool:Symbad_par.Par.pool ->
+  ?cache:Symbad_cache.Cache.t ->
   ?gov:Symbad_gov.Gov.t ->
   ?max_depth:int ->
   ?pcc_depth:int ->
@@ -48,10 +66,19 @@ val verify_module :
     results.  [gov] governs the rest of the module: half the remaining
     budget is sliced off for model checking, PCC runs over what is
     left; exhausted shares degrade to [Unknown] / [Unresolved] partial
-    reports. *)
+    reports.
+
+    [cache] consults the content-addressed verdict store first: a hit
+    replays the stored rows (marked [cached], governor uncharged, no
+    engine runs); a miss runs everything and stores the rows back iff
+    the result is fully conclusive — every property proved, no
+    unresolved PCC faults, clean ungated lint, no exhaustion and no
+    wall-clock deadline on the budget.  Partial or budget-dependent
+    results are never cached. *)
 
 val run :
   ?pool:Symbad_par.Par.pool ->
+  ?cache:Symbad_cache.Cache.t ->
   ?gov:Symbad_gov.Gov.t ->
   ?max_depth:int ->
   ?pcc_depth:int ->
@@ -60,6 +87,10 @@ val run :
   result
 (** Verify every case-study module.  [gov]'s remaining budget is split
     near-equally across the modules before any verification runs. *)
+
+val all_cached : result -> bool
+(** Every module replayed from the cache — the warm-run invariant the
+    [@inc-guard] smoke asserts. *)
 
 val pp_module_report : Format.formatter -> module_report -> unit
 val pp : Format.formatter -> result -> unit

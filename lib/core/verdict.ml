@@ -17,6 +17,7 @@ type t = {
   passed : bool;
   host_seconds : float;
   detail : string;
+  cached : bool;
 }
 
 let coverage_ratio = function
@@ -29,14 +30,18 @@ let default_passed = function
   | Disproved _ | Inconclusive _ -> false
   | Coverage { hit; total } -> hit = total
 
-let make ?passed ?(host_seconds = 0.) ?(detail = "") ~name outcome =
+let make ?passed ?(host_seconds = 0.) ?(detail = "") ?(cached = false) ~name
+    outcome =
   {
     name;
     outcome;
     passed = (match passed with Some p -> p | None -> default_passed outcome);
     host_seconds;
     detail;
+    cached;
   }
+
+let with_cached t = { t with cached = true; host_seconds = 0. }
 
 (* --- adapters --------------------------------------------------------- *)
 
@@ -206,10 +211,51 @@ let to_json ?(timings = true) t =
     | Inconclusive reason -> [ ("reason", Json.Str reason) ]
     | Proved -> []
   in
-  Json.Obj (base @ extra)
+  (* only hits carry the marker, so uncached documents are byte-for-byte
+     what they were before the cache existed *)
+  let cached = if t.cached then [ ("cached", Json.Bool true) ] else [] in
+  Json.Obj (base @ extra @ cached)
+
+(* Parse a [to_json] document back; [None] on any missing or ill-typed
+   field.  This is what lets the verdict cache replay stored rows. *)
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k =
+    Option.bind (Json.member k j) Json.to_number |> Option.map int_of_float
+  in
+  let bool k =
+    match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  match (str "check", bool "passed", str "detail", str "outcome") with
+  | Some name, Some passed, Some detail, Some label ->
+      let outcome =
+        match label with
+        | "proved" -> Some Proved
+        | "disproved" ->
+            Some (Disproved (Option.value ~default:"" (str "counterexample")))
+        | "inconclusive" ->
+            Some (Inconclusive (Option.value ~default:"" (str "reason")))
+        | "coverage" -> (
+            match (int "hit", int "total") with
+            | Some hit, Some total -> Some (Coverage { hit; total })
+            | _ -> None)
+        | _ -> None
+      in
+      Option.map
+        (fun outcome ->
+          {
+            name;
+            outcome;
+            passed;
+            host_seconds = 0.;
+            detail;
+            cached = Option.value ~default:false (bool "cached");
+          })
+        outcome
+  | _ -> None
 
 let pp fmt t =
-  Fmt.pf fmt "[%s] %-38s %s"
+  Fmt.pf fmt "[%s] %-38s %s%s"
     (if t.passed then "PASS" else "FAIL")
     t.name
     (if String.equal t.detail "" then
@@ -219,3 +265,4 @@ let pp fmt t =
        | Coverage { hit; total } -> Printf.sprintf "%d/%d" hit total
        | Inconclusive reason -> reason
      else t.detail)
+    (if t.cached then " (cached)" else "")

@@ -19,13 +19,27 @@ type t = {
   passed : bool;  (** the pass/fail gate the flow aggregates *)
   host_seconds : float;  (** 0. when the producer did not time itself *)
   detail : string;  (** one human-readable line *)
+  cached : bool;
+      (** replayed from the content-addressed verdict cache rather than
+          produced by running the engine *)
 }
 
 val make :
-  ?passed:bool -> ?host_seconds:float -> ?detail:string -> name:string -> outcome -> t
+  ?passed:bool ->
+  ?host_seconds:float ->
+  ?detail:string ->
+  ?cached:bool ->
+  name:string ->
+  outcome ->
+  t
 (** [passed] defaults from the outcome: [Proved] passes,
     [Disproved]/[Inconclusive] fail, [Coverage] passes at full
-    coverage — give [~passed] explicitly for thresholded gates. *)
+    coverage — give [~passed] explicitly for thresholded gates.
+    [cached] defaults to [false]. *)
+
+val with_cached : t -> t
+(** The verdict marked as a cache replay: [cached] set, [host_seconds]
+    zeroed (no engine ran this time). *)
 
 val coverage_ratio : outcome -> float option
 (** [hit / total] ([1.] when [total = 0]); [None] for non-coverage
@@ -89,6 +103,13 @@ val outcome_label : outcome -> string
 val to_json : ?timings:bool -> t -> Symbad_obs.Json.t
 (** The uniform JSON shape ([check]/[passed]/[detail] plus [outcome],
     [host_seconds] and coverage counts).  [~timings:false] zeroes
-    [host_seconds] for byte-stable comparison across runs. *)
+    [host_seconds] for byte-stable comparison across runs.  [cached]
+    is emitted only when true, so documents from uncached runs are
+    unchanged from before the cache existed. *)
+
+val of_json : Symbad_obs.Json.t -> t option
+(** Parse a {!to_json} document back ([host_seconds] comes back as
+    [0.]); [None] on missing or ill-typed fields.  This is how the
+    content-addressed verdict cache replays stored rows. *)
 
 val pp : Format.formatter -> t -> unit

@@ -4,81 +4,35 @@
    concrete counterexample trace.  The inductive step at depth k:
    unsatisfiable "P@0..k-1 /\ trans^k /\ not P@k" over a free initial
    state proves P k-inductive; together with a clean BMC base case this
-   proves the invariant. *)
+   proves the invariant.
 
-module Solver = Symbad_sat.Solver
-module Hdl = Symbad_hdl
-module Unroll = Symbad_hdl.Unroll
-module Netlist = Symbad_hdl.Netlist
-module Obs = Symbad_obs.Obs
-module Json = Symbad_obs.Json
+   Both entry points are thin drivers over an incremental Session: one
+   persistent solver, frames unrolled on demand, bounds posed through
+   activation literals — learned clauses carry from bound to bound
+   instead of re-bit-blasting the netlist per depth. *)
+
+module Gov = Symbad_gov.Gov
 
 type check_result =
   | Holds  (* no counterexample up to the given depth *)
   | Counterexample of Trace.t
   | Resource_out
 
-let extract_trace solver unroll upto nl =
-  List.init (upto + 1) (fun i ->
-      {
-        Trace.inputs =
-          List.map
-            (fun (n, _) -> (n, Unroll.input_value solver unroll i n))
-            (Netlist.inputs nl);
-        regs =
-          List.map
-            (fun (r : Netlist.register) ->
-              ( r.Netlist.name,
-                Unroll.reg_value solver unroll i r.Netlist.name ))
-            (Netlist.registers nl);
-      })
-
-(* Literal of the property instance anchored at frame [i]; a step
-   property spans frames [i] and [i + 1] and needs one extra frame. *)
-let prop_lit u prop i =
-  if Prop.is_step prop then begin
-    Unroll.unroll_to u (i + 2);
-    Unroll.bool_lit_step u i (Prop.formula prop)
-  end
-  else Unroll.bool_lit u i (Prop.formula prop)
-
-let trace_span prop k = if Prop.is_step prop then k + 1 else k
-
-(* Does "not P" hold at some depth in [0, depth]?  Checks each depth with
-   a fresh encoding (simple and predictable at case-study sizes). *)
+(* Does "not P" hold at some depth in [0, depth]?  One session, bounds
+   driven in ascending order. *)
 let check ?(max_conflicts = max_int) ?gov ~depth nl prop =
-  let prop = Prop.validate nl prop in
+  let session = Session.create nl prop in
   let gov_out () =
-    match gov with Some g -> Symbad_gov.Gov.out_of_budget g | None -> false
+    match gov with Some g -> Gov.out_of_budget g | None -> false
   in
   let rec at k =
     if k > depth then Holds
     else if gov_out () then Resource_out
-    else begin
-      (* one span per bound: the timeline shows where BMC effort goes *)
-      Obs.span ~cat:"mc"
-        ~args:
-          [
-            ("module", Json.Str (Netlist.name nl));
-            ("property", Json.Str (Prop.name prop));
-            ("bound", Json.Int k);
-          ]
-        "bmc.bound"
-        (fun () ->
-          let solver = Solver.create 0 in
-          let u = Unroll.create ~init:Unroll.Reset solver nl in
-          Unroll.unroll_to u (k + 1);
-          Solver.add_clause solver [ -(prop_lit u prop k) ];
-          match Solver.solve ~max_conflicts ?gov solver with
-          | Solver.Sat ->
-              `Stop
-                (Counterexample (extract_trace solver u (trace_span prop k) nl))
-          | Solver.Unsat -> `Next
-          | Solver.Unknown -> `Stop Resource_out)
-      |> function
-      | `Stop r -> r
-      | `Next -> at (k + 1)
-    end
+    else
+      match Session.check_bound ~max_conflicts ?gov session k with
+      | Session.Base_cex tr -> Counterexample tr
+      | Session.Base_unknown -> Resource_out
+      | Session.Base_holds -> at (k + 1)
   in
   at 0
 
@@ -89,27 +43,11 @@ type induction_result = Inductive | Cti of Trace.t | Induction_resource_out
    is a counterexample-to-induction (CTI), not necessarily reachable. *)
 let inductive_step ?(max_conflicts = max_int) ?gov ~k nl prop =
   if k < 1 then invalid_arg "Bmc.inductive_step: k must be >= 1";
-  if (match gov with Some g -> Symbad_gov.Gov.out_of_budget g | None -> false)
-  then Induction_resource_out
+  if (match gov with Some g -> Gov.out_of_budget g | None -> false) then
+    Induction_resource_out
   else
-  let prop = Prop.validate nl prop in
-  Obs.span ~cat:"mc"
-    ~args:
-      [
-        ("module", Json.Str (Netlist.name nl));
-        ("property", Json.Str (Prop.name prop));
-        ("k", Json.Int k);
-      ]
-    "bmc.induction"
-    (fun () ->
-      let solver = Solver.create 0 in
-      let u = Unroll.create ~init:Unroll.Free solver nl in
-      Unroll.unroll_to u (k + 1);
-      for i = 0 to k - 1 do
-        Solver.add_clause solver [ prop_lit u prop i ]
-      done;
-      Solver.add_clause solver [ -(prop_lit u prop k) ];
-      match Solver.solve ~max_conflicts ?gov solver with
-      | Solver.Unsat -> Inductive
-      | Solver.Sat -> Cti (extract_trace solver u (trace_span prop k) nl)
-      | Solver.Unknown -> Induction_resource_out)
+    let session = Session.create nl prop in
+    match Session.induction ~max_conflicts ?gov session k with
+    | Session.Inductive -> Inductive
+    | Session.Cti tr -> Cti tr
+    | Session.Step_unknown -> Induction_resource_out

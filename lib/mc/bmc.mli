@@ -1,4 +1,10 @@
-(** Bounded model checking and k-induction over bit-blasted netlists. *)
+(** Bounded model checking and k-induction over bit-blasted netlists.
+
+    Thin drivers over {!Session}: each call opens one incremental
+    session and walks bounds in ascending order, so learned clauses
+    carry across bounds within the call.  Callers that pose many bounds
+    or mix base and induction work should hold a {!Session.t}
+    themselves (as {!Engine.check} does) to amortise across calls. *)
 
 type check_result =
   | Holds  (** no counterexample up to the given depth *)

@@ -7,16 +7,28 @@
    Every property receives either a proof certificate or a counter
    example, as the flow requires.
 
-   Parallel portfolio: bounds are checked in windows of [jobs pool]
-   depths fanned out on the pool, and the sequential decision procedure
-   is replayed over the window results in ascending k — so the verdict
-   (method, depth, trace) is identical to the one-core run at any pool
-   width; a window of one depth IS the one-core run. *)
+   Incremental core: one Session per property — a persistent solver
+   pair with frames unrolled on demand — so bound k+1 starts from the
+   clauses learned closing bounds 0..k and the inductive step shares the
+   same free-state instance across k.  Bounds advance in fixed-width
+   windows purely for budget accounting: the governor's remaining
+   allowance is split per window BEFORE the bounds run, with a share per
+   bound, so conflict charges land per bound exactly as they did when
+   each bound owned a throwaway solver — and the split is independent of
+   the pool width, keeping verdicts byte-identical at any [--jobs].
+
+   Parallelism lives one level up: [check_all] fans out one job per
+   property, each job driving its own session sequentially. *)
 
 module Netlist = Symbad_hdl.Netlist
 module Par = Symbad_par.Par
 module Gov = Symbad_gov.Gov
 module Degrade = Symbad_gov.Degrade
+
+(* Cache keys embed this (see Symbad_cache): bump on any change to the
+   decision procedure, encodings or verdict semantics so stale verdicts
+   can never be replayed against a different engine. *)
+let version = "2"
 
 type verdict =
   | Proved of { method_ : string; depth : int }
@@ -29,16 +41,21 @@ type report = {
   checked_depth : int;
 }
 
+(* Budget-accounting window: bounds per governor split.  Fixed (not tied
+   to the pool width) so the shares — and with them finite-budget
+   verdicts — do not depend on [--jobs]. *)
+let window_width = 4
+
 (* One bound of the portfolio: the BMC base case at depth k, plus the
    inductive step when the base holds (exactly what the sequential loop
    would go on to run at that k). *)
-let check_bound ~max_conflicts ~gov nl prop k =
-  let base = Bmc.check ~max_conflicts ~gov ~depth:k nl prop in
+let check_bound ~session ~max_conflicts ~gov k =
+  let base = Session.check_bound ~max_conflicts ~gov session k in
   let induction =
     match base with
-    | Bmc.Holds when k > 0 ->
-        Some (Bmc.inductive_step ~max_conflicts ~gov ~k nl prop)
-    | Bmc.Holds | Bmc.Counterexample _ | Bmc.Resource_out -> None
+    | Session.Base_holds when k > 0 ->
+        Some (Session.induction ~max_conflicts ~gov session k)
+    | Session.Base_holds | Session.Base_cex _ | Session.Base_unknown -> None
   in
   (base, induction)
 
@@ -50,9 +67,10 @@ let out_reason gov ~what =
   | None -> "SAT budget exhausted in " ^ what
 
 let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) ?gov nl prop =
-  let pool = Par.get pool in
+  ignore (Par.get pool);
   let gov = Gov.get gov in
   let name = Prop.name prop in
+  let session = Session.create nl prop in
   let fallback () =
     (* last resort: exact reachability if tractable *)
     match Explicit.check nl prop with
@@ -79,41 +97,41 @@ let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) ?gov nl prop =
       else if Gov.out_of_budget gov then
         degraded ~reason:(out_reason gov ~what:"BMC") k
       else begin
-        let hi = min max_depth (k + Par.jobs pool - 1) in
+        let hi = min max_depth (k + window_width - 1) in
         let window = List.init (hi - k + 1) (fun i -> k + i) in
-        (* each job gets its conflict share before the fan-out, so the
-           window results are identical at any pool width *)
+        (* each bound gets its conflict share before the window runs —
+           the same accounting as when bounds were fanned out, kept so
+           finite-budget verdicts stay deterministic and width-free *)
         let shares = Gov.split ~label:"mc.window" gov (List.length window) in
-        let results =
-          Par.map ~label:"mc.bounds" pool
-            (fun (k, gk) -> (k, check_bound ~max_conflicts ~gov:gk nl prop k))
-            (List.combine window shares)
-        in
-        (* replay the sequential decision in ascending k *)
+        (* drive the shared session in ascending k; on the session the
+           sequential decision IS the execution order *)
         let rec scan = function
           | [] -> loop (hi + 1)
-          | (k, (base, induction)) :: rest -> (
+          | (k, gk) :: rest -> (
+              let base, induction =
+                check_bound ~session ~max_conflicts ~gov:gk k
+              in
               match base with
-              | Bmc.Counterexample tr ->
+              | Session.Base_cex tr ->
                   { property = name; verdict = Falsified tr; checked_depth = k }
-              | Bmc.Resource_out ->
+              | Session.Base_unknown ->
                   degraded ~reason:(out_reason gov ~what:"BMC") k
-              | Bmc.Holds -> (
+              | Session.Base_holds -> (
                   match induction with
                   | None -> scan rest  (* k = 0: nothing to induct on yet *)
-                  | Some Bmc.Inductive ->
+                  | Some Session.Inductive ->
                       { property = name;
                         verdict = Proved { method_ = "k-induction"; depth = k };
                         checked_depth = k }
-                  | Some (Bmc.Cti _) -> scan rest
-                  | Some Bmc.Induction_resource_out ->
+                  | Some (Session.Cti _) -> scan rest
+                  | Some Session.Step_unknown ->
                       (* the base case at k DID hold: k is fully checked *)
                       { property = name;
                         verdict =
                           Unknown { reason = out_reason gov ~what:"induction" };
                         checked_depth = k }))
         in
-        scan results
+        scan (List.combine window shares)
       end
     in
     let report = loop 0 in
@@ -123,6 +141,8 @@ let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) ?gov nl prop =
     | _ -> ());
     report
   in
+  (* retries reuse the session: closed bounds answer instantly and the
+     clauses learned before exhaustion keep their value *)
   Gov.with_retry ~label:"mc" gov
     ~inconclusive:(fun r ->
       match r.verdict with Unknown _ -> true | Proved _ | Falsified _ -> false)
@@ -130,8 +150,8 @@ let check ?pool ?(max_depth = 20) ?(max_conflicts = 200_000) ?gov nl prop =
 
 let check_all ?pool ?max_depth ?max_conflicts ?gov nl props =
   (* per-property fan-out; each job replays the sequential engine over
-     its own pre-split budget share, so the report list is identical at
-     any pool width *)
+     its own pre-split budget share (and its own session), so the report
+     list is identical at any pool width *)
   let pool = Par.get pool in
   let gov = Gov.get gov in
   match props with

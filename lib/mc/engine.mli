@@ -3,10 +3,18 @@
     back to exact reachability when tractable.  Every property gets a
     proof certificate or a counterexample, as the flow requires.
 
-    [check ~pool] runs a bound portfolio (windows of [jobs pool] depths
-    fanned out in parallel); [check_all ~pool] fans out one job per
-    property.  Both replay the sequential decision order, so reports
+    Incremental: [check] drives one {!Session} per property — a
+    persistent solver pair — so bound k+1 reuses everything learned
+    closing bounds 0..k.  Bounds advance in fixed-width windows purely
+    for budget accounting (the governor's allowance is pre-split per
+    bound, independent of the pool width); parallelism lives in
+    [check_all ~pool], which fans out one job per property.  Reports
     are identical at any pool width. *)
+
+val version : string
+(** Engine version, embedded in content-addressed cache keys
+    ({!Symbad_cache}); bumped on any change to the decision procedure,
+    encodings or verdict semantics. *)
 
 type verdict =
   | Proved of { method_ : string; depth : int }

@@ -1,0 +1,61 @@
+(** Incremental verification sessions: one persistent solver pair per
+    (netlist, property).
+
+    Frames are unrolled on demand and each BMC bound is posed as a
+    retractable query through an activation literal (the convention
+    documented on {!Symbad_sat.Solver.add_clause}), so learned clauses
+    survive across bounds and into the inductive step.  {!Bmc} and
+    {!Engine} are thin drivers over this module.
+
+    Sessions are single-domain state: create and drive a session from
+    one domain (the [Par] fan-outs in {!Engine.check_all} give each
+    property its own session inside its own job). *)
+
+type t
+
+val create : Symbad_hdl.Netlist.t -> Prop.t -> t
+(** Validates the property against the netlist (raises
+    [Invalid_argument] as {!Prop.validate} does).  Solvers are built
+    lazily: a session that only runs induction never pays for the
+    reset-initialised instance, and vice versa. *)
+
+val netlist : t -> Symbad_hdl.Netlist.t
+val prop : t -> Prop.t
+
+type base_result =
+  | Base_holds  (** no counterexample ending at exactly this bound *)
+  | Base_cex of Trace.t  (** concrete reset-path violation *)
+  | Base_unknown  (** resource budget exhausted inside the SAT call *)
+
+val check_bound :
+  ?max_conflicts:int -> ?gov:Symbad_gov.Gov.t -> t -> int -> base_result
+(** [check_bound t k] decides whether some reset path violates the
+    property at exactly depth [k] (bounds below [k] are {e not}
+    re-examined — drive bounds in ascending order for BMC semantics).
+    On [Base_holds] the bound is recorded as closed and [P@k] is
+    asserted into the instance; re-posing a closed bound returns
+    immediately without solving or allocating variables.  [gov] bounds
+    and is charged for the embedded SAT call, exactly as
+    {!Symbad_sat.Solver.solve_outcome}. *)
+
+type step_result =
+  | Inductive
+  | Cti of Trace.t
+      (** counterexample-to-induction: a [k]-step free-state path
+          satisfying the property that then violates it — not
+          necessarily reachable *)
+  | Step_unknown  (** resource budget exhausted inside the SAT call *)
+
+val induction :
+  ?max_conflicts:int -> ?gov:Symbad_gov.Gov.t -> t -> int -> step_result
+(** The inductive step at depth [k >= 1] over the free-initial-state
+    instance: assumes [P@0 .. P@k-1] and [-P@k] — nothing is asserted,
+    so one instance serves every [k] and repeated queries are cheap. *)
+
+val base_nvars : t -> int
+(** Variable count of the reset-initialised instance (0 before first
+    use) — exposed so tests can assert the absence of [nvars] drift on
+    repeated queries. *)
+
+val step_nvars : t -> int
+(** Same for the free-initial-state instance. *)

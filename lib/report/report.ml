@@ -138,7 +138,7 @@ let by_cat spans =
     spans;
   List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl [])
 
-let assemble ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
+let assemble ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
     ?budget ?(faults = true) ?(trials_per_kind = 1) () =
   let had = Obs.enabled () in
   Obs.reset ();
@@ -153,7 +153,7 @@ let assemble ?pool ?(seed = 1) ?(workload = Face_app.default_workload)
       (Option.value budget ~default:Budget.unlimited)
   in
   let flow =
-    Flow.run ?pool ~seed ~workload
+    Flow.run ?pool ?cache ~seed ~workload
       ~gov:(Gov.slice ~label:"flow" ~fraction:0.6 root)
       ()
   in

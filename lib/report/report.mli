@@ -51,6 +51,7 @@ type t = {
 
 val assemble :
   ?pool:Symbad_par.Par.pool ->
+  ?cache:Symbad_cache.Cache.t ->
   ?seed:int ->
   ?workload:Symbad_core.Face_app.workload ->
   ?budget:Symbad_gov.Budget.t ->
@@ -58,7 +59,10 @@ val assemble :
   ?trials_per_kind:int ->
   unit ->
   t
-(** Run everything and snapshot the result.  [seed] defaults to 1,
+(** Run everything and snapshot the result.  [cache] hands the flow's
+    level 4 the content-addressed verdict store; telemetry is on for
+    the whole run, so hits/misses surface in the report's merged
+    counters ([cache.hits] / [cache.misses]).  [seed] defaults to 1,
     [workload] to {!Symbad_core.Face_app.default_workload}, [budget] to
     unlimited, [faults] to [true] (the campaign always runs the smoke
     workload; [trials_per_kind] defaults to 1 to keep the report

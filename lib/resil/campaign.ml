@@ -585,3 +585,16 @@ let to_markdown r =
            o.kind o.injection o.detail)
   | None -> ());
   Buffer.contents b
+
+(* The unified-driver shape (Core.Engines): run + consolidate. *)
+let check ?gov ?pool ?jobs ?kinds ?trials_per_kind ?workload
+    ?scrub_period_ns ~seed () =
+  let go pool =
+    verdict
+      (run ~pool ?gov ?kinds ?trials_per_kind ?workload ?scrub_period_ns
+         ~seed ())
+  in
+  match (pool, jobs) with
+  | Some p, _ -> go p
+  | None, None -> go Symbad_par.Par.sequential
+  | None, Some jobs -> Symbad_par.Par.with_pool ~jobs go

@@ -91,3 +91,20 @@ val to_json : report -> Symbad_obs.Json.t
 val to_markdown : report -> string
 (** Byte-stable markdown rendering: the dependability table per fault
     kind plus the recovery-latency histogram. *)
+
+val check :
+  ?gov:Symbad_gov.Gov.t ->
+  ?pool:Symbad_par.Par.pool ->
+  ?jobs:int ->
+  ?kinds:Fault.kind list ->
+  ?trials_per_kind:int ->
+  ?workload:Symbad_core.Face_app.workload ->
+  ?scrub_period_ns:int ->
+  seed:int ->
+  unit ->
+  Symbad_core.Verdict.t
+(** The campaign behind the unified driver shape
+    ([?gov ?pool ?jobs ~seed target -> Verdict.t] — see
+    [Symbad_core.Engines]): {!run} consolidated by {!verdict}.  [jobs]
+    builds a pool scoped to the call; [pool] wins when both are
+    given. *)

@@ -100,6 +100,19 @@ let value_lit s l = if l > 0 then s.value.(l) else -s.value.(-l)
 
 let decision_level s = s.trail_lim_size
 
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_size - 1 downto bound do
+      let v = abs s.trail.(i) in
+      s.value.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.trail_lim_size <- lvl
+  end
+
 let enqueue s lit reason =
   let v = abs lit in
   s.value.(v) <- (if lit > 0 then 1 else -1);
@@ -124,8 +137,12 @@ let watch s lit cid =
   s.watches.(i) <- cid :: s.watches.(i)
 
 (* Add a problem clause.  Simplifies out true/duplicate literals; detects
-   tautologies.  Only sound at decision level 0. *)
+   tautologies.  Simplification against the assignment is only sound at
+   decision level 0, so any leftover search state from a previous [solve]
+   is backtracked first — this is what makes the incremental pattern
+   (solve, add frame clauses, solve again) safe. *)
 let add_clause s lits =
+  cancel_until s 0;
   if s.ok then begin
     List.iter
       (fun l ->
@@ -285,19 +302,6 @@ let analyze s conflict_cid =
     | [] -> 0
   in
   (Array.of_list learned, backjump)
-
-let cancel_until s lvl =
-  if decision_level s > lvl then begin
-    let bound = s.trail_lim.(lvl) in
-    for i = s.trail_size - 1 downto bound do
-      let v = abs s.trail.(i) in
-      s.value.(v) <- 0;
-      s.reason.(v) <- -1
-    done;
-    s.trail_size <- bound;
-    s.qhead <- bound;
-    s.trail_lim_size <- lvl
-  end
 
 let record_learned s lits =
   s.learned <- s.learned + 1;
@@ -519,4 +523,25 @@ let stats (s : t) =
     propagations = s.propagations;
     learned = s.learned;
     restarts = s.restarts;
+  }
+
+type outcome = { result : result; spent : stats }
+
+(* The stats-carrying entry point: same search, but the effort this call
+   spent (not the solver lifetime totals) comes back with the result, so
+   callers can account for budget without diffing [stats] themselves. *)
+let solve_outcome ?assumptions ?max_conflicts ?gov s =
+  let before = stats s in
+  let result = solve ?assumptions ?max_conflicts ?gov s in
+  let after = stats s in
+  {
+    result;
+    spent =
+      {
+        conflicts = after.conflicts - before.conflicts;
+        decisions = after.decisions - before.decisions;
+        propagations = after.propagations - before.propagations;
+        learned = after.learned - before.learned;
+        restarts = after.restarts - before.restarts;
+      };
   }

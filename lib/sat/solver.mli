@@ -21,9 +21,23 @@ val new_var : t -> int
 (** Allocate and return a fresh variable. *)
 
 val add_clause : t -> int list -> unit
-(** Add a clause (only before or between [solve] calls, at root level).
-    Tautologies and satisfied clauses are dropped; the empty clause makes
-    the instance permanently unsatisfiable. *)
+(** Add a clause.  Tautologies and satisfied clauses are dropped; the
+    empty clause makes the instance permanently unsatisfiable.
+
+    Safe to call between [solve] calls: any search state left by the
+    previous call is backtracked to the root level first, so incremental
+    callers may interleave solving and clause addition freely.
+
+    {b Activation-literal convention} (the incremental-query idiom used
+    by {!Symbad_mc.Session}): to pose a retractable query [Q], allocate a
+    fresh variable [a] with {!new_var}, add [Q] guarded as
+    [add_clause s [-a; q]] for each clause [q] of [Q], and solve with
+    [~assumptions:[a]].  While [a] is not assumed the guarded clauses are
+    vacuously satisfiable, so they never pollute later queries; to retire
+    the query permanently, add the unit clause [[-a]].  Because [a] is
+    fresh and occurs in no other clause, an [Unsat] answer under
+    [~assumptions:[a]] proves the unguarded [Q] is unsatisfiable with the
+    rest of the CNF. *)
 
 val solve :
   ?assumptions:int list ->
@@ -40,7 +54,12 @@ val solve :
     governor yields [Unknown] immediately.
 
     [max_conflicts] is the historical per-call budget knob, kept as a
-    deprecated alias — new callers should pass a governor instead. *)
+    deprecated alias — new callers should pass a governor instead.
+
+    {b Deprecated alias:} this bare-[result] form charges the governor
+    silently and discards the effort figures; new callers should use
+    {!solve_outcome}, which returns the same result together with the
+    per-call spend. *)
 
 val model_value : t -> int -> bool
 (** Value of a variable in the model; meaningful only right after [solve]
@@ -58,3 +77,20 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Lifetime totals for the solver instance. *)
+
+type outcome = { result : result; spent : stats }
+(** A solve result together with the effort {e this call} spent —
+    [spent] carries deltas, not lifetime totals. *)
+
+val solve_outcome :
+  ?assumptions:int list ->
+  ?max_conflicts:int ->
+  ?gov:Symbad_gov.Gov.t ->
+  t ->
+  outcome
+(** Like {!solve}, but the conflicts/decisions/propagations/restarts the
+    call consumed come back alongside the result instead of having to be
+    recovered by diffing {!stats} around the call.  The governor (when
+    given) is still charged [spent.conflicts] on every exit path, exactly
+    as {!solve} does. *)

@@ -19,4 +19,5 @@ let () =
       ("resil", Test_resil.suite);
       ("lint", Test_lint.suite);
       ("report", Test_report.suite);
+      ("cache", Test_cache.suite);
     ]

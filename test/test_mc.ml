@@ -188,6 +188,93 @@ let engine_root_correctness () =
   | Engine.Proved _ -> ()
   | _ -> Alcotest.fail "ROOT datapath correctness should be proved"
 
+(* --- Session (the incremental engine core) --- *)
+
+let drive_fresh p k =
+  (* a throwaway session driven 0..k from scratch; the answer at k *)
+  let s = Session.create fifo p in
+  let r = ref Session.Base_holds in
+  for i = 0 to k do
+    r := Session.check_bound s i
+  done;
+  !r
+
+let same_base a b =
+  match (a, b) with
+  | Session.Base_holds, Session.Base_holds -> true
+  | Session.Base_cex ta, Session.Base_cex tb ->
+      Trace.length ta = Trace.length tb
+  | Session.Base_unknown, Session.Base_unknown -> true
+  | _ -> false
+
+let session_matches_fresh_per_bound () =
+  (* one persistent session driven 0..max gives, at every bound, the
+     same answer as a fresh solver re-driven from scratch — learned
+     clauses and closed bounds never change verdicts *)
+  List.iter
+    (fun p ->
+      let inc = Session.create fifo p in
+      for k = 0 to 8 do
+        let i = Session.check_bound inc k in
+        let f = drive_fresh p k in
+        check_bool
+          (Printf.sprintf "%s @ bound %d" (Prop.name p) k)
+          true (same_base i f)
+      done)
+    [ p_no_full_empty; p_count_bound; p_false ]
+
+let session_no_nvars_drift () =
+  let s = Session.create fifo p_count_bound in
+  for k = 0 to 3 do
+    match Session.check_bound s k with
+    | Session.Base_holds -> ()
+    | _ -> Alcotest.fail "expected hold"
+  done;
+  let n = Session.base_nvars s in
+  (* re-posing closed bounds must neither solve afresh nor allocate *)
+  for k = 0 to 3 do
+    match Session.check_bound s k with
+    | Session.Base_holds -> ()
+    | _ -> Alcotest.fail "closed bound must stay held"
+  done;
+  Alcotest.(check int) "base nvars drift" n (Session.base_nvars s);
+  (match Session.induction s 1 with
+  | Session.Inductive -> ()
+  | _ -> Alcotest.fail "count bound is 1-inductive");
+  let m = Session.step_nvars s in
+  (* the free instance serves every k without re-blasting *)
+  (match Session.induction s 1 with
+  | Session.Inductive -> ()
+  | _ -> Alcotest.fail "still 1-inductive");
+  Alcotest.(check int) "step nvars drift" m (Session.step_nvars s)
+
+let session_cex_is_concrete () =
+  let s = Session.create fifo p_false in
+  let rec go k =
+    if k > 6 then Alcotest.fail "expected counterexample"
+    else
+      match Session.check_bound s k with
+      | Session.Base_cex tr -> Alcotest.(check int) "trace" 3 (Trace.length tr)
+      | _ -> go (k + 1)
+  in
+  go 0
+
+(* qcheck: the incremental session and a fresh per-bound solver agree on
+   random mutants of the counter threshold property, at every bound. *)
+let qcheck_session_incremental_agrees =
+  QCheck.Test.make ~name:"incremental session agrees with fresh solver"
+    ~count:20
+    QCheck.(int_bound 6)
+    (fun threshold ->
+      let p =
+        Prop.make ~name:"thr"
+          (E.ule (E.reg "count") (E.const ~width:cw threshold))
+      in
+      let inc = Session.create fifo p in
+      List.for_all
+        (fun k -> same_base (Session.check_bound inc k) (drive_fresh p k))
+        (List.init 9 Fun.id))
+
 (* qcheck: explicit-state and BMC agree on random small mutants of the
    counter threshold property. *)
 let qcheck_bmc_explicit_agree =
@@ -236,5 +323,11 @@ let suite =
       engine_on_buggy_fifo;
     Alcotest.test_case "engine proves ROOT correctness" `Quick
       engine_root_correctness;
+    Alcotest.test_case "session matches fresh per bound" `Quick
+      session_matches_fresh_per_bound;
+    Alcotest.test_case "session nvars drift" `Quick session_no_nvars_drift;
+    Alcotest.test_case "session counterexample concrete" `Quick
+      session_cex_is_concrete;
+    QCheck_alcotest.to_alcotest qcheck_session_incremental_agrees;
     QCheck_alcotest.to_alcotest qcheck_bmc_explicit_agree;
   ]

@@ -267,6 +267,50 @@ let qcheck_vs_brute_force =
       | Solver.Unsat -> not (brute_force nvars clauses)
       | Solver.Unknown -> false)
 
+(* --- incremental use (solve / add_clause / solve) --- *)
+
+let add_clause_after_solve () =
+  (* clause addition between solves backtracks to the root first, so
+     the strengthened instance answers correctly *)
+  let s = Solver.create 0 in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ a; b ];
+  check_bool "sat first" true (is_sat (Solver.solve s));
+  Solver.add_clause s [ -a ];
+  check_bool "still sat" true (is_sat (Solver.solve s));
+  check_bool "b forced" true (Solver.model_value s b);
+  Solver.add_clause s [ -b ];
+  check_bool "now unsat" true (is_unsat (Solver.solve s))
+
+let activation_literal_retires () =
+  (* the convention documented on add_clause: a guarded query is posed
+     under an assumption, retired with a unit, and never pollutes later
+     queries *)
+  let s = Solver.create 0 in
+  let x = Solver.new_var s in
+  Solver.add_clause s [ x ];
+  let act = Solver.new_var s in
+  Solver.add_clause s [ -act; -x ];
+  (* under the activation literal the query -x contradicts x *)
+  check_bool "guarded query unsat" true
+    (is_unsat (Solver.solve ~assumptions:[ act ] s));
+  Solver.add_clause s [ -act ];
+  check_bool "retired: instance sat again" true (is_sat (Solver.solve s))
+
+let solve_outcome_spends () =
+  let s = Solver.create 0 in
+  let vars = List.init 6 (fun _ -> Solver.new_var s) in
+  List.iter (fun v -> Solver.add_clause s [ v ]) vars;
+  let o1 = Solver.solve_outcome s in
+  check_bool "sat" true (is_sat o1.Solver.result);
+  let o2 = Solver.solve_outcome s in
+  check_bool "re-solve sat" true (is_sat o2.Solver.result);
+  (* spent carries per-call deltas, not lifetime totals: a repeat solve
+     of an already-satisfied instance spends no conflicts *)
+  Alcotest.(check int) "no conflicts re-spent" 0 o2.Solver.spent.Solver.conflicts;
+  check_bool "lifetime >= per-call" true
+    ((Solver.stats s).Solver.propagations >= o2.Solver.spent.Solver.propagations)
+
 let suite =
   [
     Alcotest.test_case "trivial sat" `Quick trivial_sat;
@@ -279,6 +323,10 @@ let suite =
     Alcotest.test_case "assumptions" `Quick assumptions_work;
     Alcotest.test_case "conflict budget" `Quick conflict_budget;
     Alcotest.test_case "new_var growth" `Quick new_var_growth;
+    Alcotest.test_case "add_clause after solve" `Quick add_clause_after_solve;
+    Alcotest.test_case "activation literal retires" `Quick
+      activation_literal_retires;
+    Alcotest.test_case "solve_outcome spends" `Quick solve_outcome_spends;
     Alcotest.test_case "unit propagation chain" `Quick unit_propagation_chain;
     Alcotest.test_case "solver reusable across solves" `Quick
       solver_reusable_across_solves;
