@@ -960,6 +960,63 @@ let resil out =
   if not report.Campaign.passed then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* TMR: masked-fault mode vs scrubbing-only — the same campaign run   *)
+(* in both operating modes, compared on fault-survival, masked        *)
+(* trials, recovery-latency histogram and fabric area.                *)
+(* `dune exec bench/main.exe -- tmr [FILE]` also writes the two       *)
+(* reports plus the comparison as JSON (the committed BENCH_tmr.json  *)
+(* baseline; the reports are simulated-time-only and byte-stable, the *)
+(* `seconds` fields carry host wall times for the tolerance gate).    *)
+
+let tmr_bench out =
+  let module Campaign = Symbad_resil.Campaign in
+  let module Json = Symbad_obs.Json in
+  section "TMR" "masked (TMR + bus ECC) vs scrubbing-only, seed 1";
+  let timed mode =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Symbad_par.Par.with_pool (fun pool -> Campaign.run ~pool ~mode ~seed:1 ())
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let scrub, scrub_s = timed Campaign.Scrub in
+  let tmr, tmr_s = timed Campaign.Tmr in
+  print_string (Campaign.compare_modes_markdown ~scrub ~tmr);
+  Format.printf "scrub %s in %.2fs, tmr %s in %.2fs@."
+    (if scrub.Campaign.passed then "PASSED" else "FAILED")
+    scrub_s
+    (if tmr.Campaign.passed then "PASSED" else "FAILED")
+    tmr_s;
+  let json =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "scrub",
+             Json.Obj
+               [
+                 ("report", Campaign.to_json scrub);
+                 ("seconds", Json.Float scrub_s);
+               ] );
+           ( "tmr",
+             Json.Obj
+               [
+                 ("report", Campaign.to_json tmr);
+                 ("seconds", Json.Float tmr_s);
+               ] );
+           ("comparison", Campaign.compare_modes ~scrub ~tmr);
+         ])
+  in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "baseline written to %s@." path
+  | None -> Format.printf "%s@." json);
+  if not (scrub.Campaign.passed && tmr.Campaign.passed) then exit 1
+
+(* ---------------------------------------------------------------- *)
 (* LINT: the static-analysis pass — per-target diagnostic counts      *)
 (* over the repo corpus plus rule throughput on the largest           *)
 (* synthesised netlist.  `dune exec bench/main.exe -- lint [FILE]`    *)
@@ -1121,6 +1178,61 @@ let fault_guard () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- *)
+(* TMR guard: the masked operating mode holds, sub-second.  CI runs   *)
+(* this via the @tmr-guard alias: the voter's masking contract and    *)
+(* the triplicated datapath's lock-step invariant must prove, the     *)
+(* voter must lint clean, and a mini campaign in tmr mode must mask   *)
+(* a configuration upset, a per-copy upset and a single-bit bus       *)
+(* corruption at zero recovery latency.                               *)
+
+let tmr_guard () =
+  let module Masking = Symbad_resil.Masking in
+  let module Campaign = Symbad_resil.Campaign in
+  let module Fault = Symbad_resil.Fault in
+  let module Lint = Symbad_lint.Lint in
+  let module Tmr = Symbad_hdl.Tmr in
+  section "TMR-GUARD" "voter proofs and masked campaign smoke test";
+  let failures = ref [] in
+  let proofs name reports =
+    List.iter
+      (fun r -> Format.printf "%a@." Symbad_mc.Engine.pp_report r)
+      reports;
+    if not (Masking.all_proved reports) then failures := name :: !failures
+  in
+  proofs "voter masking contract" (Masking.check_voter ());
+  proofs "triplicated lock-step"
+    (Masking.check_triplicated
+       (Symbad_hdl.Rtl_lib.distance_datapath ~data_width:4 ~acc_width:8 ()));
+  let voter = Tmr.voter ~width:8 () in
+  let lint = Lint.run_netlist ~properties:(Tmr.voter_properties ()) voter in
+  Format.printf "%a" Lint.pp lint;
+  if lint.Lint.diagnostics <> [] then failures := "voter lint" :: !failures;
+  let report =
+    Campaign.run ~mode:Campaign.Tmr
+      ~kinds:[ Fault.Config_upset; Fault.Ecc_single; Fault.Tmr_upset ]
+      ~trials_per_kind:1 ~seed:1 ()
+  in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      Format.printf "trial %d %-14s %-28s masked=%b recovery=%dns %s@."
+        o.Campaign.trial o.Campaign.kind o.Campaign.injection o.Campaign.masked
+        o.Campaign.recovery_ns o.Campaign.detail;
+      if
+        (not o.Campaign.skipped)
+        && (not (String.equal o.Campaign.kind "control"))
+        && not (o.Campaign.masked && o.Campaign.recovery_ns = 0)
+      then failures := ("unmasked trial: " ^ o.Campaign.kind) :: !failures)
+    report.Campaign.outcomes;
+  if not report.Campaign.passed then failures := "tmr campaign" :: !failures;
+  match List.rev !failures with
+  | [] ->
+      Format.printf
+        "guard: voter proved, lint clean, faults masked at zero latency.@."
+  | fs ->
+      List.iter (fun f -> Format.printf "guard FAILURE: %s@." f) fs;
+      exit 1
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let tables () =
@@ -1150,6 +1262,9 @@ let () =
   | "resil" ->
       resil (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "fault_guard" -> fault_guard ()
+  | "tmr" ->
+      tmr_bench (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
+  | "tmr_guard" -> tmr_guard ()
   | "lint" ->
       lint_bench (if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None)
   | "lint_guard" -> lint_guard ()

@@ -638,7 +638,8 @@ let stats_cmd =
 
 (* --- faults (dependability campaign) --- *)
 
-let run_faults c markdown json trials kinds_opt scrub_period trace metrics =
+let run_faults c markdown json trials kinds_opt mode scrub_period trace metrics
+    =
   if trace <> None || metrics <> None then begin
     Obs.reset ();
     Obs.set_enabled true
@@ -652,61 +653,92 @@ let run_faults c markdown json trials kinds_opt scrub_period trace metrics =
         String.split_on_char ',' s
         |> List.fold_left
              (fun acc name ->
-               match (acc, Fault.kind_of_string (String.trim name)) with
-               | Error _, _ -> acc
-               | Ok _, None -> Error name
-               | Ok ks, Some k -> Ok (ks @ [ k ]))
+               match (acc, Fault.of_string (String.trim name)) with
+               | (Error _ as e), _ -> e
+               | Ok _, Error msg -> Error msg
+               | Ok ks, Ok k -> Ok (ks @ [ k ]))
              (Ok [])
   in
   match kinds with
-  | Error name ->
-      Format.eprintf "symbad: unknown fault kind %S (expected: %s)@." name
-        (String.concat ", " (List.map Fault.kind_to_string Fault.all_kinds));
+  | Error msg ->
+      Format.eprintf "symbad: %s@." msg;
       2
-  | Ok kinds ->
+  | Ok kinds -> (
       let w = workload c in
-      let report =
+      let campaign mode =
         with_pool c (fun pool ->
-            Campaign.run ~pool ?gov:(gov_of ~label:"faults" c) ~kinds
+            Campaign.run ~pool ?gov:(gov_of ~label:"faults" c) ~mode ~kinds
               ~trials_per_kind:trials ~workload:w ~scrub_period_ns:scrub_period
               ~seed:c.seed ())
       in
-      let v = Campaign.verdict report in
-      Format.printf "baseline latency %d ns, %d trials (%d skipped)@."
-        report.Campaign.baseline_latency_ns
-        (List.length report.Campaign.outcomes)
-        report.Campaign.skipped;
-      List.iter
-        (fun row ->
-          Format.printf "  %-14s injected %d/%d detected %d recovered %d correct %d@."
-            row.Campaign.row_kind row.Campaign.row_injected
-            row.Campaign.row_trials row.Campaign.row_detected
-            row.Campaign.row_recovered row.Campaign.row_correct)
-        report.Campaign.per_kind;
-      Format.printf "%s: %s@."
-        (if v.Verdict.passed then "PASS" else "FAIL")
-        v.Verdict.detail;
-      artefact ~what:"markdown report"
-        (fun () -> Campaign.to_markdown report)
-        markdown;
-      artefact ~what:"json report"
-        (fun () -> Json.to_string (Campaign.to_json report) ^ "\n")
-        json;
-      artefact ~what:"chrome trace"
-        (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
-        trace;
-      artefact ~what:"metrics"
-        (fun () -> Metrics.to_jsonl (Obs.metrics ()))
-        metrics;
-      if trace <> None || metrics <> None then warn_dropped ();
-      if report.Campaign.passed then 0 else 1
+      let summarize (report : Campaign.report) =
+        let v = Campaign.verdict report in
+        Format.printf
+          "%s mode: baseline latency %d ns, fabric area %d, %d trials (%d \
+           skipped, %d masked)@."
+          report.Campaign.mode report.Campaign.baseline_latency_ns
+          report.Campaign.fabric_area
+          (List.length report.Campaign.outcomes)
+          report.Campaign.skipped report.Campaign.masked_trials;
+        List.iter
+          (fun row ->
+            Format.printf
+              "  %-14s injected %d/%d detected %d recovered %d masked %d \
+               correct %d@."
+              row.Campaign.row_kind row.Campaign.row_injected
+              row.Campaign.row_trials row.Campaign.row_detected
+              row.Campaign.row_recovered row.Campaign.row_masked
+              row.Campaign.row_correct)
+          report.Campaign.per_kind;
+        Format.printf "%s: %s@."
+          (if v.Verdict.passed then "PASS" else "FAIL")
+          v.Verdict.detail
+      in
+      let finish ~passed ~md ~js =
+        artefact ~what:"markdown report" md markdown;
+        artefact ~what:"json report" js json;
+        artefact ~what:"chrome trace"
+          (fun () -> Tracer.to_chrome_json (Obs.tracer ()))
+          trace;
+        artefact ~what:"metrics"
+          (fun () -> Metrics.to_jsonl (Obs.metrics ()))
+          metrics;
+        if trace <> None || metrics <> None then warn_dropped ();
+        if passed then 0 else 1
+      in
+      match mode with
+      | `One mode ->
+          let report = campaign mode in
+          summarize report;
+          finish ~passed:report.Campaign.passed
+            ~md:(fun () -> Campaign.to_markdown report)
+            ~js:(fun () -> Json.to_string (Campaign.to_json report) ^ "\n")
+      | `Both ->
+          let scrub = campaign Campaign.Scrub in
+          let tmr = campaign Campaign.Tmr in
+          summarize scrub;
+          summarize tmr;
+          finish ~passed:(scrub.Campaign.passed && tmr.Campaign.passed)
+            ~md:(fun () ->
+              Campaign.compare_modes_markdown ~scrub ~tmr
+              ^ "\n" ^ Campaign.to_markdown scrub ^ "\n"
+              ^ Campaign.to_markdown tmr)
+            ~js:(fun () ->
+              Json.to_string
+                (Json.Obj
+                   [
+                     ("scrub", Campaign.to_json scrub);
+                     ("tmr", Campaign.to_json tmr);
+                     ("comparison", Campaign.compare_modes ~scrub ~tmr);
+                   ])
+              ^ "\n"))
 
 let faults_cmd =
   let doc =
     "Run a seeded fault-injection campaign against the level-3 platform: \
-     bitstream SEUs, configuration upsets, bus errors, channel loss and \
-     stuck resources, each graded on detection, recovery and end-to-end \
-     correctness."
+     bitstream SEUs, configuration upsets, bus errors and corruptions, \
+     channel loss and stuck resources, each graded on detection, recovery, \
+     masking and end-to-end correctness."
   in
   let trials_arg =
     Arg.(value & opt int 3
@@ -716,6 +748,22 @@ let faults_cmd =
     Arg.(value & opt (some string) None
          & info [ "kinds" ] ~docv:"K1,K2"
              ~doc:"Comma-separated fault kinds to inject (default: all).")
+  in
+  let mode_arg =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("scrub", `One Symbad_resil.Campaign.Scrub);
+                  ("tmr", `One Symbad_resil.Campaign.Tmr);
+                  ("both", `Both);
+                ])
+             (`One Symbad_resil.Campaign.Scrub)
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Operating mode under test: $(b,scrub) (detect and \
+                   repair), $(b,tmr) (TMR + bus-ECC masking), or \
+                   $(b,both) to run both campaigns and emit a \
+                   side-by-side comparison.")
   in
   let scrub_arg =
     Arg.(value & opt int 10_000
@@ -748,7 +796,8 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run_faults $ common_term $ markdown_arg $ json_arg
-          $ trials_arg $ kinds_arg $ scrub_arg $ trace_arg $ metrics_arg)
+          $ trials_arg $ kinds_arg $ mode_arg $ scrub_arg $ trace_arg
+          $ metrics_arg)
 
 (* --- wrapper (automated interface synthesis) --- *)
 
@@ -892,6 +941,41 @@ let run_bench check baseline_dir tolerance full =
       check_exact "resil campaign (exact)"
         ~expected:(Json.to_string b)
         ~fresh:(Json.to_string (Campaign.to_json fresh)));
+  (match (baseline "BENCH_tmr.json", check) with
+  | None, _ -> fail "tmr" "baseline missing"
+  | Some b, false -> ignore b
+  | Some b, true ->
+      (* masked-vs-scrub: both campaign reports and the comparison block
+         are simulated-time-only, so they are checked byte-for-byte; the
+         recorded wall times gate under the tolerance *)
+      let t0 = Unix.gettimeofday () in
+      let scrub = Campaign.run ~mode:Campaign.Scrub ~seed:1 () in
+      let tmr = Campaign.run ~mode:Campaign.Tmr ~seed:1 () in
+      let secs = Unix.gettimeofday () -. t0 in
+      let part name fresh =
+        match mem [ name; "report" ] b with
+        | None -> fail ("tmr " ^ name) "report missing from baseline"
+        | Some expected ->
+            check_exact
+              ("tmr " ^ name ^ " campaign (exact)")
+              ~expected:(Json.to_string expected)
+              ~fresh:(Json.to_string (Campaign.to_json fresh))
+      in
+      part "scrub" scrub;
+      part "tmr" tmr;
+      (match mem [ "comparison" ] b with
+      | None -> fail "tmr comparison" "missing from baseline"
+      | Some expected ->
+          check_exact "tmr comparison (exact)"
+            ~expected:(Json.to_string expected)
+            ~fresh:(Json.to_string (Campaign.compare_modes ~scrub ~tmr)));
+      match (num [ "scrub"; "seconds" ] b, num [ "tmr"; "seconds" ] b) with
+      | Some s1, Some s2 when s1 +. s2 > 0. ->
+          if secs <= (s1 +. s2) *. tolerance then ok "tmr (wall)"
+          else
+            fail "tmr (wall)"
+              (Printf.sprintf "%.2fs > %.2fs x%.1f" secs (s1 +. s2) tolerance)
+      | _ -> ());
   (match (baseline "BENCH_lint.json", check) with
   | None, _ -> fail "lint" "baseline missing"
   | Some b, false -> ignore b
@@ -1095,7 +1179,7 @@ let run_bench check baseline_dir tolerance full =
       baseline_dir
       (String.concat ", "
          [ "BENCH_par.json"; "BENCH_inc.json"; "BENCH_gov.json";
-           "BENCH_resil.json"; "BENCH_lint.json" ]);
+           "BENCH_resil.json"; "BENCH_tmr.json"; "BENCH_lint.json" ]);
     if List.exists (fun (_, d) -> d <> None) rows then 2 else 0
   end
   else begin

@@ -28,6 +28,7 @@ type config = {
   task_area : string -> int;  (* area of each FPGA-mapped task's module *)
   scrub_period_ns : int;  (* readback-scrubbing period; 0 = off *)
   watchdog_ns : int;  (* wait before declaring a resource wedged *)
+  masked : bool;  (* masked-fault mode: TMR contexts + SEC-DED bus ECC *)
 }
 
 let default_task_area = function
@@ -45,6 +46,9 @@ let default_config =
     task_area = default_task_area;
     scrub_period_ns = 0;  (* scrubbing is opt-in: it adds bus traffic *)
     watchdog_ns = 2_000;
+    (* masking is opt-in: it triples the fabric area and reconfiguration
+       traffic and widens every bus transfer by 39/32 *)
+    masked = false;
   }
 
 type result = {
@@ -85,8 +89,12 @@ let build_fpga config mapping =
              members))
       (Mapping.contexts mapping)
   in
-  Fpga.Fpga.create ~capacity:config.fpga_capacity
-    ~program_ns_per_byte:config.program_ns_per_byte
+  (* masked mode provisions a 3x fabric: the honest area price of TMR,
+     visible as [area_loaded] in the device statistics *)
+  let copies = if config.masked then 3 else 1 in
+  Fpga.Fpga.create
+    ~capacity:(config.fpga_capacity * copies)
+    ~copies ~program_ns_per_byte:config.program_ns_per_byte
     ~burst_bytes:config.fpga_burst_bytes ~contexts "efpga"
 
 (* The SymbC configuration-information input implied by the mapping. *)
@@ -139,7 +147,7 @@ let run ?(config = default_config) ?(omit_load_for = []) ?(channel_loss = [])
   let trace = Sim.Trace.create () in
   let bus =
     Tlm.Bus.create ~width_bytes:l2.Level2.bus_width_bytes
-      ~period_ns:l2.Level2.bus_period_ns "amba"
+      ~period_ns:l2.Level2.bus_period_ns ~ecc:config.masked "amba"
   in
   let cpu = Tlm.Cpu.create ~period_ns:l2.Level2.cpu_period_ns "arm7" in
   let fpga = build_fpga config mapping in
@@ -319,7 +327,24 @@ let run ?(config = default_config) ?(omit_load_for = []) ?(channel_loss = [])
                                 in
                                 Sim.Process.wait
                                   (Sim.Time.ns (cycles * config.fpga_period_ns));
-                                if
+                                if config.masked then begin
+                                  (* TMR: the majority vote at readout
+                                     masks a single upset copy — the
+                                     result is correct and the dissenting
+                                     copy is repaired in the shadow of
+                                     continued operation.  Only a
+                                     multi-copy corruption defeats the
+                                     vote; then the result is discarded
+                                     and redone in software. *)
+                                  match Fpga.Fpga.vote_and_repair fpga with
+                                  | `Corrupt -> fire_sw_fallback ()
+                                  | `Clean | `Masked ->
+                                      List.iter2
+                                        (fun c token ->
+                                          send ~master:"efpga" name c token)
+                                        t.Task_graph.outputs outputs
+                                end
+                                else if
                                   config.scrub_period_ns > 0
                                   && (corrupt_pre
                                      || Fpga.Fpga.loaded_corrupted fpga)
@@ -359,6 +384,11 @@ let run ?(config = default_config) ?(omit_load_for = []) ?(channel_loss = [])
           end
         in
         rounds ();
+        (* drain-time voter scan: an upset that lands after the last
+           datapath use would otherwise go unobserved (periodic
+           scrubbing is off in masked mode); the scan repairs it
+           latency-free before the platform retires *)
+        if config.masked then ignore (Fpga.Fpga.vote_and_repair fpga);
         cpu_done := true)
   in
   (* periodic readback scrubbing: detects and repairs configuration

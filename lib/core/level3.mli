@@ -23,6 +23,16 @@ type config = {
   watchdog_ns : int;
       (** how long the reconfiguration controller waits for a wedged
           resource before marking the fabric unhealthy *)
+  masked : bool;
+      (** masked-fault operating mode (default [false]): contexts run
+          as TMR in a 3x fabric ([Symbad_fpga.Fpga] with [copies = 3])
+          with a majority vote at every result readout — a single upset
+          copy never corrupts a result and is repaired latency-free in
+          the shadow of continued operation — and the bus is SEC-DED
+          protected ([Symbad_tlm.Bus] with [ecc]).  The price, paid by
+          every run in this mode: triple reconfiguration traffic and
+          programming time, triple resource area, and every bus
+          transfer widened by 39/32. *)
 }
 
 val default_task_area : string -> int

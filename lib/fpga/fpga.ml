@@ -26,13 +26,16 @@ exception Download_failed of { fpga : string; context : string; attempts : int }
 
 type t = {
   name : string;
-  capacity : int;  (* max area of a loadable context *)
+  capacity : int;  (* max fabric area of a loadable configuration *)
+  copies : int;  (* 1 = simplex, 3 = TMR with majority voting *)
   contexts : Context.t list;
   program_ns_per_byte : int;
   burst_bytes : int;  (* bus-burst granularity of bitstream downloads *)
   max_redownloads : int;
   mutable loaded : Context.t option;
-  mutable loaded_corrupt : bool;
+  (* per-context, per-copy upset flags: inactive contexts keep resident
+     configuration frames in their resource areas, so SEUs hit them too *)
+  corrupt : (string, bool array) Hashtbl.t;
   mutable stuck : string list;
   mutable healthy : bool;
   mutable download_fault : (attempt:int -> word:int -> int) option;
@@ -47,28 +50,40 @@ type t = {
   mutable scrubs : int;
   mutable scrub_reloads : int;
   mutable watchdog_fires : int;
+  mutable voter_disagreements : int;
+  mutable targeted_repairs : int;
+  mutable repair_bytes : int;
+  mutable area_loaded : int;  (* largest resource area ever consumed *)
 }
 
-let create ?(capacity = 10_000) ?(program_ns_per_byte = 1) ?(burst_bytes = 8)
-    ?(max_redownloads = 2) ~contexts name =
+let create ?(capacity = 10_000) ?(copies = 1) ?(program_ns_per_byte = 1)
+    ?(burst_bytes = 8) ?(max_redownloads = 2) ~contexts name =
+  if copies <> 1 && copies <> 3 then
+    invalid_arg "Fpga.create: copies must be 1 (simplex) or 3 (TMR)";
   List.iter
     (fun c ->
-      if Context.area c > capacity then
+      if Context.area c * copies > capacity then
         invalid_arg
-          (Printf.sprintf "Fpga.create: context %s area %d exceeds capacity %d"
-             (Context.name c) (Context.area c) capacity))
+          (Printf.sprintf
+             "Fpga.create: context %s area %d x %d copies exceeds capacity %d"
+             (Context.name c) (Context.area c) copies capacity))
     contexts;
   if burst_bytes <= 0 then invalid_arg "Fpga.create: burst_bytes";
   if max_redownloads < 0 then invalid_arg "Fpga.create: max_redownloads";
+  let corrupt = Hashtbl.create 8 in
+  List.iter
+    (fun c -> Hashtbl.replace corrupt (Context.name c) (Array.make copies false))
+    contexts;
   {
     name;
     capacity;
+    copies;
     contexts;
     program_ns_per_byte;
     burst_bytes;
     max_redownloads;
     loaded = None;
-    loaded_corrupt = false;
+    corrupt;
     stuck = [];
     healthy = true;
     download_fault = None;
@@ -83,22 +98,46 @@ let create ?(capacity = 10_000) ?(program_ns_per_byte = 1) ?(burst_bytes = 8)
     scrubs = 0;
     scrub_reloads = 0;
     watchdog_fires = 0;
+    voter_disagreements = 0;
+    targeted_repairs = 0;
+    repair_bytes = 0;
+    area_loaded = 0;
   }
 
 let name f = f.name
 let capacity f = f.capacity
+let copies f = f.copies
 let contexts f = f.contexts
 let loaded f = f.loaded
-let loaded_corrupted f = f.loaded_corrupt
 let is_healthy f = f.healthy
 let mark_unhealthy f = f.healthy <- false
 let inject_download_fault f h = f.download_fault <- h
 
-let upset_loaded f =
-  match f.loaded with
-  | Some _ ->
-      f.loaded_corrupt <- true;
+let flags_of f ctx =
+  match Hashtbl.find_opt f.corrupt (Context.name ctx) with
+  | Some a -> a
+  | None ->
+      let a = Array.make f.copies false in
+      Hashtbl.replace f.corrupt (Context.name ctx) a;
+      a
+
+let context_corrupted f ctx = Array.exists Fun.id (flags_of f ctx)
+
+let loaded_corrupted f =
+  match f.loaded with Some ctx -> context_corrupted f ctx | None -> false
+
+let upset_context ?(copy = 0) f ctx_name =
+  match
+    List.find_opt (fun c -> String.equal (Context.name c) ctx_name) f.contexts
+  with
+  | Some ctx ->
+      (flags_of f ctx).(min (max copy 0) (f.copies - 1)) <- true;
       true
+  | None -> false
+
+let upset_loaded ?(copy = 0) f =
+  match f.loaded with
+  | Some ctx -> upset_context ~copy f (Context.name ctx)
   | None -> false
 
 let set_stuck f resource =
@@ -207,6 +246,18 @@ let note_scrub_reload f ctx =
    scrubbing feature) an upset in the outgoing context is detected and
    counted before it is overwritten — without it, an upset that a later
    reconfiguration happens to erase was never observed by anyone. *)
+(* Load every redundant copy: in TMR the bitstream is downloaded and
+   programmed once per resource area — the 3x reconfiguration price of
+   the masked mode, paid in real bus traffic and programming time. *)
+let load_all_copies f ~bus ~master ctx =
+  for _ = 1 to f.copies do
+    checked_download f ~bus ~master ctx
+  done;
+  Proc.wait
+    (Time.ns (Context.bitstream_bytes ctx * f.copies * f.program_ns_per_byte));
+  Array.fill (flags_of f ctx) 0 f.copies false;
+  f.area_loaded <- max f.area_loaded (Context.area ctx * f.copies)
+
 let reconfigure ?(verify_previous = false) f ~bus ~master ctx_name =
   let ctx = find_context f ctx_name in
   let already =
@@ -214,19 +265,16 @@ let reconfigure ?(verify_previous = false) f ~bus ~master ctx_name =
     | Some c -> String.equal (Context.name c) ctx_name
     | None -> false
   in
-  let corrupt_repair = verify_previous && f.loaded_corrupt in
+  let corrupt_repair = verify_previous && loaded_corrupted f in
   if corrupt_repair then
     Option.iter (note_scrub_reload f) f.loaded;
-  if already && corrupt_repair then begin
+  if already && corrupt_repair then
     (* same context requested while corrupt: repair in place *)
-    checked_download f ~bus ~master ctx;
-    Proc.wait (Time.ns (Context.bitstream_bytes ctx * f.program_ns_per_byte));
-    f.loaded_corrupt <- false
-  end
+    load_all_copies f ~bus ~master ctx
   else if already then
     f.noop_reconfigurations <- f.noop_reconfigurations + 1
   else begin
-    let bytes = Context.bitstream_bytes ctx in
+    let bytes = Context.bitstream_bytes ctx * f.copies in
     let t0 = Time.to_ns (Proc.now ()) in
     let sp =
       if Obs.enabled () then
@@ -239,10 +287,8 @@ let reconfigure ?(verify_previous = false) f ~bus ~master ctx_name =
     (* the download is real bus traffic: one burst-sized transaction per
        chunk, each arbitrated — this fine-grained modelling is what makes
        level-3 simulation markedly slower than level 2 *)
-    checked_download f ~bus ~master ctx;
-    Proc.wait (Time.ns (bytes * f.program_ns_per_byte));
+    load_all_copies f ~bus ~master ctx;
     f.loaded <- Some ctx;
-    f.loaded_corrupt <- false;
     f.reconfigurations <- f.reconfigurations + 1;
     f.reconfig_ns_total <-
       f.reconfig_ns_total + (Time.to_ns (Proc.now ()) - t0);
@@ -264,22 +310,75 @@ let reconfigure ?(verify_previous = false) f ~bus ~master ctx_name =
   end
 
 (* Readback scrubbing: stream the configuration memory back over the bus,
-   compare its CRC against the golden image and reload on mismatch. *)
-let scrub f ~bus ~master =
+   compare its CRC against the golden image and reload on mismatch.
+   [context] scrubs the named context's resource area even while another
+   context is active — inactive configuration frames stay resident and
+   collect upsets too — without touching the active one. *)
+let scrub ?context f ~bus ~master =
   f.scrubs <- f.scrubs + 1;
-  match f.loaded with
+  let target =
+    match context with Some n -> Some (find_context f n) | None -> f.loaded
+  in
+  match target with
   | None -> false
   | Some ctx ->
       let bytes = Context.bitstream_bytes ctx in
-      bus_stream f ~bus ~master ~kind:Transaction.Read bytes;
-      if not f.loaded_corrupt then false
+      bus_stream f ~bus ~master ~kind:Transaction.Read (bytes * f.copies);
+      let flags = flags_of f ctx in
+      if not (Array.exists Fun.id flags) then false
       else begin
         note_scrub_reload f ctx;
-        checked_download f ~bus ~master ctx;
-        Proc.wait (Time.ns (bytes * f.program_ns_per_byte));
-        f.loaded_corrupt <- false;
+        (* reload only the corrupt copies — one download each *)
+        Array.iteri
+          (fun i bad ->
+            if bad then begin
+              checked_download f ~bus ~master ctx;
+              Proc.wait (Time.ns (bytes * f.program_ns_per_byte));
+              flags.(i) <- false
+            end)
+          flags;
         true
       end
+
+(* The TMR majority vote at result-readout time (cf. [Symbad_hdl.Tmr]:
+   the voter is combinational, its masking contract model-checked).
+   Exactly one corrupt copy is outvoted — the result is correct — and
+   its disagreement flag drives a targeted repair of just that resource
+   area over the internal configuration port, overlapping continued
+   voted operation: only counters and repair bytes move, no simulated
+   time.  Two or more corrupt copies defeat the vote. *)
+let vote_and_repair f =
+  match f.loaded with
+  | None -> `Clean
+  | Some ctx -> (
+      if f.copies < 3 then if loaded_corrupted f then `Corrupt else `Clean
+      else
+        let flags = flags_of f ctx in
+        let bad = Array.to_list flags |> List.filter Fun.id |> List.length in
+        match bad with
+        | 0 -> `Clean
+        | 1 ->
+            let i = ref 0 in
+            Array.iteri (fun j b -> if b then i := j) flags;
+            f.voter_disagreements <- f.voter_disagreements + 1;
+            f.targeted_repairs <- f.targeted_repairs + 1;
+            f.repair_bytes <- f.repair_bytes + Context.bitstream_bytes ctx;
+            flags.(!i) <- false;
+            if Obs.enabled () then begin
+              Obs.event ~severity:Symbad_obs.Severity.Warn
+                ~args:
+                  [
+                    ("fpga", Json.Str f.name);
+                    ("context", Json.Str (Context.name ctx));
+                    ("copy", Json.Int !i);
+                  ]
+                ~sim_ns:(Time.to_ns (Proc.now ()))
+                "fpga.voter_disagreement";
+              Obs.incr_counter "fpga.voter_disagreements";
+              Obs.incr_counter "fpga.targeted_repairs"
+            end;
+            `Masked
+        | _ -> `Corrupt)
 
 (* Check that [resource] is available; the actual computation timing is
    modelled by the caller (it knows the annotated cycle cost). *)
@@ -308,6 +407,11 @@ type stats = {
   scrubs : int;
   scrub_reloads : int;
   watchdog_fires : int;
+  copies : int;
+  voter_disagreements : int;
+  targeted_repairs : int;
+  repair_bytes : int;
+  area_loaded : int;
 }
 
 let stats (f : t) =
@@ -323,13 +427,19 @@ let stats (f : t) =
     scrubs = f.scrubs;
     scrub_reloads = f.scrub_reloads;
     watchdog_fires = f.watchdog_fires;
+    copies = f.copies;
+    voter_disagreements = f.voter_disagreements;
+    targeted_repairs = f.targeted_repairs;
+    repair_bytes = f.repair_bytes;
+    area_loaded = f.area_loaded;
   }
 
 let pp_stats fmt s =
   Fmt.pf fmt
     "reconfigs=%d noop=%d bitstream=%dB reconfig_time=%dns calls=%d \
      crc_mismatches=%d retried_dl=%d failed_dl=%d scrubs=%d scrub_reloads=%d \
-     watchdog=%d"
+     watchdog=%d copies=%d disagreements=%d targeted=%d repair=%dB area=%d"
     s.reconfigurations s.noop_reconfigurations s.bitstream_bytes s.reconfig_ns
     s.resource_calls s.crc_mismatches s.retried_downloads s.failed_downloads
-    s.scrubs s.scrub_reloads s.watchdog_fires
+    s.scrubs s.scrub_reloads s.watchdog_fires s.copies s.voter_disagreements
+    s.targeted_repairs s.repair_bytes s.area_loaded

@@ -25,13 +25,18 @@ type t
 
 val create :
   ?capacity:int ->
+  ?copies:int ->
   ?program_ns_per_byte:int ->
   ?burst_bytes:int ->
   ?max_redownloads:int ->
   contexts:Context.t list ->
   string ->
   t
-(** Raises [Invalid_argument] if any context exceeds [capacity].
+(** Raises [Invalid_argument] if any context's area times [copies]
+    exceeds [capacity].  [copies] (default 1) is the redundancy degree:
+    [3] runs every context as TMR — each load downloads and programs
+    three resource areas, and {!vote_and_repair} masks single-copy
+    upsets by majority vote.  Only 1 (simplex) and 3 are accepted.
     [burst_bytes] (default 8, i.e. CPU-driven programmed I/O without a
     DMA engine) is the bus-burst granularity of bitstream downloads:
     each burst is a separately arbitrated bus transaction.
@@ -40,6 +45,7 @@ val create :
 
 val name : t -> string
 val capacity : t -> int
+val copies : t -> int
 val contexts : t -> Context.t list
 val loaded : t -> Context.t option
 val find_context : t -> string -> Context.t
@@ -75,20 +81,44 @@ val inject_download_fault : t -> (attempt:int -> word:int -> int) option -> unit
     mask for bitstream word [word] — [0] leaves the word clean.  Must be
     deterministic for reproducible campaigns. *)
 
-val upset_loaded : t -> bool
+val upset_loaded : ?copy:int -> t -> bool
 (** Flip bits in the loaded configuration memory (an SEU in the fabric):
     the device keeps running but computes corrupted results until a
-    {!scrub} repairs it.  Returns [false] — no-op — when nothing is
-    loaded. *)
+    {!scrub} (or, under TMR, {!vote_and_repair}) repairs it.  [copy]
+    (default 0, clamped to the redundancy degree) selects which TMR
+    copy is hit.  Returns [false] — no-op — when nothing is loaded. *)
+
+val upset_context : ?copy:int -> t -> string -> bool
+(** Upset the named context's resident configuration frames even while
+    another context is active — inactive resource areas collect SEUs
+    too.  Returns [false] for an unknown context. *)
 
 val loaded_corrupted : t -> bool
-(** True while the loaded context carries an unrepaired upset. *)
+(** True while the loaded context carries an unrepaired upset in any
+    copy. *)
 
-val scrub : t -> bus:Symbad_tlm.Bus.t -> master:string -> bool
+val context_corrupted : t -> Context.t -> bool
+(** True while the given context carries an unrepaired upset. *)
+
+val scrub :
+  ?context:string -> t -> bus:Symbad_tlm.Bus.t -> master:string -> bool
 (** Readback scrubbing pass: stream the configuration memory back over
-    the bus, compare its CRC with the golden image, and reload the
-    context on mismatch.  Returns [true] when a corruption was detected
-    and repaired.  Must be called from a simulation process. *)
+    the bus (every copy), compare its CRC with the golden image, and
+    reload the corrupt copies on mismatch.  [context] scrubs the named
+    context's resource area instead of the active one — repairing an
+    upset in an inactive context without disturbing the loaded one.
+    Returns [true] when a corruption was detected and repaired.  Must
+    be called from a simulation process. *)
+
+val vote_and_repair : t -> [ `Clean | `Masked | `Corrupt ]
+(** The TMR majority vote at result-readout time.  [`Masked]: exactly
+    one copy disagreed — the voted result is correct, the disagreement
+    is counted, and the offending copy alone is repaired over the
+    internal configuration port, overlapping continued voted operation
+    (counters and repair bytes move; no simulated time, no bus
+    traffic).  [`Corrupt]: the vote is defeated (two or more corrupt
+    copies, or any upset in simplex mode).  [`Clean] otherwise; always
+    [`Clean]/[`Corrupt] when [copies = 1]. *)
 
 val set_stuck : t -> string -> unit
 (** Wedge the named resource: it keeps passing {!require} (the context
@@ -124,6 +154,11 @@ type stats = {
   scrubs : int;  (** readback scrubbing passes *)
   scrub_reloads : int;  (** scrubs that found and repaired an upset *)
   watchdog_fires : int;  (** watchdog expiries ({!note_watchdog}) *)
+  copies : int;  (** redundancy degree: 1 simplex, 3 TMR *)
+  voter_disagreements : int;  (** TMR votes with a lone dissenter *)
+  targeted_repairs : int;  (** single-copy repairs driven by the voter *)
+  repair_bytes : int;  (** configuration bytes rewritten by those repairs *)
+  area_loaded : int;  (** largest resource area consumed (all copies) *)
 }
 
 val stats : t -> stats

@@ -2,13 +2,20 @@
 
    A campaign runs the level-3 face-recognition platform once fault-free
    (the baseline), then re-runs it once per planned fault with the
-   corresponding injection installed, and grades every trial on four
+   corresponding injection installed, and grades every trial on
    OSVVM-style questions: did the fault land (injected), did a detection
    mechanism observe it (detected), did a recovery mechanism complete
-   (recovered), and did the pipeline still elect the baseline WINNER
-   (correct)?  Trial 0 is always the uninjected control: it must be
-   byte-identical to the baseline, the scoreboard that proves the
-   injection machinery itself perturbs nothing when disarmed.
+   (recovered), was the fault masked — result still correct at zero
+   recovery latency (masked) — and did the pipeline still elect the
+   baseline WINNER (correct)?  Trial 0 is always the uninjected control:
+   it must be byte-identical to the baseline, the scoreboard that proves
+   the injection machinery itself perturbs nothing when disarmed.
+
+   Operating modes: [Scrub] is the detect-and-repair platform of PR 4
+   (CRC-checked downloads, readback scrubbing, bounded retry); [Tmr]
+   is the masked-fault mode — TMR contexts voted at every readout plus
+   SEC-DED bus ECC — which pays area and bandwidth up front to make
+   recovery latency vanish.
 
    Determinism contract: the plan is drawn from the seed before the
    fan-out, every trial simulation is deterministic, and the governor's
@@ -36,6 +43,15 @@ module Mapping = Symbad_core.Mapping
 module Face_app = Symbad_core.Face_app
 module Verdict = Symbad_core.Verdict
 
+type mode = Scrub | Tmr
+
+let mode_to_string = function Scrub -> "scrub" | Tmr -> "tmr"
+
+let mode_of_string = function
+  | "scrub" -> Some Scrub
+  | "tmr" -> Some Tmr
+  | _ -> None
+
 type outcome = {
   trial : int;
   kind : string;  (* "control" or a Fault.kind name *)
@@ -43,6 +59,7 @@ type outcome = {
   injected : bool;
   detected : bool;
   recovered : bool;
+  masked : bool;
   correct : bool;
   skipped : bool;
   recovery_ns : int;
@@ -55,18 +72,22 @@ type kind_row = {
   row_injected : int;
   row_detected : int;
   row_recovered : int;
+  row_masked : int;
   row_correct : int;
 }
 
 type report = {
   seed : int;
+  mode : string;
   trials_per_kind : int;
   kind_names : string list;
   baseline_latency_ns : int;
+  fabric_area : int;  (* resource areas consumed, all copies *)
   outcomes : outcome list;
   per_kind : kind_row list;
   control_ok : bool;
   skipped : int;
+  masked_trials : int;
   histogram : (string * int) list;
   passed : bool;
 }
@@ -83,45 +104,78 @@ let seu_mask = 0x0008_0004
 let winner_stream trace =
   Trace.stream_of trace ~source:"WINNER" ~label:"result"
 
+(* Service completion: the instant the pipeline produced its last data
+   token.  Recovery latency is graded against this, not against the
+   kernel's final event time, so saboteur bookkeeping wake-ups never
+   masquerade as recovery cost. *)
+let service_ns (r : Level3.result) =
+  List.fold_left
+    (fun acc (e : Trace.entry) -> max acc (Time.to_ns e.Trace.time))
+    0
+    (Trace.entries r.Level3.trace)
+
 let total_drops (r : Level3.result) =
   List.fold_left
     (fun acc (_, (o : Symbad_sim.Fifo.occupancy)) ->
       acc + o.Symbad_sim.Fifo.drops)
     0 r.Level3.channel_occupancy
 
-(* Grade one completed run against the baseline. *)
+(* Grade one completed run against the baseline.  [masked] is the
+   strongest grade: the mechanism absorbed the fault without a retry
+   round-trip or a repair pause — the result is correct and the service
+   completed at exactly the baseline instant. *)
 let grade ~baseline ~base_winner inj (r : Level3.result) =
   let fs = r.Level3.fpga_stats in
   let bs = r.Level3.bus_report in
   let correct = winner_stream r.Level3.trace = base_winner in
-  let recovery_ns =
-    max 0 (r.Level3.latency_ns - baseline.Level3.latency_ns)
-  in
-  let injected, detected, recovered, detail =
+  let recovery_ns = max 0 (service_ns r - service_ns baseline) in
+  let injected, detected, recovered, masked, detail =
     match inj with
     | Fault.Seu _ ->
         let hit = fs.Fpga.crc_mismatches > 0 in
         ( hit,
           hit,
           hit && fs.Fpga.failed_downloads = 0,
+          false,
           Printf.sprintf "crc_mismatches=%d retried=%d failed=%d"
             fs.Fpga.crc_mismatches fs.Fpga.retried_downloads
             fs.Fpga.failed_downloads )
     | Fault.Upset _ ->
-        let repaired = fs.Fpga.scrub_reloads > 0 in
+        let scrubbed = fs.Fpga.scrub_reloads > 0 in
+        let voted = fs.Fpga.voter_disagreements > 0 in
+        let repaired = scrubbed || fs.Fpga.targeted_repairs > 0 in
         ( true,
+          scrubbed || voted,
           repaired,
-          repaired,
-          Printf.sprintf "scrubs=%d reloads=%d" fs.Fpga.scrubs
-            fs.Fpga.scrub_reloads )
+          voted && fs.Fpga.targeted_repairs > 0 && correct && recovery_ns = 0,
+          Printf.sprintf "scrubs=%d reloads=%d disagreements=%d targeted=%d"
+            fs.Fpga.scrubs fs.Fpga.scrub_reloads fs.Fpga.voter_disagreements
+            fs.Fpga.targeted_repairs )
     | Fault.Bus _ ->
         let seen = bs.Bus.error_responses + bs.Bus.retry_responses in
         ( seen > 0,
           seen > 0,
           seen > 0 && bs.Bus.failed_transfers = 0,
+          false,
           Printf.sprintf "errors=%d retries=%d failed=%d"
             bs.Bus.error_responses bs.Bus.retry_responses
             bs.Bus.failed_transfers )
+    | Fault.Flip { bits; _ } ->
+        (* on an ECC bus a single flip is corrected in place and a
+           double detected then retried; on a plain bus both surface as
+           ERROR responses and ride the retry *)
+        let seen =
+          bs.Bus.ecc_corrected + bs.Bus.ecc_double_errors
+          + bs.Bus.error_responses
+        in
+        ( seen > 0,
+          seen > 0,
+          seen > 0 && bs.Bus.failed_transfers = 0,
+          bits = 1 && bs.Bus.ecc_corrected > 0
+          && bs.Bus.failed_transfers = 0 && correct && recovery_ns = 0,
+          Printf.sprintf "ecc_corrected=%d ecc_double=%d errors=%d failed=%d"
+            bs.Bus.ecc_corrected bs.Bus.ecc_double_errors
+            bs.Bus.error_responses bs.Bus.failed_transfers )
     | Fault.Loss _ ->
         let drops = total_drops r in
         (* the retransmit is the only way a dropped token's stream still
@@ -129,15 +183,17 @@ let grade ~baseline ~base_winner inj (r : Level3.result) =
         ( drops > 0,
           drops > 0,
           drops > 0 && correct,
+          false,
           Printf.sprintf "drops=%d" drops )
     | Fault.Stuck _ ->
         ( true,
           fs.Fpga.watchdog_fires > 0,
           r.Level3.sw_fallbacks > 0,
+          false,
           Printf.sprintf "watchdog=%d fallbacks=%d" fs.Fpga.watchdog_fires
             r.Level3.sw_fallbacks )
   in
-  (injected, detected, recovered, correct, recovery_ns, detail)
+  (injected, detected, recovered, masked, correct, recovery_ns, detail)
 
 (* The uninjected control: every observable of the platform run must be
    byte-identical to the baseline — the scoreboard for the injection
@@ -163,12 +219,12 @@ let grade_control ~baseline (r : Level3.result) =
     if mismatches = [] then "identical to baseline"
     else "differs from baseline: " ^ String.concat "," mismatches )
 
-let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
-    (index, inj_opt) =
+let run_one ~workload ~mapping ~baseline ~base_winner ~base_config
+    ~scrub_period_ns (index, inj_opt) =
   let graph = Face_app.graph workload in
   match inj_opt with
   | None -> (
-      match Level3.run graph mapping with
+      match Level3.run ~config:base_config graph mapping with
       | r ->
           let ok, detail = grade_control ~baseline r in
           {
@@ -178,6 +234,7 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
             injected = false;
             detected = false;
             recovered = false;
+            masked = false;
             correct = ok;
             skipped = false;
             recovery_ns = 0;
@@ -191,6 +248,7 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
             injected = false;
             detected = false;
             recovered = false;
+            masked = false;
             correct = false;
             skipped = false;
             recovery_ns = 0;
@@ -200,9 +258,11 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
       let kind = Fault.kind_of_injection inj in
       let config =
         match inj with
-        | Fault.Upset _ ->
-            { Level3.default_config with Level3.scrub_period_ns }
-        | _ -> Level3.default_config
+        | Fault.Upset _ when not base_config.Level3.masked ->
+            (* scrub mode detects upsets by periodic readback; in masked
+               mode the voter observes them at readout instead *)
+            { base_config with Level3.scrub_period_ns }
+        | _ -> base_config
       in
       let channel_loss =
         match inj with
@@ -217,14 +277,16 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
               (Some
                  (fun ~attempt ~word:w ->
                    if attempt < attempts && w = word then seu_mask else 0))
-        | Fault.Upset { at_permille } ->
+        | Fault.Upset { at_permille; copy } ->
             (* Wait until the planned instant, then keep one upset armed
-               until scrubbing observes it.  An upset on an empty fabric
+               until a repair observes it.  An upset on an empty fabric
                hits nothing, and one that lands in configuration memory
                already being rewritten by an in-flight reconfiguration is
-               erased before anyone could read it (a masked fault) — in
-               both cases the saboteur re-injects, so every trial tests a
-               fault the detection machinery really had to catch.  The
+               erased before anyone could read it — in both cases the
+               saboteur re-injects, so every trial tests a fault the
+               detection machinery really had to catch.  Repairs are
+               watched through scrub reloads plus targeted voter repairs,
+               so the same saboteur serves both operating modes.  The
                poll count is bounded so a campaign over an all-software
                mapping cannot hang the simulation. *)
             let t_ns =
@@ -233,20 +295,24 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
             let poll_ns = 2_000 and max_polls = 2_000 in
             Kernel.spawn kernel ~name:"saboteur" (fun () ->
                 Process.wait (Time.ns t_ns);
-                let reloads () = (Fpga.stats fpga).Fpga.scrub_reloads in
+                let repairs () =
+                  let s = Fpga.stats fpga in
+                  s.Fpga.scrub_reloads + s.Fpga.targeted_repairs
+                in
                 let rec arm polls =
                   if polls < max_polls then
-                    if Fpga.upset_loaded fpga then watch polls (reloads ())
+                    if Fpga.upset_loaded ~copy fpga then
+                      watch polls (repairs ())
                     else begin
                       Process.wait (Time.ns poll_ns);
                       arm (polls + 1)
                     end
-                and watch polls reloads0 =
+                and watch polls repairs0 =
                   if polls < max_polls then begin
                     Process.wait (Time.ns poll_ns);
-                    if reloads () > reloads0 then ()
+                    if repairs () > repairs0 then ()
                     else if Fpga.loaded_corrupted fpga then
-                      watch (polls + 1) reloads0
+                      watch (polls + 1) repairs0
                     else arm (polls + 1)
                   end
                 in
@@ -263,10 +329,22 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
                          if error then Bus.Error else Bus.Retry
                        else Bus.Okay
                    | _ -> Bus.Okay))
+        | Fault.Flip { txn_index; bits; count } ->
+            let counter = ref (-1) in
+            Bus.inject_corruption bus
+              (Some
+                 (fun txn ~attempt ->
+                   match txn.Transaction.kind with
+                   | Transaction.Write ->
+                       if attempt = 0 then incr counter;
+                       if !counter = txn_index && attempt < count then bits
+                       else 0
+                   | _ -> 0))
         | Fault.Loss _ -> ()
         | Fault.Stuck { resource } -> Fpga.set_stuck fpga resource
       in
-      let finish (injected, detected, recovered, correct, recovery_ns, detail)
+      let finish
+          (injected, detected, recovered, masked, correct, recovery_ns, detail)
           =
         {
           trial = index;
@@ -275,6 +353,7 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
           injected;
           detected;
           recovered;
+          masked;
           correct;
           skipped = false;
           recovery_ns;
@@ -292,6 +371,7 @@ let run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns
             injected = true;
             detected = true;
             recovered = false;
+            masked = false;
             correct = false;
             skipped = false;
             recovery_ns = 0;
@@ -313,6 +393,7 @@ let skipped_outcome (index, inj_opt) =
     injected = false;
     detected = false;
     recovered = false;
+    masked = false;
     correct = false;
     skipped = true;
     recovery_ns = 0;
@@ -355,21 +436,28 @@ let per_kind_rows kind_names outcomes =
         row_injected = count (fun o -> o.injected);
         row_detected = count (fun o -> o.detected);
         row_recovered = count (fun o -> o.recovered);
+        row_masked = count (fun o -> o.masked);
         row_correct = count (fun o -> o.correct);
       })
     kind_names
 
-let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
-    ?(workload = Face_app.smoke_workload) ?(scrub_period_ns = 10_000) ~seed ()
-    =
+let run ?pool ?gov ?(mode = Scrub) ?(kinds = Fault.all_kinds)
+    ?(trials_per_kind = 3) ?(workload = Face_app.smoke_workload)
+    ?(scrub_period_ns = 10_000) ~seed () =
   let pool = Par.get pool in
   let gov = Gov.get gov in
   let sp =
     if Obs.enabled () then
       Obs.begin_span ~track:"resil" ~cat:"resil"
-        ~args:[ ("seed", Json.Int seed) ]
+        ~args:
+          [ ("seed", Json.Int seed); ("mode", Json.Str (mode_to_string mode)) ]
         "resil.campaign"
     else Obs.null_span
+  in
+  let base_config =
+    match mode with
+    | Scrub -> Level3.default_config
+    | Tmr -> { Level3.default_config with Level3.masked = true }
   in
   (* Fault-free baseline, on the calling domain.  The tap only counts
      the write transactions (always answering Okay, the same path the
@@ -390,16 +478,19 @@ let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
            | _ -> ());
            Bus.Okay))
   in
-  let baseline = Level3.run ~tap:count_writes graph mapping in
+  let baseline = Level3.run ~config:base_config ~tap:count_writes graph mapping in
   let base_winner = winner_stream baseline.Level3.trace in
   (* the plan: control first, then trials_per_kind injections per kind,
      drawn sequentially from the seed — independent of the pool width.
-     Bus faults are clamped onto the write transactions the baseline
-     actually performs, so no planned fault can miss a small workload. *)
+     Bus-borne faults are clamped onto the write transactions the
+     baseline actually performs, so no planned fault can miss a small
+     workload. *)
   let rng = Rng.create (if seed = 0 then 0x5EED else seed) in
   let clamp = function
     | Fault.Bus { txn_index; error; count } ->
         Fault.Bus { txn_index = txn_index mod max 1 !write_count; error; count }
+    | Fault.Flip { txn_index; bits; count } ->
+        Fault.Flip { txn_index = txn_index mod max 1 !write_count; bits; count }
     | inj -> inj
   in
   let injections =
@@ -427,7 +518,8 @@ let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
       (Option.value ~default:Degrade.Patterns (Gov.exhaustion gov));
   let ran =
     Par.map ~label:"resil.trials" pool
-      (run_one ~workload ~mapping ~baseline ~base_winner ~scrub_period_ns)
+      (run_one ~workload ~mapping ~baseline ~base_winner ~base_config
+         ~scrub_period_ns)
       to_run
   in
   let outcomes = ran @ List.map skipped_outcome to_skip in
@@ -437,6 +529,10 @@ let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
       outcomes
   in
   let skipped = List.length to_skip in
+  let masked_trials =
+    List.length
+      (List.filter (fun (o : outcome) -> (not o.skipped) && o.masked) outcomes)
+  in
   let passed = skipped = 0 && List.for_all trial_passed outcomes in
   if Obs.enabled () then begin
     List.iter
@@ -453,26 +549,31 @@ let run ?pool ?gov ?(kinds = Fault.all_kinds) ?(trials_per_kind = 3)
                 ("injected", Json.Bool o.injected);
                 ("detected", Json.Bool o.detected);
                 ("recovered", Json.Bool o.recovered);
+                ("masked", Json.Bool o.masked);
                 ("correct", Json.Bool o.correct);
               ]
             "resil.trial";
           Obs.observe "resil.recovery_ns" o.recovery_ns;
           if o.injected then Obs.incr_counter "resil.injected";
           if o.detected then Obs.incr_counter "resil.detected";
-          if o.recovered then Obs.incr_counter "resil.recovered"
+          if o.recovered then Obs.incr_counter "resil.recovered";
+          if o.masked then Obs.incr_counter "resil.masked"
         end)
       outcomes;
     Obs.end_span ~args:[ ("passed", Json.Bool passed) ] sp
   end;
   {
     seed;
+    mode = mode_to_string mode;
     trials_per_kind;
     kind_names;
     baseline_latency_ns = baseline.Level3.latency_ns;
+    fabric_area = baseline.Level3.fpga_stats.Fpga.area_loaded;
     outcomes;
     per_kind = per_kind_rows kind_names outcomes;
     control_ok;
     skipped;
+    masked_trials;
     histogram = histogram_of outcomes;
     passed;
   }
@@ -502,8 +603,9 @@ let verdict ?(name = "fault campaign") r =
         Verdict.make ~name
           ~detail:
             (Printf.sprintf
-               "%d trials: all faults detected, recovered, correct winner"
-               total)
+               "%d trials (%s mode): all faults detected, recovered, correct \
+                winner; %d masked"
+               total r.mode r.masked_trials)
           Verdict.Proved
 
 let outcome_to_json o =
@@ -515,6 +617,7 @@ let outcome_to_json o =
       ("injected", Json.Bool o.injected);
       ("detected", Json.Bool o.detected);
       ("recovered", Json.Bool o.recovered);
+      ("masked", Json.Bool o.masked);
       ("correct", Json.Bool o.correct);
       ("skipped", Json.Bool o.skipped);
       ("recovery_ns", Json.Int o.recovery_ns);
@@ -525,11 +628,14 @@ let to_json r =
   Json.Obj
     [
       ("seed", Json.Int r.seed);
+      ("mode", Json.Str r.mode);
       ("trials_per_kind", Json.Int r.trials_per_kind);
       ("kinds", Json.List (List.map (fun k -> Json.Str k) r.kind_names));
       ("baseline_latency_ns", Json.Int r.baseline_latency_ns);
+      ("fabric_area", Json.Int r.fabric_area);
       ("control_ok", Json.Bool r.control_ok);
       ("skipped", Json.Int r.skipped);
+      ("masked_trials", Json.Int r.masked_trials);
       ("passed", Json.Bool r.passed);
       ( "per_kind",
         Json.List
@@ -542,6 +648,7 @@ let to_json r =
                    ("injected", Json.Int row.row_injected);
                    ("detected", Json.Int row.row_detected);
                    ("recovered", Json.Int row.row_recovered);
+                   ("masked", Json.Int row.row_masked);
                    ("correct", Json.Int row.row_correct);
                  ])
              r.per_kind) );
@@ -554,20 +661,22 @@ let to_markdown r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "# Fault-injection campaign\n\n";
   Buffer.add_string b
-    (Printf.sprintf "seed %d, %d trials/kind, baseline latency %d ns — %s\n\n"
-       r.seed r.trials_per_kind r.baseline_latency_ns
+    (Printf.sprintf
+       "seed %d, %s mode, %d trials/kind, baseline latency %d ns, fabric \
+        area %d — %s\n\n"
+       r.seed r.mode r.trials_per_kind r.baseline_latency_ns r.fabric_area
        (if r.passed then "PASS"
         else if r.skipped > 0 && first_failure r = None then "INCONCLUSIVE"
         else "FAIL"));
   Buffer.add_string b
-    "| kind | trials | injected | detected | recovered | correct |\n";
-  Buffer.add_string b "|---|---|---|---|---|---|\n";
+    "| kind | trials | injected | detected | recovered | masked | correct |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|---|\n";
   List.iter
     (fun row ->
       Buffer.add_string b
-        (Printf.sprintf "| %s | %d | %d | %d | %d | %d |\n" row.row_kind
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d | %d |\n" row.row_kind
            row.row_trials row.row_injected row.row_detected row.row_recovered
-           row.row_correct))
+           row.row_masked row.row_correct))
     r.per_kind;
   Buffer.add_string b "\n| recovery latency (sim) | trials |\n|---|---|\n";
   List.iter
@@ -586,13 +695,72 @@ let to_markdown r =
   | None -> ());
   Buffer.contents b
 
+(* --- masked vs scrubbing-only comparison ------------------------------ *)
+
+let executed_injected r =
+  List.filter
+    (fun (o : outcome) ->
+      (not o.skipped) && not (String.equal o.kind "control"))
+    r.outcomes
+
+let survived r = List.length (List.filter trial_passed (executed_injected r))
+
+let zero_recovery r =
+  List.length
+    (List.filter (fun o -> o.recovery_ns = 0) (executed_injected r))
+
+let compare_modes ~scrub ~tmr =
+  let pair f = Json.Obj [ ("scrub", f scrub); ("tmr", f tmr) ] in
+  let int_of f r = Json.Int (f r) in
+  Json.Obj
+    [
+      ("trials", pair (int_of (fun r -> List.length (executed_injected r))));
+      ("survived", pair (int_of survived));
+      ("masked", pair (int_of (fun r -> r.masked_trials)));
+      ("zero_recovery", pair (int_of zero_recovery));
+      ("fabric_area", pair (int_of (fun r -> r.fabric_area)));
+      ("baseline_latency_ns", pair (int_of (fun r -> r.baseline_latency_ns)));
+      ( "recovery_ns_histogram",
+        pair (fun r ->
+            Json.Obj (List.map (fun (b, c) -> (b, Json.Int c)) r.histogram)) );
+    ]
+
+let compare_modes_markdown ~scrub ~tmr =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "# Masked vs scrubbing-only\n\n";
+  Buffer.add_string b "| metric | scrub | tmr |\n|---|---|---|\n";
+  let row name f g =
+    Buffer.add_string b
+      (Printf.sprintf "| %s | %s | %s |\n" name (f scrub) (g tmr))
+  in
+  let both name f = row name f f in
+  both "fault trials" (fun r -> string_of_int (List.length (executed_injected r)));
+  both "survived (passed)" (fun r -> string_of_int (survived r));
+  both "masked (zero-latency, correct)" (fun r -> string_of_int r.masked_trials);
+  both "zero recovery latency" (fun r -> string_of_int (zero_recovery r));
+  both "fabric area consumed" (fun r -> string_of_int r.fabric_area);
+  both "baseline latency (ns)" (fun r -> string_of_int r.baseline_latency_ns);
+  Buffer.add_string b "\n| recovery latency (sim) | scrub | tmr |\n|---|---|---|\n";
+  let buckets =
+    List.sort_uniq
+      (fun a b -> compare (String.length a, a) (String.length b, b))
+      (List.map fst scrub.histogram @ List.map fst tmr.histogram)
+  in
+  List.iter
+    (fun bucket ->
+      let c r = Option.value ~default:0 (List.assoc_opt bucket r.histogram) in
+      Buffer.add_string b
+        (Printf.sprintf "| %s ns | %d | %d |\n" bucket (c scrub) (c tmr)))
+    buckets;
+  Buffer.contents b
+
 (* The unified-driver shape (Core.Engines): run + consolidate. *)
-let check ?gov ?pool ?jobs ?kinds ?trials_per_kind ?workload
+let check ?gov ?pool ?jobs ?mode ?kinds ?trials_per_kind ?workload
     ?scrub_period_ns ~seed () =
   let go pool =
     verdict
-      (run ~pool ?gov ?kinds ?trials_per_kind ?workload ?scrub_period_ns
-         ~seed ())
+      (run ~pool ?gov ?mode ?kinds ?trials_per_kind ?workload
+         ?scrub_period_ns ~seed ())
   in
   match (pool, jobs) with
   | Some p, _ -> go p

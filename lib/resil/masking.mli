@@ -1,0 +1,37 @@
+(** Model-checked masking properties of the TMR voter.
+
+    The masked operating mode stands on the majority voter
+    ([Symbad_hdl.Tmr]); this module is the voter's formal certificate,
+    discharged by [Symbad_mc.Engine] like every other verified block:
+
+    - {e masking}: a single corrupted copy never changes the voted
+      output;
+    - {e no false alarm}: full agreement raises no disagreement flag;
+    - {e exact diagnosis}: a lone dissenter raises exactly its own flag
+      — the signal the targeted repair steers by;
+    - {e lock-step}: a triplicated datapath's register banks never
+      diverge without a fault (1-inductive). *)
+
+val voter_netlist : ?width:int -> unit -> Symbad_hdl.Netlist.t
+(** The voter under verification (default width 8). *)
+
+val voter_properties : Symbad_hdl.Netlist.t -> Symbad_mc.Prop.t list
+(** [Symbad_hdl.Tmr.voter_properties] wrapped and validated against the
+    voter netlist. *)
+
+val check_voter :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?width:int ->
+  unit ->
+  Symbad_mc.Engine.report list
+(** Prove the voter's masking contract at the given word width. *)
+
+val check_triplicated :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  Symbad_hdl.Netlist.t ->
+  Symbad_mc.Engine.report list
+(** Triplicate the given datapath and prove its lock-step invariant. *)
+
+val all_proved : Symbad_mc.Engine.report list -> bool

@@ -37,6 +37,7 @@ type t = {
   arbitration_cycles : int;
   setup_cycles : int;
   max_retries : int;
+  ecc : bool;  (* SEC-DED protection on every transfer *)
   mutable busy : bool;
   mutable waiters : (int * int * (unit -> unit)) list;
   mutable next_seq : int;
@@ -47,7 +48,10 @@ type t = {
   mutable error_responses : int;
   mutable retry_responses : int;
   mutable failed_transfers : int;
+  mutable ecc_corrected : int;
+  mutable ecc_double_errors : int;
   mutable fault : (Transaction.t -> attempt:int -> response) option;
+  mutable corruption : (Transaction.t -> attempt:int -> int) option;
   mutable gov : Gov.t option;
   masters : (string, master_stats) Hashtbl.t;
   mutable start_ns : int option;
@@ -55,7 +59,7 @@ type t = {
 }
 
 let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
-    ?(setup_cycles = 1) ?(max_retries = 3) name =
+    ?(setup_cycles = 1) ?(max_retries = 3) ?(ecc = false) name =
   if width_bytes <= 0 then invalid_arg "Bus.create: width";
   if period_ns <= 0 then invalid_arg "Bus.create: period";
   if max_retries < 0 then invalid_arg "Bus.create: max_retries";
@@ -66,6 +70,7 @@ let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
     arbitration_cycles;
     setup_cycles;
     max_retries;
+    ecc;
     busy = false;
     waiters = [];
     next_seq = 0;
@@ -76,7 +81,10 @@ let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
     error_responses = 0;
     retry_responses = 0;
     failed_transfers = 0;
+    ecc_corrected = 0;
+    ecc_double_errors = 0;
     fault = None;
+    corruption = None;
     gov = None;
     masters = Hashtbl.create 8;
     start_ns = None;
@@ -85,7 +93,9 @@ let create ?(width_bytes = 4) ?(period_ns = 10) ?(arbitration_cycles = 1)
 
 let name b = b.name
 let period_ns b = b.period_ns
+let ecc b = b.ecc
 let inject_faults b h = b.fault <- h
+let inject_corruption b h = b.corruption <- h
 let govern b g = b.gov <- Some g
 
 let master_stats b master =
@@ -96,9 +106,16 @@ let master_stats b master =
       Hashtbl.add b.masters master s;
       s
 
+(* In ECC mode every payload travels as 39-bit codewords per 32 data
+   bits: the check bits widen the transfer — the always-paid latency
+   price of the protection. *)
+let coded_bytes b bytes =
+  if b.ecc then ((bytes * Ecc.code_bits) + Ecc.data_bits - 1) / Ecc.data_bits
+  else bytes
+
 let transfer_cycles b bytes =
   b.arbitration_cycles + b.setup_cycles
-  + ((bytes + b.width_bytes - 1) / b.width_bytes)
+  + ((coded_bytes b bytes + b.width_bytes - 1) / b.width_bytes)
 
 let transfer_time b bytes = Time.ns (transfer_cycles b bytes * b.period_ns)
 
@@ -146,6 +163,44 @@ let may_retry b =
         true
       end
 
+(* Each ECC syndrome (a corrected single or a detected double) is
+   diagnostic work charged like a retry: one governor pattern. *)
+let charge_syndrome b =
+  match b.gov with
+  | Some g when not (Gov.out_of_budget g) -> Gov.charge_patterns g 1
+  | _ -> ()
+
+(* Run the injected corruption (a number of flipped bits in one coded
+   word of the transfer) through the real codec on a deterministic
+   witness word.  A corrected single error costs no extra time — the
+   correction is combinational on the already-widened transfer; a
+   detected double falls back to the master's bounded retry. *)
+let ecc_check b (txn : Transaction.t) ~attempt ~flips =
+  let word =
+    Hashtbl.hash
+      (txn.Transaction.master, txn.Transaction.target, txn.Transaction.bytes,
+       attempt)
+    land 0xFFFF_FFFF
+  in
+  let p1 = word mod Ecc.code_bits in
+  let p2 = (p1 + 1 + (word / Ecc.code_bits mod (Ecc.code_bits - 1)))
+           mod Ecc.code_bits in
+  let corrupted =
+    if flips = 1 then Ecc.encode word lxor (1 lsl p1)
+    else Ecc.encode word lxor (1 lsl p1) lxor (1 lsl p2)
+  in
+  match Ecc.decode corrupted with
+  | Ecc.Corrected { word = w; _ } when flips = 1 && w = word ->
+      b.ecc_corrected <- b.ecc_corrected + 1;
+      charge_syndrome b;
+      if Obs.enabled () then Obs.incr_counter "bus.ecc_corrected";
+      `Corrected
+  | Ecc.Double_error | Ecc.Corrected _ | Ecc.Ok _ ->
+      b.ecc_double_errors <- b.ecc_double_errors + 1;
+      charge_syndrome b;
+      if Obs.enabled () then Obs.incr_counter "bus.ecc_double";
+      `Uncorrectable
+
 let transfer ?(priority = 8) b (txn : Transaction.t) =
   let t_request = Time.to_ns (Proc.now ()) in
   if b.start_ns = None then b.start_ns <- Some t_request;
@@ -178,11 +233,35 @@ let transfer ?(priority = 8) b (txn : Transaction.t) =
     b.busy_ns <- b.busy_ns + dur_ns;
     ms.busy_ns <- ms.busy_ns + dur_ns;
     ms.wait_ns <- ms.wait_ns + (t_grant - t_attempt);
-    let resp =
-      match b.fault with None -> Okay | Some h -> h txn ~attempt
+    let verdict =
+      let flips =
+        match b.corruption with None -> 0 | Some h -> h txn ~attempt
+      in
+      if flips > 0 then
+        if b.ecc then
+          match ecc_check b txn ~attempt ~flips with
+          | `Corrected -> `Good  (* masked in place, no retry round-trip *)
+          | `Uncorrectable -> `Bad "bus.ecc_double"
+        else begin
+          (* unprotected bus: the corrupted transfer surfaces as an AHB
+             ERROR response and pays the full retry round-trip *)
+          b.error_responses <- b.error_responses + 1;
+          `Bad "bus.error"
+        end
+      else
+        match
+          (match b.fault with None -> Okay | Some h -> h txn ~attempt)
+        with
+        | Okay -> `Good
+        | Error ->
+            b.error_responses <- b.error_responses + 1;
+            `Bad "bus.error"
+        | Retry ->
+            b.retry_responses <- b.retry_responses + 1;
+            `Bad "bus.retry"
     in
-    match resp with
-    | Okay ->
+    match verdict with
+    | `Good ->
         b.total_transactions <- b.total_transactions + 1;
         (match txn.Transaction.kind with
         | Transaction.Bitstream ->
@@ -206,10 +285,7 @@ let transfer ?(priority = 8) b (txn : Transaction.t) =
             sp
         end;
         release b
-    | (Error | Retry) as r ->
-        (match r with
-        | Error -> b.error_responses <- b.error_responses + 1
-        | _ -> b.retry_responses <- b.retry_responses + 1);
+    | `Bad event_name ->
         release b;
         if Obs.enabled () then
           Obs.event ~severity:Symbad_obs.Severity.Warn
@@ -220,7 +296,7 @@ let transfer ?(priority = 8) b (txn : Transaction.t) =
                 ("attempt", Json.Int attempt);
               ]
             ~sim_ns:(Time.to_ns (Proc.now ()))
-            (match r with Error -> "bus.error" | _ -> "bus.retry");
+            event_name;
         if attempt >= b.max_retries || not (may_retry b) then begin
           b.failed_transfers <- b.failed_transfers + 1;
           if Obs.enabled () then
@@ -252,6 +328,8 @@ type report = {
   error_responses : int;
   retry_responses : int;
   failed_transfers : int;
+  ecc_corrected : int;
+  ecc_double_errors : int;
   utilisation : float;  (* busy time / observed activity window *)
   per_master : (string * master_stats) list;
 }
@@ -273,6 +351,8 @@ let report b =
     error_responses = b.error_responses;
     retry_responses = b.retry_responses;
     failed_transfers = b.failed_transfers;
+    ecc_corrected = b.ecc_corrected;
+    ecc_double_errors = b.ecc_double_errors;
     utilisation =
       (if b.total_transactions = 0 || window <= 0 then 0.
        else float_of_int b.busy_ns /. float_of_int window);
@@ -288,6 +368,9 @@ let pp_report fmt r =
   if r.error_responses + r.retry_responses + r.failed_transfers > 0 then
     Fmt.pf fmt " errors=%d retries=%d failed=%d" r.error_responses
       r.retry_responses r.failed_transfers;
+  if r.ecc_corrected + r.ecc_double_errors > 0 then
+    Fmt.pf fmt " ecc_corrected=%d ecc_double=%d" r.ecc_corrected
+      r.ecc_double_errors;
   List.iter
     (fun (m, (s : master_stats)) ->
       Fmt.pf fmt "@.  %s: %d txns, %dB, busy %dns, waited %dns" m

@@ -34,20 +34,41 @@ val create :
   ?arbitration_cycles:int ->
   ?setup_cycles:int ->
   ?max_retries:int ->
+  ?ecc:bool ->
   string ->
   t
 (** [create name] with defaults: 32-bit bus ([width_bytes = 4]),
     100 MHz ([period_ns = 10]), 1 arbitration and 1 setup cycle,
-    [max_retries = 3] re-attempts after a faulted response. *)
+    [max_retries = 3] re-attempts after a faulted response.
+
+    With [ecc] (default [false]) every transfer is SEC-DED protected
+    ({!Ecc}): payloads travel as 39-bit codewords per 32 data bits —
+    {!transfer_cycles} charges the widened transfer on every
+    transaction, faulted or not — single-bit corruptions (see
+    {!inject_corruption}) are corrected in place with no retry
+    round-trip, and double-bit corruptions are detected and fall back
+    to the bounded retry. *)
 
 val name : t -> string
 val period_ns : t -> int
+
+val ecc : t -> bool
+(** Whether this bus was created with SEC-DED protection. *)
 
 val inject_faults : t -> (Transaction.t -> attempt:int -> response) option -> unit
 (** Install (or with [None] remove) the slave-response hook.  The hook
     sees the transaction and the 0-based attempt number, and must be
     deterministic for reproducible campaigns.  Without a hook every
     response is [Okay] — the exact pre-fault behaviour. *)
+
+val inject_corruption : t -> (Transaction.t -> attempt:int -> int) option -> unit
+(** Install (or remove) the in-flight corruption hook: the hook returns
+    how many bits of one coded word of the transfer were flipped ([0] =
+    clean).  On an ECC bus a single flip is corrected in place (counted
+    in [ecc_corrected], the transfer completes normally) and a double
+    flip is detected ([ecc_double_errors]) and retried; each syndrome
+    charges one governor pattern.  On a plain bus any corruption
+    surfaces as an ERROR response.  Must be deterministic. *)
 
 val govern : t -> Symbad_gov.Gov.t -> unit
 (** Charge each retry attempt against [gov] (one pattern per extra
@@ -82,6 +103,8 @@ type report = {
   error_responses : int;  (** injected ERROR responses observed *)
   retry_responses : int;  (** injected RETRY responses observed *)
   failed_transfers : int;  (** transfers that exhausted their retries *)
+  ecc_corrected : int;  (** single-bit corruptions corrected in place *)
+  ecc_double_errors : int;  (** double-bit corruptions detected *)
   utilisation : float;  (** busy time over the observed activity window *)
   per_master : (string * master_stats) list;
 }

@@ -1,0 +1,78 @@
+(* SEC-DED error-correcting code for 32-bit bus words.
+
+   The core is the Hamming(38,32) code: 6 check bits at the power-of-two
+   positions 1,2,4,8,16,32 of a 38-position block, the 32 data bits at
+   the remaining positions.  That code has distance 3 — it corrects any
+   single-bit error but cannot tell a double from a single — so, as in
+   every deployed SEC-DED memory, it is extended with one overall parity
+   bit (position 0) to distance 4: single errors are corrected, double
+   errors are detected and never miscorrected.  The codeword is 39 bits
+   for 32 data bits, which is the 39/32 transfer widening the bus
+   charges in ECC mode. *)
+
+let data_bits = 32
+let code_bits = 39
+
+let is_pow2 p = p land (p - 1) = 0
+let parity_positions = [ 1; 2; 4; 8; 16; 32 ]
+
+(* The 32 non-power-of-two positions in 1..38, LSB-first data order. *)
+let data_positions =
+  List.filter (fun p -> not (is_pow2 p)) (List.init 38 (fun i -> i + 1))
+
+let bit cw p = (cw lsr p) land 1
+
+(* Parity of the Hamming group [p]: every position in 1..38 whose index
+   has bit [p] set (the group includes its own check position). *)
+let group_parity cw p =
+  List.fold_left
+    (fun acc q -> if q land p <> 0 then acc lxor bit cw q else acc)
+    0
+    (List.init 38 (fun i -> i + 1))
+
+let overall_parity cw =
+  List.fold_left (fun acc q -> acc lxor bit cw q) 0 (List.init 39 Fun.id)
+
+let encode word =
+  let word = word land 0xFFFF_FFFF in
+  let cw = ref 0 in
+  List.iteri
+    (fun i p -> if (word lsr i) land 1 = 1 then cw := !cw lor (1 lsl p))
+    data_positions;
+  List.iter
+    (fun p -> if group_parity !cw p = 1 then cw := !cw lor (1 lsl p))
+    parity_positions;
+  if overall_parity !cw = 1 then cw := !cw lor 1;
+  !cw
+
+let extract cw =
+  List.fold_left
+    (fun acc (i, p) -> acc lor (bit cw p lsl i))
+    0
+    (List.mapi (fun i p -> (i, p)) data_positions)
+
+(* With all check groups clean after encoding, the syndrome is the xor
+   of the flipped positions — for a single flip, its address. *)
+let syndrome cw =
+  List.fold_left
+    (fun s p -> if group_parity cw p = 1 then s lor p else s)
+    0 parity_positions
+
+type decoded =
+  | Ok of int
+  | Corrected of { word : int; bit : int }
+  | Double_error
+
+let decode cw =
+  let s = syndrome cw in
+  let odd = overall_parity cw = 1 in
+  if s = 0 && not odd then Ok (extract cw)
+  else if odd then
+    (* odd weight flipped: a single error.  [s] addresses it; [s = 0]
+       means the overall parity bit itself was hit. *)
+    if s <= 38 then Corrected { word = extract (cw lxor (1 lsl s)); bit = s }
+    else Double_error (* impossible under the <= 2-flip model *)
+  else
+    (* even number of flips but a non-zero syndrome: a double error —
+       detected, deliberately not "corrected" *)
+    Double_error

@@ -306,6 +306,127 @@ let fpga_verify_previous_on_switch () =
   check "in-place repair is not a context switch" 2 s.Fpga.reconfigurations;
   check "no silent noop" 0 s.Fpga.noop_reconfigurations
 
+(* satellite regression: an upset in a context that is NOT active is
+   repaired by a targeted scrub of that context's resource area, and the
+   active context keeps running undisturbed *)
+let fpga_scrub_repairs_inactive_context () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Fpga.reconfigure f ~bus ~master:"cpu" "c2";
+      (* c2 is active; the SEU lands in c1's resident frames *)
+      Alcotest.(check bool) "upset lands in inactive c1" true
+        (Fpga.upset_context f "c1");
+      Alcotest.(check bool) "active context clean" false
+        (Fpga.loaded_corrupted f);
+      Alcotest.(check bool) "c1 flagged" true
+        (Fpga.context_corrupted f (Fpga.find_context f "c1"));
+      let reconfigs_before = (Fpga.stats f).Fpga.reconfigurations in
+      Alcotest.(check bool) "targeted scrub repairs c1" true
+        (Fpga.scrub ~context:"c1" f ~bus ~master:"scrubber");
+      Alcotest.(check bool) "c1 repaired" false
+        (Fpga.context_corrupted f (Fpga.find_context f "c1"));
+      (* the repair never touched the active context *)
+      (match Fpga.loaded f with
+      | Some c -> Alcotest.(check string) "c2 still active" "c2" (Context.name c)
+      | None -> Alcotest.fail "active context lost");
+      check "no context switch" reconfigs_before
+        (Fpga.stats f).Fpga.reconfigurations;
+      Alcotest.(check bool) "active context still clean" false
+        (Fpga.loaded_corrupted f));
+  Sim.Kernel.run k;
+  check "repair counted as a scrub reload" 1 (Fpga.stats f).Fpga.scrub_reloads
+
+let tmr_fpga () =
+  Fpga.create ~capacity:600 ~copies:3
+    ~contexts:
+      [ Context.make "c1" [ r "dist" 100 ]; Context.make "c2" [ r "root" 80 ] ]
+    "fpga"
+
+let fpga_tmr_create_validates () =
+  Alcotest.(check bool) "copies=2 rejected" true
+    (try
+       ignore
+         (Fpga.create ~copies:2 ~contexts:[ Context.make "c" [ r "a" 10 ] ] "f");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "3 copies must fit" true
+    (try
+       ignore
+         (Fpga.create ~capacity:250 ~copies:3
+            ~contexts:[ Context.make "c" [ r "a" 100 ] ]
+            "f");
+       false
+     with Invalid_argument _ -> true);
+  check "redundancy degree" 3 (Fpga.copies (tmr_fpga ()))
+
+let fpga_tmr_vote_masks_and_repairs () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = tmr_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Alcotest.(check bool) "clean vote" true (Fpga.vote_and_repair f = `Clean);
+      Alcotest.(check bool) "upset copy 1" true (Fpga.upset_loaded ~copy:1 f);
+      Alcotest.(check bool) "corrupt until voted" true (Fpga.loaded_corrupted f);
+      let t0 = Sim.Time.to_ns (Sim.Process.now ()) in
+      Alcotest.(check bool) "lone dissenter masked" true
+        (Fpga.vote_and_repair f = `Masked);
+      (* the targeted repair rides the internal configuration port,
+         overlapping voted operation: zero simulated time *)
+      check "repair takes no simulated time" t0
+        (Sim.Time.to_ns (Sim.Process.now ()));
+      Alcotest.(check bool) "repaired" false (Fpga.loaded_corrupted f);
+      Alcotest.(check bool) "clean again" true (Fpga.vote_and_repair f = `Clean);
+      (* two corrupted copies defeat the vote *)
+      ignore (Fpga.upset_loaded ~copy:0 f);
+      ignore (Fpga.upset_loaded ~copy:2 f);
+      Alcotest.(check bool) "double upset defeats the vote" true
+        (Fpga.vote_and_repair f = `Corrupt));
+  Sim.Kernel.run k;
+  let s = Fpga.stats f in
+  check "one disagreement" 1 s.Fpga.voter_disagreements;
+  check "one targeted repair" 1 s.Fpga.targeted_repairs;
+  let bytes = Context.bitstream_bytes (Fpga.find_context f "c1") in
+  check "one copy's frames rewritten" bytes s.Fpga.repair_bytes;
+  check "all three copies consume area" 300 s.Fpga.area_loaded
+
+let fpga_simplex_vote_never_masks () =
+  let k = Sim.Kernel.create () in
+  let bus = Tlm.Bus.create "bus" in
+  let f = two_ctx_fpga () in
+  Sim.Kernel.spawn k (fun () ->
+      Fpga.reconfigure f ~bus ~master:"cpu" "c1";
+      Alcotest.(check bool) "clean" true (Fpga.vote_and_repair f = `Clean);
+      ignore (Fpga.upset_loaded f);
+      Alcotest.(check bool) "simplex upset is corrupt, not masked" true
+        (Fpga.vote_and_repair f = `Corrupt));
+  Sim.Kernel.run k;
+  check "no voter on a simplex fabric" 0 (Fpga.stats f).Fpga.voter_disagreements
+
+(* the detection bound the CRC'd download and readback scrub stand on:
+   a single flipped bit anywhere in the word stream always moves the
+   CRC-32 (linearity: the remainder of a one-bit difference is never 0) *)
+let qcheck_crc_detects_any_single_bit_flip =
+  QCheck.Test.make ~name:"any single-bit flip changes the CRC" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 16) (map (fun w -> w land 0xFFFF_FFFF) int))
+        small_nat (int_bound 31))
+    (fun (words, word_idx, bit) ->
+      let words = Array.of_list words in
+      let n = Array.length words in
+      let idx = word_idx mod n in
+      let clean = Crc.words (fun i -> words.(i)) n in
+      let flipped =
+        Crc.words
+          (fun i -> if i = idx then words.(i) lxor (1 lsl bit) else words.(i))
+          n
+      in
+      clean <> flipped)
+
 let fpga_stuck_resource () =
   let f = two_ctx_fpga () in
   Alcotest.(check bool) "responding" true (Fpga.responding f "dist");
@@ -334,7 +455,8 @@ let fpga_pp_stats_fields () =
     [
       "reconfigs="; "noop="; "bitstream="; "reconfig_time="; "calls=";
       "crc_mismatches="; "retried_dl="; "failed_dl="; "scrubs=";
-      "scrub_reloads="; "watchdog=";
+      "scrub_reloads="; "watchdog="; "copies="; "disagreements=";
+      "targeted="; "repair="; "area=";
     ]
 
 let suite =
@@ -356,6 +478,14 @@ let suite =
       fpga_scrub_reloads_upset;
     Alcotest.test_case "fpga verify-previous on switch" `Quick
       fpga_verify_previous_on_switch;
+    Alcotest.test_case "fpga scrub repairs inactive context" `Quick
+      fpga_scrub_repairs_inactive_context;
+    Alcotest.test_case "fpga tmr create validates" `Quick
+      fpga_tmr_create_validates;
+    Alcotest.test_case "fpga tmr vote masks and repairs" `Quick
+      fpga_tmr_vote_masks_and_repairs;
+    Alcotest.test_case "fpga simplex vote never masks" `Quick
+      fpga_simplex_vote_never_masks;
     Alcotest.test_case "fpga stuck resource" `Quick fpga_stuck_resource;
     Alcotest.test_case "fpga pp_stats fields" `Quick fpga_pp_stats_fields;
     Alcotest.test_case "placement evaluate" `Quick placement_evaluate;
@@ -371,4 +501,5 @@ let suite =
       greedy_rejects_oversized_resource;
     QCheck_alcotest.to_alcotest qcheck_greedy_never_worse_than_singletons;
     QCheck_alcotest.to_alcotest qcheck_placement_single_context_optimal;
+    QCheck_alcotest.to_alcotest qcheck_crc_detects_any_single_bit_flip;
   ]

@@ -132,6 +132,56 @@ let simulator_at_max_flag () =
   done;
   check "at_max" 1 (Bitvec.to_int (Simulator.output sim ~inputs:en "at_max"))
 
+(* --- TMR: triplication structure and fault-free transparency --- *)
+
+let tmr_triplicate_structure () =
+  let nl = Rtl_lib.counter ~width:4 in
+  let tmr = Tmr.triplicate nl in
+  check "three copies of every register"
+    (3 * List.length (Netlist.registers nl))
+    (List.length (Netlist.registers tmr));
+  List.iter
+    (fun (r : Netlist.register) ->
+      for i = 0 to 2 do
+        check_bool
+          (Printf.sprintf "copy %d of %s present" i r.Netlist.name)
+          true
+          (List.exists
+             (fun (c : Netlist.register) ->
+               String.equal c.Netlist.name (Tmr.copy_reg i r.Netlist.name))
+             (Netlist.registers tmr))
+      done)
+    (Netlist.registers nl);
+  let outs = List.map fst (Netlist.outputs tmr) in
+  List.iter
+    (fun name ->
+      check_bool (Printf.sprintf "output %s kept" name) true
+        (List.mem name outs))
+    (List.map fst (Netlist.outputs nl));
+  List.iter
+    (fun flag -> check_bool (flag ^ " added") true (List.mem flag outs))
+    [ "tmr_disagree0"; "tmr_disagree1"; "tmr_disagree2"; "tmr_disagree" ]
+
+let tmr_transparent_without_faults () =
+  (* lock-step: with shared inputs and no injected upset, the voted
+     outputs track the simplex netlist cycle for cycle and every
+     disagreement flag stays low *)
+  let nl = Rtl_lib.counter ~width:4 in
+  let plain = Simulator.create nl and voted = Simulator.create (Tmr.triplicate nl) in
+  let en = [ ("enable", bv 1 1); ("clear", bv 1 0) ] in
+  for cyc = 1 to 20 do
+    Simulator.step plain ~inputs:en;
+    Simulator.step voted ~inputs:en;
+    check
+      (Printf.sprintf "voted count, cycle %d" cyc)
+      (Bitvec.to_int (Simulator.output plain ~inputs:en "count"))
+      (Bitvec.to_int (Simulator.output voted ~inputs:en "count"));
+    check
+      (Printf.sprintf "no disagreement, cycle %d" cyc)
+      0
+      (Bitvec.to_int (Simulator.output voted ~inputs:en "tmr_disagree"))
+  done
+
 (* --- ROOT datapath vs the behavioural model --- *)
 
 let run_root sim n =
@@ -600,6 +650,10 @@ let suite =
     Alcotest.test_case "simulator: counter" `Quick simulator_counter;
     Alcotest.test_case "simulator: counter wraps" `Quick simulator_counter_wraps;
     Alcotest.test_case "simulator: at_max flag" `Quick simulator_at_max_flag;
+    Alcotest.test_case "tmr triplicate structure" `Quick
+      tmr_triplicate_structure;
+    Alcotest.test_case "tmr transparent without faults" `Quick
+      tmr_transparent_without_faults;
     Alcotest.test_case "ROOT datapath exhaustive (8-bit)" `Quick
       root_datapath_exhaustive;
     Alcotest.test_case "ROOT latency fixed" `Quick root_latency_fixed;

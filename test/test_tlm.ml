@@ -314,6 +314,93 @@ let qcheck_transfer_monotone =
       let ca = Bus.transfer_cycles bus a and cb = Bus.transfer_cycles bus b in
       if a <= b then ca <= cb else ca >= cb)
 
+(* --- SEC-DED ECC: the codec and the protected bus --- *)
+
+let word_gen = QCheck.map (fun w -> w land 0xFFFF_FFFF) QCheck.int
+
+let qcheck_ecc_roundtrip =
+  QCheck.Test.make ~name:"ecc clean codeword decodes to the data" ~count:200
+    word_gen
+    (fun w -> Ecc.decode (Ecc.encode w) = Ecc.Ok w)
+
+(* every one of the 39 possible single-bit flips is corrected, back to
+   the exact data word and naming the exact flipped position *)
+let qcheck_ecc_corrects_every_single_flip =
+  QCheck.Test.make ~name:"ecc corrects every single-bit flip" ~count:100
+    word_gen
+    (fun w ->
+      let cw = Ecc.encode w in
+      List.for_all
+        (fun bit ->
+          Ecc.decode (cw lxor (1 lsl bit)) = Ecc.Corrected { word = w; bit })
+        (List.init Ecc.code_bits Fun.id))
+
+(* every one of the 39*38/2 double flips is detected and never
+   miscorrected — the distance-4 guarantee the retry path stands on *)
+let qcheck_ecc_detects_every_double_flip =
+  QCheck.Test.make ~name:"ecc detects (never miscorrects) double flips"
+    ~count:40 word_gen
+    (fun w ->
+      let cw = Ecc.encode w in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i >= j
+              || Ecc.decode (cw lxor (1 lsl i) lxor (1 lsl j))
+                 = Ecc.Double_error)
+            (List.init Ecc.code_bits Fun.id))
+        (List.init Ecc.code_bits Fun.id))
+
+let ecc_transfer_widening () =
+  let plain = Bus.create ~width_bytes:4 ~period_ns:10 ~arbitration_cycles:1
+      ~setup_cycles:1 "plain" in
+  let ecc = Bus.create ~ecc:true ~width_bytes:4 ~period_ns:10
+      ~arbitration_cycles:1 ~setup_cycles:1 "ecc" in
+  Alcotest.(check bool) "ecc flag" true (Bus.ecc ecc);
+  Alcotest.(check bool) "plain flag" false (Bus.ecc plain);
+  (* 4 data bytes ride as ceil(4*39/32) = 5 coded bytes: 2 beats *)
+  check "plain word" 3 (Bus.transfer_cycles plain 4);
+  check "coded word" 4 (Bus.transfer_cycles ecc 4);
+  (* 32 data bytes -> 39 coded bytes: 10 beats instead of 8 *)
+  check "plain burst" 10 (Bus.transfer_cycles plain 32);
+  check "coded burst" 12 (Bus.transfer_cycles ecc 32)
+
+let write_txn =
+  Transaction.make ~master:"m" ~target:"mem" ~kind:Transaction.Write ~bytes:4
+
+let run_corrupted ~ecc ~flips =
+  let k = Sim.Kernel.create () in
+  let b = Bus.create ~ecc "bus" in
+  Bus.inject_corruption b
+    (Some (fun _txn ~attempt -> if attempt = 0 then flips else 0));
+  Sim.Kernel.spawn k (fun () -> Bus.transfer b write_txn);
+  Sim.Kernel.run k;
+  Bus.report b
+
+let bus_ecc_corrects_single () =
+  let r = run_corrupted ~ecc:true ~flips:1 in
+  check "corrected in place" 1 r.Bus.ecc_corrected;
+  check "no double" 0 r.Bus.ecc_double_errors;
+  (* the masking is free of the retry round-trip: no ERROR, no retry,
+     the first attempt completes *)
+  check "no error responses" 0 r.Bus.error_responses;
+  check "no failed transfers" 0 r.Bus.failed_transfers;
+  check "one transaction" 1 r.Bus.transactions
+
+let bus_ecc_double_recovers_by_retry () =
+  let r = run_corrupted ~ecc:true ~flips:2 in
+  check "double detected" 1 r.Bus.ecc_double_errors;
+  check "nothing miscorrected" 0 r.Bus.ecc_corrected;
+  check "recovered by retry" 1 r.Bus.transactions;
+  check "no failed transfers" 0 r.Bus.failed_transfers
+
+let bus_unprotected_corruption_is_an_error () =
+  let r = run_corrupted ~ecc:false ~flips:1 in
+  check "surfaces as ERROR" 1 r.Bus.error_responses;
+  check "no ecc counters" 0 (r.Bus.ecc_corrected + r.Bus.ecc_double_errors);
+  check "recovered by retry" 1 r.Bus.transactions
+
 let suite =
   [
     Alcotest.test_case "transfer cost model" `Quick transfer_cost;
@@ -342,4 +429,14 @@ let suite =
     Alcotest.test_case "database in flash memory over the bus" `Quick
       database_in_flash_memory;
     QCheck_alcotest.to_alcotest qcheck_transfer_monotone;
+    QCheck_alcotest.to_alcotest qcheck_ecc_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ecc_corrects_every_single_flip;
+    QCheck_alcotest.to_alcotest qcheck_ecc_detects_every_double_flip;
+    Alcotest.test_case "ecc transfer widening" `Quick ecc_transfer_widening;
+    Alcotest.test_case "ecc bus corrects a single flip in place" `Quick
+      bus_ecc_corrects_single;
+    Alcotest.test_case "ecc bus recovers a double flip by retry" `Quick
+      bus_ecc_double_recovers_by_retry;
+    Alcotest.test_case "unprotected bus corruption is an ERROR" `Quick
+      bus_unprotected_corruption_is_an_error;
   ]
