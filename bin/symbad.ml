@@ -430,23 +430,28 @@ let prop_pairs props =
 (* The lintable corpus.  Netlists are linted WITH their properties:
    property cones keep verification-only registers (recovery's [nsave],
    [nonop]) live, so lint agrees with what the engines actually read. *)
-let lint_reports c target rules =
+let lint_reports c target rules ~escalate ~programs =
   let module Lint = Symbad_lint.Lint in
   with_pool c (fun pool ->
       let gov = gov_of ~label:"lint" c in
+      (* --escalate folds model-checker verdicts into the warnings that
+         carry obligations; the escalation runs under the same governor
+         and is byte-identical at any --jobs width. *)
+      let netlist ?(properties = []) nl =
+        let r = Lint.run_netlist ~pool ?gov ?rules ~properties nl in
+        if escalate then Lint.escalate ~pool ?gov ~properties nl r else r
+      in
       let rtl () =
         List.map
           (fun (m : Level4.rtl_module) ->
-            Lint.run_netlist ~pool ?gov ?rules
-              ~properties:(prop_pairs m.Level4.properties)
+            netlist ~properties:(prop_pairs m.Level4.properties)
               m.Level4.netlist)
           (Level4.modules ())
       in
       let recovery () =
         let nl = Symbad_resil.Recovery.netlist () in
         [
-          Lint.run_netlist ~pool ?gov ?rules
-            ~properties:(prop_pairs (Symbad_resil.Recovery.properties nl))
+          netlist ~properties:(prop_pairs (Symbad_resil.Recovery.properties nl))
             nl;
         ]
       in
@@ -460,10 +465,29 @@ let lint_reports c target rules =
             Face_app.level3_refinement
         in
         let r = Level3.run graph m in
-        [
+        let base =
           Lint.run_program ~pool ?gov ?rules ~name:"instrumented software"
-            r.Level3.config_info r.Level3.instrumented_sw;
-        ]
+            r.Level3.config_info r.Level3.instrumented_sw
+        in
+        if programs < 2 then [ base ]
+        else
+          (* --programs N: admission analysis of N copies of the
+             reconfiguration program sharing the fabric.  The admission
+             deadline is the --deadline value (a design parameter here,
+             not the governor's wall clock — the report stays
+             deterministic). *)
+          let deadline_ns =
+            Option.map (fun s -> int_of_float (s *. 1e9)) c.deadline
+          in
+          let tenants =
+            List.init programs (fun i ->
+                (Printf.sprintf "tenant-%d" (i + 1), r.Level3.instrumented_sw))
+          in
+          [
+            base;
+            Lint.run_tenants ~pool ?gov ?rules ?deadline_ns
+              r.Level3.config_info tenants;
+          ]
       in
       match target with
       | "all" -> Some (rtl () @ recovery () @ program ())
@@ -473,23 +497,31 @@ let lint_reports c target rules =
       | "demo" ->
           (* the seeded defective netlist: a stable exercise target for
              the error path (comb loop + width + multiple drivers) *)
-          Some [ Lint.run_netlist ~pool ?gov ?rules Symbad_lint.Seeded.demo ]
+          Some [ netlist Symbad_lint.Seeded.demo ]
+      | "escalation" ->
+          (* the seeded escalation netlist: two net.range warnings with
+             obligations, one disprovable (the accumulator wraps) and one
+             provable (d + ~d never carries) — the stable exercise target
+             for --escalate *)
+          Some [ netlist Symbad_lint.Seeded.escalation ]
       | _ -> None)
 
-let run_lint target c rules_opt threshold markdown json =
+let run_lint target c rules_opt threshold escalate programs sarif markdown json
+    =
   let module Lint = Symbad_lint.Lint in
   let rules =
     Option.map
       (fun s -> List.map String.trim (String.split_on_char ',' s))
       rules_opt
   in
-  match lint_reports c target rules with
+  match lint_reports c target rules ~escalate ~programs with
   | exception Invalid_argument msg ->
       Format.eprintf "symbad: %s@." msg;
       2
   | None ->
       Format.eprintf
-        "symbad: unknown lint target %S (all|rtl|recovery|program|demo)@."
+        "symbad: unknown lint target %S \
+         (all|rtl|recovery|program|demo|escalation)@."
         target;
       2
   | Some reports ->
@@ -498,6 +530,9 @@ let run_lint target c rules_opt threshold markdown json =
       artefact ~what:"json report"
         (fun () -> Json.to_string (Lint.to_json merged) ^ "\n")
         json;
+      artefact ~what:"sarif report"
+        (fun () -> Json.to_string (Symbad_lint.Sarif.of_report merged) ^ "\n")
+        sarif;
       artefact ~what:"markdown report"
         (fun () -> String.concat "\n" (List.map Lint.to_markdown reports))
         markdown;
@@ -513,8 +548,9 @@ let lint_cmd =
          & info [] ~docv:"TARGET"
              ~doc:"What to lint: all (default), rtl (the level-4 modules), \
                    recovery (the recovery controller), program (the \
-                   instrumented reconfiguration software) or demo (a \
-                   seeded defective netlist).")
+                   instrumented reconfiguration software), demo (a \
+                   seeded defective netlist) or escalation (a seeded \
+                   netlist exercising $(b,--escalate)).")
   in
   let rules_arg =
     Arg.(value & opt (some string) None
@@ -534,9 +570,35 @@ let lint_cmd =
              ~doc:"Lowest severity that fails the run: error (default), \
                    warning or info.")
   in
+  let escalate_arg =
+    Arg.(value & flag
+         & info [ "escalate" ]
+             ~doc:"Lint-to-proof escalation: dispatch every warning that \
+                   carries a proof obligation to the model checker.  \
+                   Disproved warnings are promoted to errors with the \
+                   counterexample trace attached; proved ones demote to \
+                   info; inconclusive ones keep their severity.  Results \
+                   are byte-identical at any $(b,--jobs) width.")
+  in
+  let programs_arg =
+    Arg.(value & opt int 1
+         & info [ "programs" ] ~docv:"N"
+             ~doc:"Admission analysis: lint N concurrently admitted \
+                   copies of the reconfiguration program as tenants \
+                   sharing one fabric (program and all targets), running \
+                   the sched.* rules over their interleaved product.  \
+                   The admission deadline is $(b,--deadline).")
+  in
+  let sarif_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE"
+             ~doc:"Write the merged diagnostics as a SARIF 2.1.0 log \
+                   (\"-\" for stdout).")
+  in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const run_lint $ target_arg $ common_term $ rules_arg
-          $ threshold_arg $ markdown_arg $ json_arg)
+          $ threshold_arg $ escalate_arg $ programs_arg $ sarif_arg
+          $ markdown_arg $ json_arg)
 
 (* --- explore --- *)
 
@@ -839,7 +901,7 @@ let wrapper_cmd =
 
 (* --- report (the unified verification artefact) --- *)
 
-let run_report c trials no_faults no_timings markdown json trace =
+let run_report c trials no_faults no_timings escalate markdown json trace =
   let module Report = Symbad_report.Report in
   let w = workload c in
   let cache = cache_of c in
@@ -847,7 +909,7 @@ let run_report c trials no_faults no_timings markdown json trace =
     with_pool c (fun pool ->
         Report.assemble ~pool ?cache ~seed:c.seed ~workload:w
           ?budget:(budget_of c) ~faults:(not no_faults)
-          ~trials_per_kind:trials ())
+          ~trials_per_kind:trials ~escalate ())
   in
   let timings = not no_timings in
   (match (markdown, json) with
@@ -896,9 +958,19 @@ let report_cmd =
                    domain, governor spend as counter tracks; \"-\" for \
                    stdout).")
   in
+  let escalate_arg =
+    Arg.(value & flag
+         & info [ "escalate" ]
+             ~doc:"Escalate lint warnings with proof obligations to the \
+                   model checker (in the lint corpus and inside the \
+                   flow's level 4): proved warnings are re-emitted as \
+                   informational, disproved ones as errors with a \
+                   counterexample.")
+  in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const run_report $ common_term $ trials_arg $ no_faults_arg
-          $ no_timings_arg $ markdown_arg $ json_arg $ trace_arg)
+          $ no_timings_arg $ escalate_arg $ markdown_arg $ json_arg
+          $ trace_arg)
 
 (* --- bench --check (regression gate over the committed baselines) --- *)
 

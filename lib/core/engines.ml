@@ -41,13 +41,15 @@ let prop_pairs props =
 
 (* --- the static engine ------------------------------------------------ *)
 
-let lint ?gov ?pool ?jobs ~seed:_ (m : Level4.rtl_module) =
+let lint ?gov ?pool ?jobs ?(escalate = false) ~seed:_ (m : Level4.rtl_module) =
   with_jobs ?pool ?jobs @@ fun pool ->
+  let props = prop_pairs m.Level4.properties in
   let report, host_seconds =
     timed (fun () ->
-        Lint.run_netlist ~pool ?gov
-          ~properties:(prop_pairs m.Level4.properties)
-          m.Level4.netlist)
+        let r = Lint.run_netlist ~pool ?gov ~properties:props m.Level4.netlist in
+        if escalate then
+          Lint.escalate ~pool ?gov ~properties:props m.Level4.netlist r
+        else r)
   in
   { (Verdict.of_lint ~host_seconds report) with
     Verdict.name = Printf.sprintf "lint %s" m.Level4.module_name }

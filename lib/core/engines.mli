@@ -23,12 +23,16 @@ val lint :
   ?gov:Symbad_gov.Gov.t ->
   ?pool:Symbad_par.Par.pool ->
   ?jobs:int ->
+  ?escalate:bool ->
   seed:int ->
   Level4.rtl_module ->
   Verdict.t
 (** The static gate over the module's netlist with its properties in
     the cone ({!Symbad_lint.Lint.run_netlist} + {!Verdict.of_lint}):
-    any error ⇒ [Disproved], governor-skipped rules ⇒ [Inconclusive]. *)
+    any error ⇒ [Disproved], governor-skipped rules ⇒ [Inconclusive].
+    [escalate] folds model-checker verdicts into the warnings first
+    ({!Symbad_lint.Lint.escalate}), so a disproved warning reads as an
+    error here. *)
 
 val model_check :
   ?gov:Symbad_gov.Gov.t ->

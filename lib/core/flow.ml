@@ -102,8 +102,9 @@ let entry_verdicts level g =
              (Printf.sprintf "governor: %s" (Degrade.reason_string reason)));
       ]
 
-let run ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
-    ?(deadline_ns = 40_000_000) ?budget ?gov () =
+let run ?pool ?cache ?escalate ?(seed = 1)
+    ?(workload = Face_app.default_workload) ?(deadline_ns = 40_000_000)
+    ?budget ?gov () =
   let gov =
     match (gov, budget) with
     | Some g, _ -> g
@@ -287,7 +288,7 @@ let run ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
   let g4 = level_gov 4 in
   let entry4 = entry_verdicts 4 g4 in
   let t0 = Sys.time () in
-  let l4 = Level4.run ?pool ?cache ~gov:g4 () in
+  let l4 = Level4.run ?pool ?cache ?escalate ~gov:g4 () in
   let l4_seconds = Sys.time () -. t0 in
   (* the consolidated rows come straight off the module reports now
      (Level4 owns their shape); the table keeps its historical order —

@@ -35,6 +35,7 @@ val verification : check:string -> passed:bool -> string -> verification
 val run :
   ?pool:Symbad_par.Par.pool ->
   ?cache:Symbad_cache.Cache.t ->
+  ?escalate:bool ->
   ?seed:int ->
   ?workload:Face_app.workload ->
   ?deadline_ns:int ->
@@ -62,6 +63,10 @@ val run :
     ({!Level4.verify_module}): unchanged modules replay their stored
     rows ([cached: true] in the JSON) instead of re-running MC/PCC.
     Omitting it (the library default) never touches the filesystem.
+
+    [escalate] forwards to {!Level4.run}: level-4 lint warnings that
+    carry proof obligations are dispatched to the model checker and
+    folded back into the gate before MC/PCC run.
 
     [gov] overrides [budget] with a caller-built root governor — what
     `symbad report` uses to attach a {!Symbad_gov.Ledger} so the run's

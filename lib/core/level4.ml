@@ -255,7 +255,7 @@ let results_verdicts ~module_name (res : module_results) =
 
 (* --- the verdict cache ------------------------------------------------ *)
 
-let cache_key ~max_depth ~pcc_depth ~max_reg_bits gov m =
+let cache_key ~escalate ~max_depth ~pcc_depth ~max_reg_bits gov m =
   Symbad_cache.Key.make ~netlist:m.netlist ~props:m.properties
     ~budget:(Symbad_gov.Gov.budget gov)
     ~params:
@@ -263,6 +263,10 @@ let cache_key ~max_depth ~pcc_depth ~max_reg_bits gov m =
         ("max_depth", max_depth);
         ("pcc_depth", pcc_depth);
         ("max_reg_bits", max_reg_bits);
+        (* the lint gate's behaviour is part of the verdict: growing the
+           rule family or toggling escalation must miss stale entries *)
+        ("lint_rules", List.length Symbad_lint.Lint.netlist_rule_ids);
+        ("escalate", if escalate then 1 else 0);
       ]
     ()
 
@@ -323,15 +327,27 @@ let store_report cache key r =
 
 (* --- driving one module ----------------------------------------------- *)
 
-let verify_module_live ?pool ~gov ~max_depth ~pcc_depth ~max_reg_bits m =
+let verify_module_live ?pool ~gov ~escalate ~max_depth ~pcc_depth ~max_reg_bits
+    m =
   (* the static gate comes first, over a thin slice: a netlist the lint
      disproves never reaches the SAT engines.  Only errors gate —
      warnings and governor-skipped rules let verification proceed. *)
   let lint_gov = Symbad_gov.Gov.slice ~label:"lint" ~fraction:0.1 gov in
+  let prop_pairs =
+    List.map (fun p -> (Prop.name p, Prop.formula p)) m.properties
+  in
   let lint =
-    Symbad_lint.Lint.run_netlist ?pool ~gov:lint_gov
-      ~properties:(List.map (fun p -> (Prop.name p, Prop.formula p)) m.properties)
+    Symbad_lint.Lint.run_netlist ?pool ~gov:lint_gov ~properties:prop_pairs
       m.netlist
+  in
+  (* escalation runs before the gate so a disproved warning (promoted
+     to error, counterexample attached) keeps the SAT engines off *)
+  let lint =
+    if escalate && Symbad_lint.Lint.errors lint = 0 then
+      Symbad_lint.Lint.escalate ?pool
+        ~gov:(Symbad_gov.Gov.slice ~label:"lint.escalate" ~fraction:0.1 gov)
+        ~max_depth ~properties:prop_pairs m.netlist lint
+    else lint
   in
   if Symbad_lint.Lint.errors lint > 0 then
     { lint; gated = true; mc_reports = []; all_proved = false; pcc = None }
@@ -353,13 +369,14 @@ let verify_module_live ?pool ~gov ~max_depth ~pcc_depth ~max_reg_bits m =
              m.netlist m.properties);
     }
 
-let verify_module ?pool ?cache ?gov ?(max_depth = 12) ?(pcc_depth = 6)
-    ?(max_reg_bits = 4) m =
+let verify_module ?pool ?cache ?gov ?(escalate = false) ?(max_depth = 12)
+    ?(pcc_depth = 6) ?(max_reg_bits = 4) m =
   let gov = Symbad_gov.Gov.get gov in
   let key =
     match cache with
     | None -> None
-    | Some _ -> Some (cache_key ~max_depth ~pcc_depth ~max_reg_bits gov m)
+    | Some _ ->
+        Some (cache_key ~escalate ~max_depth ~pcc_depth ~max_reg_bits gov m)
   in
   let hit =
     match (cache, key) with
@@ -370,7 +387,8 @@ let verify_module ?pool ?cache ?gov ?(max_depth = 12) ?(pcc_depth = 6)
   | Some r -> r
   | None ->
       let res =
-        verify_module_live ?pool ~gov ~max_depth ~pcc_depth ~max_reg_bits m
+        verify_module_live ?pool ~gov ~escalate ~max_depth ~pcc_depth
+          ~max_reg_bits m
       in
       let lint_verdict, mc_verdict, pcc_verdict =
         results_verdicts ~module_name:m.module_name res
@@ -392,7 +410,7 @@ let verify_module ?pool ?cache ?gov ?(max_depth = 12) ?(pcc_depth = 6)
       | _ -> ());
       r
 
-let run ?pool ?cache ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
+let run ?pool ?cache ?gov ?escalate ?max_depth ?pcc_depth ?max_reg_bits () =
   let gov = Symbad_gov.Gov.get gov in
   let ms = modules () in
   (* per-module budget shares, fixed before any verification runs *)
@@ -401,8 +419,8 @@ let run ?pool ?cache ?gov ?max_depth ?pcc_depth ?max_reg_bits () =
     modules =
       List.map2
         (fun m g ->
-          verify_module ?pool ?cache ~gov:g ?max_depth ?pcc_depth ?max_reg_bits
-            m)
+          verify_module ?pool ?cache ~gov:g ?escalate ?max_depth ?pcc_depth
+            ?max_reg_bits m)
         ms shares;
   }
 

@@ -53,6 +53,7 @@ val verify_module :
   ?pool:Symbad_par.Par.pool ->
   ?cache:Symbad_cache.Cache.t ->
   ?gov:Symbad_gov.Gov.t ->
+  ?escalate:bool ->
   ?max_depth:int ->
   ?pcc_depth:int ->
   ?max_reg_bits:int ->
@@ -63,7 +64,12 @@ val verify_module :
     The lint gate runs first over a small budget slice; lint {e errors}
     (never warnings or governor skips) gate the expensive engines off —
     the module report then carries the diagnostics instead of MC/PCC
-    results.  [gov] governs the rest of the module: half the remaining
+    results.  [escalate] (default off) additionally dispatches every
+    lint warning that carries a proof obligation to the model checker
+    over its own thin slice ({!Symbad_lint.Lint.escalate}) {e before}
+    the gate, so a disproved warning gates the module with its
+    counterexample attached.  [gov] governs the rest of the module:
+    half the remaining
     budget is sliced off for model checking, PCC runs over what is
     left; exhausted shares degrade to [Unknown] / [Unresolved] partial
     reports.
@@ -80,6 +86,7 @@ val run :
   ?pool:Symbad_par.Par.pool ->
   ?cache:Symbad_cache.Cache.t ->
   ?gov:Symbad_gov.Gov.t ->
+  ?escalate:bool ->
   ?max_depth:int ->
   ?pcc_depth:int ->
   ?max_reg_bits:int ->

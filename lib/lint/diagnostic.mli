@@ -2,9 +2,25 @@
 
     Every rule reports findings in this one shape so reports, verdicts
     and artefacts render uniformly regardless of which analyzer family
-    (netlist or reconfiguration) produced them. *)
+    (netlist, reconfiguration or schedule) produced them. *)
+
+val schema_version : int
+(** Version of the JSON rendering; every serialized diagnostic carries
+    it as [schema_version].  Bumped on incompatible shape changes. *)
 
 type severity = Error | Warning | Info
+
+(** Outcome of a lint-to-proof escalation ({!Lint.escalate}). *)
+type discharge_status =
+  | Proved  (** the obligation holds: the warning was a false positive *)
+  | Disproved  (** refuted with a counterexample: the warning is real *)
+  | Inconclusive  (** the engines ran out of budget or depth *)
+
+type discharge = {
+  status : discharge_status;
+  detail : string;  (** how the verdict was reached, e.g. ["k-induction, depth 3"] *)
+  counterexample : string option;  (** rendered trace when disproved *)
+}
 
 type t = {
   rule : string;  (** stable rule id, e.g. ["net.comb-loop"] *)
@@ -13,10 +29,12 @@ type t = {
   location : string;  (** where inside the target, e.g. ["output ack"] *)
   message : string;
   hint : string option;  (** how to fix it, when the rule knows *)
+  discharged : discharge option;  (** escalation verdict, when escalated *)
 }
 
 val make :
   ?hint:string ->
+  ?discharged:discharge ->
   rule:string ->
   severity:severity ->
   target:string ->
@@ -28,11 +46,19 @@ val severity_label : severity -> string
 val severity_of_string : string -> severity option
 
 val severity_rank : severity -> int
-(** [Error] ranks 0, [Warning] 1, [Info] 2 — lower is graver. *)
+(** [Error] ranks 0, [Warning] 1, [Info] 2 — lower is graver.  This is
+    the one severity ordering; every renderer (lint, report, SARIF)
+    sorts by it through {!order}. *)
+
+val discharge_label : discharge_status -> string
 
 val compare : t -> t -> int
 (** Severity rank, then rule id, then location, then message — the
     stable report order. *)
+
+val order : t list -> t list
+(** The canonical report order: stable sort by {!compare}.  Centralised
+    so [symbad lint] and [symbad report] render identically. *)
 
 val to_json : t -> Symbad_obs.Json.t
 val pp : Format.formatter -> t -> unit

@@ -1,10 +1,12 @@
 (* The pass framework: rule selection, governed parallel fan-out, one
-   report shape for both analyzer families. *)
+   report shape for all three analyzer families, and the lint-to-proof
+   escalation bridge into the model checker. *)
 
 module Par = Symbad_par.Par
 module Gov = Symbad_gov.Gov
 module Obs = Symbad_obs.Obs
 module Json = Symbad_obs.Json
+module Mc = Symbad_mc
 module D = Diagnostic
 
 type report = {
@@ -24,6 +26,10 @@ let netlist_rule_ids =
     "net.unused";
     "net.dead-logic";
     "net.no-reset";
+    "net.x-prop";
+    "net.range";
+    "net.unreachable-state";
+    "net.const-reg";
   ]
 
 let program_rule_ids =
@@ -35,7 +41,9 @@ let program_rule_ids =
     "cfg.unreachable-config";
   ]
 
-let all_rule_ids = netlist_rule_ids @ program_rule_ids
+let sched_rule_ids = [ "sched.context-conflict"; "sched.wcrt" ]
+
+let all_rule_ids = netlist_rule_ids @ program_rule_ids @ sched_rule_ids
 
 (* Selection: [rules] restricts (unknown ids rejected — a CLI typo must
    not read as "clean"), [suppress] disables but is recorded. *)
@@ -92,7 +100,7 @@ let run_rules ~target ~family ~impl ?pool ?gov ?rules ?suppress () =
       rules_run = to_run;
       suppressed;
       skipped_rules = skipped;
-      diagnostics = List.stable_sort D.compare diags;
+      diagnostics = D.order diags;
     }
   in
   if Obs.enabled () then
@@ -109,6 +117,10 @@ let run_netlist ?pool ?gov ?rules ?suppress ?properties nl =
     | "net.unused" -> Netlist_rules.rule_unused ctx
     | "net.dead-logic" -> Netlist_rules.rule_dead_logic ctx
     | "net.no-reset" -> Netlist_rules.rule_no_reset ctx
+    | "net.x-prop" -> Netlist_absint.rule_x_prop ctx
+    | "net.range" -> Netlist_absint.rule_range ctx
+    | "net.unreachable-state" -> Netlist_absint.rule_unreachable_state ctx
+    | "net.const-reg" -> Netlist_absint.rule_const_reg ctx
     | id -> invalid_arg ("Lint: not a netlist rule: " ^ id)
   in
   run_rules ~target:ctx.Netlist_rules.target ~family:netlist_rule_ids ~impl
@@ -130,6 +142,112 @@ let run_cfg ?pool ?gov ?rules ?suppress ?(name = "program") ci cfg =
 let run_program ?pool ?gov ?rules ?suppress ?name ci program =
   run_cfg ?pool ?gov ?rules ?suppress ?name ci (Symbad_symbc.Cfg.build program)
 
+let run_tenants ?pool ?gov ?rules ?suppress ?cost_ns ?deadline_ns
+    ?(name = "tenants") ci tenants =
+  let cfgs =
+    List.map (fun (n, prog) -> (n, Symbad_symbc.Cfg.build prog)) tenants
+  in
+  let ctx =
+    Sched_rules.context ?cost_ns ?deadline_ns ~target:name ci cfgs
+  in
+  let impl = function
+    | "sched.context-conflict" -> Sched_rules.rule_context_conflict ctx
+    | "sched.wcrt" -> Sched_rules.rule_wcrt ctx
+    | id -> invalid_arg ("Lint: not a schedule rule: " ^ id)
+  in
+  run_rules ~target:name ~family:sched_rule_ids ~impl ?pool ?gov ?rules
+    ?suppress ()
+
+(* --- lint-to-proof escalation ------------------------------------------ *)
+
+(* A warning that carries a definable obligation becomes a model-checker
+   query; the verdict folds back into the same diagnostic.  Verdicts
+   are folded in the obligations' deterministic order and the report is
+   re-sorted with [D.order], so escalated reports stay byte-identical
+   at any pool width (check_all splits the governor before its
+   fan-out). *)
+(* [max_conflicts] is deliberately far below the engine's own default:
+   escalation is a lint pass, not the level-4 gate, and an obligation
+   the solver cannot settle inside the allowance degrades to an
+   [Inconclusive] discharge (the warning keeps its severity) instead of
+   stalling the whole report.  Conflict counts are deterministic, so
+   the cap never breaks byte-identity across pool widths. *)
+let escalate ?pool ?gov ?(max_depth = 12) ?(max_conflicts = 2_000) ?properties
+    nl report =
+  let ctx = Netlist_rules.context ?properties nl in
+  let key (d : D.t) = (d.D.rule, d.D.location, d.D.message) in
+  let wanted =
+    List.filter
+      (fun (o : Netlist_absint.obligation) ->
+        List.exists
+          (fun (d : D.t) ->
+            d.D.discharged = None
+            && key d = (o.Netlist_absint.rule, o.Netlist_absint.location,
+                        o.Netlist_absint.message))
+          report.diagnostics)
+      (Netlist_absint.obligations ctx)
+  in
+  if wanted = [] then report
+  else begin
+    let mc_reports =
+      Mc.Engine.check_all ?pool ~max_depth ~max_conflicts ?gov nl
+        (List.map (fun (o : Netlist_absint.obligation) -> o.Netlist_absint.prop)
+           wanted)
+    in
+    let verdicts = List.combine wanted mc_reports in
+    let apply (d : D.t) =
+      match
+        List.find_opt
+          (fun ((o : Netlist_absint.obligation), _) ->
+            d.D.discharged = None
+            && key d = (o.Netlist_absint.rule, o.Netlist_absint.location,
+                        o.Netlist_absint.message))
+          verdicts
+      with
+      | None -> d
+      | Some (_, (mc : Mc.Engine.report)) -> (
+          match mc.Mc.Engine.verdict with
+          | Mc.Engine.Proved { method_; depth } ->
+              {
+                d with
+                D.severity = D.Info;
+                D.discharged =
+                  Some
+                    {
+                      D.status = D.Proved;
+                      detail = Printf.sprintf "%s, depth %d" method_ depth;
+                      counterexample = None;
+                    };
+              }
+          | Mc.Engine.Falsified tr ->
+              {
+                d with
+                D.severity = D.Error;
+                D.discharged =
+                  Some
+                    {
+                      D.status = D.Disproved;
+                      detail =
+                        Printf.sprintf "counterexample, %d frames"
+                          (Mc.Trace.length tr);
+                      counterexample = Some (Fmt.str "%a" Mc.Trace.pp tr);
+                    };
+              }
+          | Mc.Engine.Unknown { reason } ->
+              {
+                d with
+                D.discharged =
+                  Some
+                    {
+                      D.status = D.Inconclusive;
+                      detail = reason;
+                      counterexample = None;
+                    };
+              })
+    in
+    { report with diagnostics = D.order (List.map apply report.diagnostics) }
+  end
+
 let merge ~target reports =
   let union ls =
     List.fold_left
@@ -144,9 +262,7 @@ let merge ~target reports =
     rules_run = union (List.map (fun r -> r.rules_run) reports);
     suppressed = union (List.map (fun r -> r.suppressed) reports);
     skipped_rules = union (List.map (fun r -> r.skipped_rules) reports);
-    diagnostics =
-      List.stable_sort D.compare
-        (List.concat_map (fun r -> r.diagnostics) reports);
+    diagnostics = D.order (List.concat_map (fun r -> r.diagnostics) reports);
   }
 
 let count_at_least sev r =
@@ -161,6 +277,7 @@ let warnings r = count_at_least D.Warning r - errors r
 let to_json r =
   Json.Obj
     [
+      ("schema_version", Json.Int D.schema_version);
       ("lint", Json.Str r.target);
       ("rules_run", Json.List (List.map (fun s -> Json.Str s) r.rules_run));
       ("suppressed", Json.List (List.map (fun s -> Json.Str s) r.suppressed));
@@ -197,7 +314,15 @@ let to_markdown r =
 let pp fmt r =
   Fmt.pf fmt "lint %s: %d rules, %d errors, %d warnings@." r.target
     (List.length r.rules_run) (errors r) (warnings r);
-  List.iter (fun d -> Fmt.pf fmt "  %a@." D.pp d) r.diagnostics;
+  List.iter
+    (fun (d : D.t) ->
+      Fmt.pf fmt "  %a@." D.pp d;
+      match d.D.discharged with
+      | Some { D.counterexample = Some cex; _ } ->
+          String.split_on_char '\n' (String.trim cex)
+          |> List.iter (fun line -> Fmt.pf fmt "    %s@." line)
+      | _ -> ())
+    r.diagnostics;
   if r.skipped_rules <> [] then
     Fmt.pf fmt "  skipped (governor): %s@."
       (String.concat " " r.skipped_rules)

@@ -1,5 +1,6 @@
 (** The static-analysis pass framework: run rule families over a
-    netlist or a reconfiguration program, get one {!report}.
+    netlist, a reconfiguration program or a tenant set, get one
+    {!report}; escalate residual warnings to the model checker.
 
     Rules fan out per-rule on a [Symbad_par] pool under a [Symbad_gov]
     budget slice (one rule = one pattern); the allowance is read once
@@ -15,18 +16,27 @@ type report = {
   rules_run : string list;
   suppressed : string list;  (** intentionally disabled rule ids *)
   skipped_rules : string list;  (** unaffordable under the governor *)
-  diagnostics : Diagnostic.t list;  (** stable order, gravest first *)
+  diagnostics : Diagnostic.t list;  (** {!Diagnostic.order}, gravest first *)
 }
 
 val netlist_rule_ids : string list
-(** The netlist analyzer family, canonical order: [net.width],
-    [net.undriven], [net.multi-driven], [net.comb-loop], [net.unused],
-    [net.dead-logic], [net.no-reset]. *)
+(** The netlist analyzer family, canonical order: the syntactic rules
+    [net.width], [net.undriven], [net.multi-driven], [net.comb-loop],
+    [net.unused], [net.dead-logic], [net.no-reset], then the semantic
+    (abstract-interpretation) rules [net.x-prop], [net.range],
+    [net.unreachable-state], [net.const-reg]. *)
 
 val program_rule_ids : string list
 (** The reconfiguration analyzer family, canonical order:
     [cfg.never-loaded], [cfg.maybe-unloaded], [cfg.unknown-config],
     [cfg.redundant-config], [cfg.unreachable-config]. *)
+
+val sched_rule_ids : string list
+(** The multi-tenant schedule analyzer family:
+    [sched.context-conflict] (an interleaved tenant may reload the
+    shared fabric between a tenant's reconfiguration and its call) and
+    [sched.wcrt] (static worst-case reconfiguration-time bound vs the
+    admission deadline). *)
 
 val all_rule_ids : string list
 
@@ -68,9 +78,52 @@ val run_cfg :
   report
 (** {!run_program} over an already-built (possibly hand-built) CFG. *)
 
+val run_tenants :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?rules:string list ->
+  ?suppress:string list ->
+  ?cost_ns:(string -> int) ->
+  ?deadline_ns:int ->
+  ?name:string ->
+  Symbad_symbc.Config_info.t ->
+  (string * Symbad_symbc.Ast.program) list ->
+  report
+(** Admission analysis of a tenant set sharing one fabric: the
+    {!sched_rule_ids} family over every tenant pair's interleaved
+    product.  [cost_ns] prices one reconfiguration (default 1 ms);
+    [deadline_ns] enables [sched.wcrt] — without it only the
+    interference rule can fire. *)
+
+val escalate :
+  ?pool:Symbad_par.Par.pool ->
+  ?gov:Symbad_gov.Gov.t ->
+  ?max_depth:int ->
+  ?max_conflicts:int ->
+  ?properties:(string * Expr.t) list ->
+  Netlist.t ->
+  report ->
+  report
+(** Lint-to-proof escalation: every not-yet-discharged diagnostic of
+    [report] that carries a definable obligation
+    ({!Netlist_absint.obligations}) is dispatched to
+    {!Symbad_mc.Engine.check_all} under [gov], and the verdict is
+    folded back into the diagnostic as its [discharged] annotation —
+    proved demotes to [Info], disproved promotes to [Error] with the
+    counterexample trace attached, inconclusive leaves the severity
+    unchanged.  Diagnostics are never dropped.  Byte-identical at any
+    pool width.
+
+    [max_conflicts] (default 2_000, well below the engine's own
+    default) bounds the solver effort per obligation: escalation is a
+    lint pass, not the level-4 gate, so an obligation that does not
+    settle inside the allowance degrades to an [Inconclusive] discharge
+    rather than stalling the report.  Conflict budgets are counted
+    deterministically, so the cap preserves byte-identity. *)
+
 val merge : target:string -> report list -> report
 (** Concatenate reports into one (rule lists unioned in first-seen
-    order, diagnostics re-sorted). *)
+    order, diagnostics re-sorted with {!Diagnostic.order}). *)
 
 val errors : report -> int
 val warnings : report -> int
@@ -80,7 +133,9 @@ val count_at_least : Diagnostic.severity -> report -> int
 
 val to_json : report -> Symbad_obs.Json.t
 (** Timing-free by construction: byte-comparable across runs and
-    [--jobs] widths. *)
+    [--jobs] widths.  Carries [schema_version]
+    ({!Diagnostic.schema_version}) at the top level and on every
+    diagnostic. *)
 
 val to_markdown : report -> string
 val pp : Format.formatter -> report -> unit

@@ -1,0 +1,56 @@
+(** Forward abstract interpretation over netlist registers.
+
+    One fixpoint computes, per register, a {!Value_domain} abstraction
+    of every value the register can carry in any reachable cycle:
+    registers start at their reset value (or X when an explicit reset
+    input exists that their next-state cone ignores), inputs are the
+    full range every cycle, and the next-state functions are iterated —
+    with widening at the sequential back-edge — until stable.
+
+    The fixpoint powers the four semantic rules ([net.x-prop],
+    [net.range], [net.unreachable-state], [net.const-reg]) and the
+    proof obligations {!Lint.escalate} dispatches to the model checker.
+    Only structurally sound netlists are interpreted: a netlist
+    {!Symbad_hdl.Netlist.make} would reject yields no findings here —
+    the syntactic rules own those defects. *)
+
+type analysis
+
+val analyze :
+  ?properties:(string * Symbad_hdl.Expr.t) list ->
+  Symbad_hdl.Netlist.t ->
+  analysis option
+(** [None] when the netlist is not structurally sound. *)
+
+val reg_value : analysis -> string -> Value_domain.t option
+(** The register's abstract value at the fixpoint. *)
+
+val x_registers : analysis -> string list
+(** Registers modelled as X after reset: an explicit reset-like input
+    exists and their next-state cone never reads it. *)
+
+(** {1 The rule implementations} *)
+
+val rule_x_prop : Netlist_rules.ctx -> Diagnostic.t list
+val rule_range : Netlist_rules.ctx -> Diagnostic.t list
+val rule_unreachable_state : Netlist_rules.ctx -> Diagnostic.t list
+val rule_const_reg : Netlist_rules.ctx -> Diagnostic.t list
+
+(** {1 Lint-to-proof obligations} *)
+
+type obligation = {
+  rule : string;
+  location : string;
+  message : string;
+      (** [rule]/[location]/[message] key the diagnostic the obligation
+          belongs to — byte-identical to the one the rule reported *)
+  prop : Symbad_mc.Prop.t;
+      (** the residual proof obligation: an invariant whose refutation
+          confirms the warning and whose proof discharges it *)
+}
+
+val obligations : Netlist_rules.ctx -> obligation list
+(** Every definable obligation of the netlist's semantic warnings, in
+    deterministic rule order: [net.range] sites small enough to widen
+    within {!Symbad_hdl.Bitvec.max_width}, and [net.const-reg]
+    constancy claims. *)

@@ -1,0 +1,86 @@
+(* SARIF 2.1.0 rendering of a lint report — the minimal subset CI
+   annotators consume: one run, the rule catalogue under
+   tool.driver.rules, one result per diagnostic.  Severity maps
+   error/warning as-is and Info to SARIF's "note"; escalation verdicts
+   ride in the result's properties bag.  Diagnostics are already in
+   {!Diagnostic.order}, so the export is byte-stable. *)
+
+module Json = Symbad_obs.Json
+module D = Diagnostic
+
+let schema_uri =
+  "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of_severity = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let rule_entry id = Json.Obj [ ("id", Json.Str id) ]
+
+let result_of_diag (d : D.t) =
+  let properties =
+    (match d.D.hint with None -> [] | Some h -> [ ("hint", Json.Str h) ])
+    @
+    match d.D.discharged with
+    | None -> []
+    | Some g ->
+        [
+          ("discharged", Json.Str (D.discharge_label g.D.status));
+          ("dischargeDetail", Json.Str g.D.detail);
+        ]
+        @ (match g.D.counterexample with
+          | None -> []
+          | Some cex -> [ ("counterexample", Json.Str cex) ])
+  in
+  Json.Obj
+    ([
+       ("ruleId", Json.Str d.D.rule);
+       ("level", Json.Str (level_of_severity d.D.severity));
+       ("message", Json.Obj [ ("text", Json.Str d.D.message) ]);
+       ( "locations",
+         Json.List
+           [
+             Json.Obj
+               [
+                 ( "logicalLocations",
+                   Json.List
+                     [
+                       Json.Obj
+                         [
+                           ( "fullyQualifiedName",
+                             Json.Str (d.D.target ^ ":" ^ d.D.location) );
+                         ];
+                     ] );
+               ];
+           ] );
+     ]
+    @ if properties = [] then [] else [ ("properties", Json.Obj properties) ])
+
+let of_report (r : Lint.report) =
+  Json.Obj
+    [
+      ("$schema", Json.Str schema_uri);
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str "symbad-lint");
+                            ( "rules",
+                              Json.List
+                                (List.map rule_entry r.Lint.rules_run) );
+                          ] );
+                    ] );
+                ( "results",
+                  Json.List (List.map result_of_diag r.Lint.diagnostics) );
+              ];
+          ] );
+    ]

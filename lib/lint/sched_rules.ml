@@ -1,0 +1,250 @@
+(* The multi-tenant schedule analyzer family.
+
+   Tenants are reconfiguration programs admitted to one shared fabric.
+   Solo, each may be clean under [Program_rules]'s may-analysis; the
+   hazard this family adds is *interleaving*: between a tenant's
+   reconfiguration and its FPGA call, another tenant may reload the
+   fabric.  The interference analysis runs the same may-loaded fixpoint
+   over the product of two CFGs — nodes are pairs, edges interleave one
+   step of either tenant, the fabric state is shared and [Reconfig] is
+   still a strong update — so a call that is provably loaded solo can
+   become maybe-unloaded in the product, which is exactly the
+   context-conflict finding.
+
+   The second rule is admission-time feasibility: each tenant's
+   worst-case reconfiguration time is a longest-path bound over its own
+   CFG (reconfiguration edges cost, everything else is free), compared
+   against the deadline the admission contract grants.  A
+   reconfiguration inside a loop has no static bound and is rejected
+   outright. *)
+
+module Cfg = Symbad_symbc.Cfg
+module Ci = Symbad_symbc.Config_info
+module D = Diagnostic
+
+module States = Set.Make (struct
+  type t = string option
+
+  let compare = Option.compare String.compare
+end)
+
+type ctx = {
+  target : string;
+  ci : Ci.t;
+  tenants : (string * Cfg.t) list;
+  cost_ns : string -> int;  (** reconfiguration cost per configuration *)
+  deadline_ns : int option;  (** admission deadline; [None] disables wcrt *)
+}
+
+(* A fabric reload is dominated by bitstream transfer; 1 ms is the
+   order of magnitude the paper's platform reports. *)
+let default_cost_ns _config = 1_000_000
+
+let context ?(cost_ns = default_cost_ns) ?deadline_ns ?(target = "tenants") ci
+    tenants =
+  { target; ci; tenants; cost_ns; deadline_ns }
+
+let diag ctx ?hint ~rule ~severity ~location message =
+  D.make ?hint ~rule ~severity ~target:ctx.target ~location message
+
+let transfer (a : Cfg.action) s =
+  match a with
+  | Cfg.Reconfig c -> if States.is_empty s then s else States.singleton (Some c)
+  | Cfg.Nop | Cfg.Call _ -> s
+
+(* Solo may-analysis — same fixpoint as [Program_rules.may_states]. *)
+let solo_states (cfg : Cfg.t) =
+  let states = Array.make cfg.Cfg.nnodes States.empty in
+  states.(cfg.Cfg.entry) <- States.singleton None;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Cfg.edge) ->
+        let out = transfer e.Cfg.action states.(e.Cfg.src) in
+        let merged = States.union states.(e.Cfg.dst) out in
+        if not (States.equal merged states.(e.Cfg.dst)) then begin
+          states.(e.Cfg.dst) <- merged;
+          changed := true
+        end)
+      cfg.Cfg.edges
+  done;
+  states
+
+(* Interleaved-product may-analysis of tenants [a] and [b]: node
+   (u, v) indexed as [u * b.nnodes + v], fabric state shared. *)
+let product_states (a : Cfg.t) (b : Cfg.t) =
+  let nb = b.Cfg.nnodes in
+  let states = Array.make (a.Cfg.nnodes * nb) States.empty in
+  states.((a.Cfg.entry * nb) + b.Cfg.entry) <- States.singleton None;
+  let changed = ref true in
+  let relax src dst action =
+    let out = transfer action states.(src) in
+    let merged = States.union states.(dst) out in
+    if not (States.equal merged states.(dst)) then begin
+      states.(dst) <- merged;
+      changed := true
+    end
+  in
+  while !changed do
+    changed := false;
+    for v = 0 to nb - 1 do
+      List.iter
+        (fun (e : Cfg.edge) ->
+          relax ((e.Cfg.src * nb) + v) ((e.Cfg.dst * nb) + v) e.Cfg.action)
+        a.Cfg.edges
+    done;
+    for u = 0 to a.Cfg.nnodes - 1 do
+      List.iter
+        (fun (e : Cfg.edge) ->
+          relax ((u * nb) + e.Cfg.src) ((u * nb) + e.Cfg.dst) e.Cfg.action)
+        b.Cfg.edges
+    done
+  done;
+  states
+
+let providers ctx f s =
+  States.filter
+    (function
+      | Some c -> Ci.has_configuration ctx.ci c && Ci.provides ctx.ci ~config:c f
+      | None -> false)
+    s
+
+(* Deterministic edge order, as in [Program_rules]. *)
+let sorted_edges (cfg : Cfg.t) =
+  List.sort
+    (fun (a : Cfg.edge) (b : Cfg.edge) ->
+      compare
+        (a.Cfg.src, a.Cfg.dst, Cfg.action_to_string a.Cfg.action)
+        (b.Cfg.src, b.Cfg.dst, Cfg.action_to_string b.Cfg.action))
+    cfg.Cfg.edges
+
+(* --- sched.context-conflict -------------------------------------------- *)
+
+(* FPGA-call edges of [cfg] that the *solo* analysis already certifies:
+   reachable, and every may-state provides the function.  Calls the
+   solo analysis flags are [cfg.never-loaded]/[cfg.maybe-unloaded]
+   findings on the tenant itself, not interference. *)
+let solo_clean_calls ctx (cfg : Cfg.t) =
+  let solo = solo_states cfg in
+  List.filter_map
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.Call f when Ci.is_fpga_function ctx.ci f ->
+          let s = solo.(e.Cfg.src) in
+          if
+            (not (States.is_empty s))
+            && States.equal (providers ctx f s) s
+          then Some (e, f)
+          else None
+      | _ -> None)
+    (sorted_edges cfg)
+
+let rule_context_conflict ctx =
+  let seen = Hashtbl.create 8 in
+  let pair (an, a) (bn, b) =
+    let product = product_states a b in
+    let nb = b.Cfg.nnodes in
+    List.filter_map
+      (fun ((e : Cfg.edge), f) ->
+        (* Fabric states reachable at the call site under interleaving
+           with [b], over every position [b] may occupy. *)
+        let s = ref States.empty in
+        for v = 0 to nb - 1 do
+          s := States.union !s product.((e.Cfg.src * nb) + v)
+        done;
+        let bad = States.diff !s (providers ctx f !s) in
+        match States.elements bad with
+        | [] -> None
+        | witness :: _ ->
+            let c =
+              match witness with Some c -> c | None -> "(unloaded)"
+            in
+            let key = (an, bn, f, c) in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.replace seen key ();
+              Some
+                (diag ctx ~rule:"sched.context-conflict" ~severity:D.Warning
+                   ~location:(Printf.sprintf "tenants %s + %s" an bn)
+                   ~hint:
+                     "serialize the tenants or partition the fabric before \
+                      admission"
+                   (Printf.sprintf
+                      "call to '%s' in '%s' may run after '%s' reconfigures \
+                       the shared fabric to '%s'"
+                      f an bn c))
+            end)
+      (solo_clean_calls ctx a)
+  in
+  let rec pairs = function
+    | [] -> []
+    | t :: rest ->
+        List.concat_map (fun u -> pair t u @ pair u t) rest @ pairs rest
+  in
+  pairs ctx.tenants
+
+(* --- sched.wcrt -------------------------------------------------------- *)
+
+(* Longest-path relaxation: after [nnodes] rounds every acyclic path
+   has been accounted for; a round [nnodes + 1] change means a
+   positive-cost cycle — a reconfiguration inside a loop — so the bound
+   is unbounded. *)
+let wcrt_bound ctx (cfg : Cfg.t) =
+  let minf = min_int in
+  let dist = Array.make cfg.Cfg.nnodes minf in
+  dist.(cfg.Cfg.entry) <- 0;
+  let cost (a : Cfg.action) =
+    match a with Cfg.Reconfig c -> ctx.cost_ns c | Cfg.Nop | Cfg.Call _ -> 0
+  in
+  let relax_round () =
+    List.fold_left
+      (fun changed (e : Cfg.edge) ->
+        if dist.(e.Cfg.src) = minf then changed
+        else
+          let d = dist.(e.Cfg.src) + cost e.Cfg.action in
+          if d > dist.(e.Cfg.dst) then begin
+            dist.(e.Cfg.dst) <- d;
+            true
+          end
+          else changed)
+      false cfg.Cfg.edges
+  in
+  let changed = ref true in
+  for _ = 1 to cfg.Cfg.nnodes do
+    if !changed then changed := relax_round ()
+  done;
+  if relax_round () then None (* positive cycle: unbounded *)
+  else Some (Array.fold_left max 0 dist)
+
+let rule_wcrt ctx =
+  match ctx.deadline_ns with
+  | None -> []
+  | Some deadline ->
+      List.filter_map
+        (fun (name, cfg) ->
+          let mk =
+            diag ctx ~rule:"sched.wcrt" ~severity:D.Error
+              ~location:("tenant " ^ name)
+          in
+          match wcrt_bound ctx cfg with
+          | None ->
+              Some
+                (mk
+                   ~hint:
+                     "hoist the reconfiguration out of the loop or bound the \
+                      iteration count"
+                   "worst-case reconfiguration time is unbounded: a \
+                    reconfiguration sits inside a loop")
+          | Some bound when bound > deadline ->
+              Some
+                (mk
+                   ~hint:
+                     "raise the admission deadline or drop reconfigurations \
+                      from the longest path"
+                   (Printf.sprintf
+                      "worst-case reconfiguration time %d ns exceeds the \
+                       admission deadline %d ns"
+                      bound deadline))
+          | Some _ -> None)
+        ctx.tenants

@@ -19,13 +19,22 @@ let c ~width v = Expr.const ~width v
 
 (* --- netlist fixtures --------------------------------------------------- *)
 
-(* A well-formed 4-bit accumulator every clean variant derives from. *)
+(* Zero-extend by one bit: the explicit-widening idiom net.range asks
+   for — the widened add provably cannot wrap, and the slice back down
+   is a visible (intentional) truncation, not an arithmetic surprise. *)
+let widening_add a b ~width =
+  let zext e = Expr.concat (c ~width:1 0) e in
+  Expr.slice (Expr.add (zext a) (zext b)) ~hi:(width - 1) ~lo:0
+
+(* A well-formed 4-bit accumulator every clean variant derives from.
+   The modulo-16 accumulation is written with the explicit-widening
+   idiom so the semantic rules see the truncation is deliberate. *)
 let clean =
   let acc = Expr.reg "acc" and en = Expr.input "en" and d = Expr.input "d" in
   Netlist.make ~name:"seed_clean"
     ~inputs:[ ("en", 1); ("d", 4) ]
     ~registers:
-      [ reg "acc" 4 (z 4) (Expr.mux en (Expr.add acc d) acc) ]
+      [ reg "acc" 4 (z 4) (Expr.mux en (widening_add acc d ~width:4) acc) ]
     ~outputs:[ ("acc", acc) ]
 
 (* net.width: 8-bit next-state expression into a 4-bit register. *)
@@ -99,6 +108,59 @@ let no_reset =
       ]
     ~outputs:[ ("a", a); ("b", b) ]
 
+(* net.x-prop: register [sh] ignores the explicit reset, so it is X
+   after reset, and output [q] exposes it.  Register [a] is covered. *)
+let x_prop =
+  let a = Expr.reg "a" and sh = Expr.reg "sh" in
+  let rst = Expr.input "rst" and d = Expr.input "d" in
+  Netlist.make ~name:"seed_xprop"
+    ~inputs:[ ("rst", 1); ("d", 4) ]
+    ~registers:
+      [
+        reg "a" 4 (z 4) (Expr.mux rst (c ~width:4 0) d);
+        reg "sh" 4 (z 4) d;
+      ]
+    ~outputs:[ ("a", a); ("q", sh) ]
+
+(* net.range: an unguarded 4-bit accumulation — the abstract value of
+   [acc] widens to the full range, so the add can wrap. *)
+let range =
+  let acc = Expr.reg "acc" and d = Expr.input "d" in
+  Netlist.make ~name:"seed_range"
+    ~inputs:[ ("d", 4) ]
+    ~registers:[ reg "acc" 4 (z 4) (Expr.add acc d) ]
+    ~outputs:[ ("acc", acc) ]
+
+(* net.unreachable-state: [st] toggles between 0 and 2 (xor with 2),
+   so the state test against 5 is dead.  Xor is exact over small value
+   sets, which keeps the reachable set {0, 2} precise. *)
+let unreachable_state =
+  let st = Expr.reg "st" in
+  Netlist.make ~name:"seed_unreach" ~inputs:[]
+    ~registers:[ reg "st" 3 (z 3) (Expr.xor st (c ~width:3 2)) ]
+    ~outputs:[ ("dead", Expr.eq st (c ~width:3 5)) ]
+
+(* net.const-reg: [k] reloads itself, so it provably holds its reset
+   value forever. *)
+let const_reg =
+  let k = Expr.reg "k" and d = Expr.input "d" in
+  Netlist.make ~name:"seed_const"
+    ~inputs:[ ("d", 4) ]
+    ~registers:[ reg "k" 4 (Bitvec.make ~width:4 5) k ]
+    ~outputs:[ ("k", k); ("masked", Expr.and_ k d) ]
+
+(* The escalation fixture: two net.range warnings with opposite
+   verdicts.  The accumulator genuinely wraps (the model checker finds
+   a two-frame counterexample — disproved, promoted to error); the
+   output [s = d + ~d] is the all-ones constant 15 at width 4, so its
+   no-wrap obligation is proved and the warning demotes to info. *)
+let escalation =
+  let acc = Expr.reg "acc" and d = Expr.input "d" in
+  Netlist.make ~name:"seed_escalate"
+    ~inputs:[ ("d", 4) ]
+    ~registers:[ reg "acc" 4 (z 4) (Expr.add acc d) ]
+    ~outputs:[ ("acc", acc); ("s", Expr.add d (Expr.not_ d)) ]
+
 (* The acceptance demo: a combinational loop, a width mismatch and a
    multiply-driven net in one netlist. *)
 let demo =
@@ -129,6 +191,10 @@ let fixtures =
     ("net.unused", unused);
     ("net.dead-logic", dead_logic);
     ("net.no-reset", no_reset);
+    ("net.x-prop", x_prop);
+    ("net.range", range);
+    ("net.unreachable-state", unreachable_state);
+    ("net.const-reg", const_reg);
   ]
 
 (* --- program fixtures --------------------------------------------------- *)
@@ -180,3 +246,34 @@ let program_fixtures =
     ("cfg.unknown-config", program_unknown_config);
     ("cfg.redundant-config", program_redundant);
   ]
+
+(* --- tenant fixtures ---------------------------------------------------- *)
+
+(* sched.context-conflict: each tenant is solo-clean, but interleaved
+   on the one fabric either can reload between the other's
+   reconfiguration and call. *)
+let tenants_conflict =
+  [
+    ("edge-tenant", [ Ast.reconfig "c_edge"; Ast.call "edge" ]);
+    ("erosion-tenant", [ Ast.reconfig "c_erosion"; Ast.call "erosion" ]);
+  ]
+
+(* Clean: both tenants use the same configuration, so any interleaving
+   leaves a providing context loaded. *)
+let tenants_clean =
+  [
+    ("edge-a", [ Ast.reconfig "c_edge"; Ast.call "edge" ]);
+    ("edge-b", [ Ast.reconfig "c_edge"; Ast.call "edge" ]);
+  ]
+
+(* sched.wcrt: a reconfiguration inside a nondeterministic loop has no
+   static bound. *)
+let tenant_wcrt_unbounded =
+  [
+    ( "looping-tenant",
+      [ Ast.while_ [ Ast.reconfig "c_edge"; Ast.call "edge" ] ] );
+  ]
+
+(* Bounded: two reconfigurations on the longest path — 2 ms at the
+   default cost, admitted iff the deadline covers it. *)
+let tenant_wcrt_straight = [ ("straight-tenant", program_clean) ]

@@ -35,7 +35,8 @@ let input_valuations nl =
       in
       split idx inputs)
 
-let check ?(max_states = 1 lsl 20) ?(max_input_bits = 12) nl prop =
+let check ?(max_states = 1 lsl 20) ?(max_input_bits = 12)
+    ?(max_evals = 1 lsl 22) nl prop =
   let prop = Prop.validate nl prop in
   if total_input_bits nl > max_input_bits then Too_large
   else begin
@@ -99,11 +100,18 @@ let check ?(max_states = 1 lsl 20) ?(max_input_bits = 12) nl prop =
     in
     let exception Violation of Trace.t in
     let exception Blown_up in
+    (* Tractability is the PRODUCT of states and input valuations, not
+       either alone: a 12-bit-input design within the state cap still
+       means billions of transition evaluations.  Count every (state,
+       valuation) expansion and give up past the work budget. *)
+    let evals = ref 0 in
     try
       while not (Queue.is_empty queue) do
         let state = Queue.pop queue in
         List.iter
           (fun inputs ->
+            incr evals;
+            if !evals > max_evals then raise Blown_up;
             let succ = next state inputs in
             let holds = Bitvec.to_int (eval_prop state succ inputs) = 1 in
             if not holds then raise (Violation (rebuild state inputs []));
@@ -122,9 +130,10 @@ let check ?(max_states = 1 lsl 20) ?(max_input_bits = 12) nl prop =
   end
 
 (* Reachable-state count, for reachability-checking reports. *)
-let reachable_states ?(max_states = 1 lsl 20) ?(max_input_bits = 12) nl =
+let reachable_states ?(max_states = 1 lsl 20) ?(max_input_bits = 12)
+    ?max_evals nl =
   match
-    check ~max_states ~max_input_bits nl
+    check ~max_states ~max_input_bits ?max_evals nl
       (Prop.make ~name:"true" (Expr.const ~width:1 1))
   with
   | Proved { states } -> Some states

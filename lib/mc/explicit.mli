@@ -10,8 +10,22 @@ type result =
   | Too_large
 
 val check :
-  ?max_states:int -> ?max_input_bits:int -> Symbad_hdl.Netlist.t -> Prop.t -> result
+  ?max_states:int ->
+  ?max_input_bits:int ->
+  ?max_evals:int ->
+  Symbad_hdl.Netlist.t ->
+  Prop.t ->
+  result
+(** [max_evals] (default [2{^22}]) bounds the total number of
+    (state, input-valuation) transition evaluations: tractability is
+    the product of the state and input spaces, and a design within both
+    individual caps can still mean billions of expansions.  Exceeding
+    any cap yields [Too_large]. *)
 
 val reachable_states :
-  ?max_states:int -> ?max_input_bits:int -> Symbad_hdl.Netlist.t -> int option
+  ?max_states:int ->
+  ?max_input_bits:int ->
+  ?max_evals:int ->
+  Symbad_hdl.Netlist.t ->
+  int option
 (** Reachable-state count, if tractable. *)

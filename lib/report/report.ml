@@ -75,22 +75,21 @@ let prop_pairs props =
    The instrumented reconfiguration software is not re-linted here: the
    flow's own level-3 verification already covers the program, and
    re-deriving it would mean running levels 1-3 a second time. *)
-let lint_corpus ?pool ~gov () =
+let lint_corpus ?pool ~gov ?(escalate = false) () =
+  let run nl properties =
+    let properties = prop_pairs properties in
+    let r = Lint.run_netlist ?pool ~gov ~properties nl in
+    if escalate then Lint.escalate ?pool ~gov ~properties nl r else r
+  in
   let rtl =
     List.map
       (fun (m : Level4.rtl_module) ->
-        Lint.run_netlist ?pool ~gov
-          ~properties:(prop_pairs m.Level4.properties)
-          m.Level4.netlist)
+        run m.Level4.netlist m.Level4.properties)
       (Level4.modules ())
   in
   let recovery =
     let nl = Recovery.netlist () in
-    [
-      Lint.run_netlist ?pool ~gov
-        ~properties:(prop_pairs (Recovery.properties nl))
-        nl;
-    ]
+    [ run nl (Recovery.properties nl) ]
   in
   rtl @ recovery
 
@@ -139,7 +138,7 @@ let by_cat spans =
   List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl [])
 
 let assemble ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
-    ?budget ?(faults = true) ?(trials_per_kind = 1) () =
+    ?budget ?(faults = true) ?(trials_per_kind = 1) ?(escalate = false) () =
   let had = Obs.enabled () in
   Obs.reset ();
   Obs.set_enabled true;
@@ -153,12 +152,14 @@ let assemble ?pool ?cache ?(seed = 1) ?(workload = Face_app.default_workload)
       (Option.value budget ~default:Budget.unlimited)
   in
   let flow =
-    Flow.run ?pool ?cache ~seed ~workload
+    Flow.run ?pool ?cache ~seed ~workload ~escalate
       ~gov:(Gov.slice ~label:"flow" ~fraction:0.6 root)
       ()
   in
   let lint_reports =
-    lint_corpus ?pool ~gov:(Gov.slice ~label:"lint" ~fraction:0.5 root) ()
+    lint_corpus ?pool
+      ~gov:(Gov.slice ~label:"lint" ~fraction:0.5 root)
+      ~escalate ()
   in
   let lint = Lint.merge ~target:"all" lint_reports in
   let fault_report =

@@ -57,6 +57,7 @@ val assemble :
   ?budget:Symbad_gov.Budget.t ->
   ?faults:bool ->
   ?trials_per_kind:int ->
+  ?escalate:bool ->
   unit ->
   t
 (** Run everything and snapshot the result.  [cache] hands the flow's
@@ -67,6 +68,13 @@ val assemble :
     unlimited, [faults] to [true] (the campaign always runs the smoke
     workload; [trials_per_kind] defaults to 1 to keep the report
     cheap).
+
+    [escalate] (default [false]) runs the lint-to-proof escalation on
+    every lint-corpus report and inside the flow's level 4: warnings
+    whose rule defines a proof obligation are discharged with the model
+    checker and re-emitted as proved ([Info]) or disproved ([Error],
+    with a counterexample).  Proved-out warnings stop counting against
+    the report verdict; disproved ones fail it.
 
     Telemetry is reset and force-enabled for the duration; it is left
     populated on return (the CLI exports the Chrome trace from it — the

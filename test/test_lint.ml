@@ -289,45 +289,313 @@ let synth_detects_comb_loop () =
      memory-init bug), leaving [start] genuinely unused — net.unused is
      the symptom of the bug, so it is suppressed, not fixed;
    - [sobel_window_datapath]'s centre pixel [p4] has Sobel weight 0 in
-     both gradients, so the input is unused by construction. *)
+     both gradients, so the input is unused by construction;
+   - net.range is suppressed on the datapaths whose wraparound is
+     intentional or guarded: [counter] wraps by definition, [distance]
+     computes two's-complement differences before squaring (the wrap
+     IS the negation), [fifo_ctrl]'s count is inc/dec-guarded by
+     full/empty (provable via --escalate, beyond the static interval),
+     [sobel_window] sums absolute gradients the same two's-complement
+     way, [recovery]'s retry and no-op counters are compare-guarded
+     (escalation proves both), [root]'s num update wraps by
+     two's-complement construction (escalation returns the concrete
+     wrap trace) and [argmin]'s accumulation outruns the prover's
+     budget (escalation reports it inconclusive).  Each stays
+     escalatable on demand. *)
 let repo_corpus_is_clean () =
   let module R = Symbad_hdl.Rtl_lib in
   let clean ?suppress name nl =
     let r = Lint.run_netlist ?suppress nl in
     check_int (name ^ " lints clean") 0 (List.length r.Lint.diagnostics)
   in
-  clean "counter" (R.counter ~width:4);
-  clean "distance" (R.distance_datapath ());
-  clean "distance_buggy" ~suppress:[ "net.unused" ]
+  clean "counter" ~suppress:[ "net.range" ] (R.counter ~width:4);
+  clean "distance" ~suppress:[ "net.range" ] (R.distance_datapath ());
+  clean "distance_buggy" ~suppress:[ "net.unused"; "net.range" ]
     (R.distance_datapath_buggy ());
   clean "wrapper" (R.handshake_wrapper ());
   clean "wrapper_buggy" (R.handshake_wrapper_buggy ());
-  clean "fifo_ctrl" (R.fifo_ctrl ());
-  clean "fifo_ctrl_buggy" (R.fifo_ctrl_buggy ());
-  clean "sobel_window" ~suppress:[ "net.unused" ] (R.sobel_window_datapath ());
+  clean "fifo_ctrl" ~suppress:[ "net.range" ] (R.fifo_ctrl ());
+  clean "fifo_ctrl_buggy" ~suppress:[ "net.range" ] (R.fifo_ctrl_buggy ());
+  clean "sobel_window" ~suppress:[ "net.unused"; "net.range" ]
+    (R.sobel_window_datapath ());
   clean "min9" (R.min9_datapath ());
-  clean "argmin" (R.argmin_datapath ());
+  clean "argmin" ~suppress:[ "net.range" ] (R.argmin_datapath ());
   (* verification-only registers (ROOT's [nsave], recovery's [nonop])
      are live only through property cones: these two lint clean WITH
      their properties, and warn net.unused without them *)
   let pairs props =
     List.map (fun p -> (Symbad_mc.Prop.name p, Symbad_mc.Prop.formula p)) props
   in
-  let clean_with_props name nl props =
+  let clean_with_props ?suppress name nl props =
     let bare = Lint.run_netlist nl in
     check_bool
       (name ^ " warns net.unused without properties")
       true
       (fired "net.unused" bare);
-    let r = Lint.run_netlist ~properties:(pairs props) nl in
+    let r = Lint.run_netlist ?suppress ~properties:(pairs props) nl in
     check_int (name ^ " lints clean with properties") 0
       (List.length r.Lint.diagnostics)
   in
-  clean_with_props "root" (R.root_datapath ())
+  clean_with_props "root" ~suppress:[ "net.range" ] (R.root_datapath ())
     (Symbad_core.Level4.root_properties ());
   let module Recovery = Symbad_resil.Recovery in
   let nl = Recovery.netlist () in
-  clean_with_props "recovery_ctrl" nl (Recovery.properties nl)
+  clean_with_props "recovery_ctrl" ~suppress:[ "net.range" ] nl
+    (Recovery.properties nl)
+
+(* --- the semantic (abstract-interpretation) engine ------------------- *)
+
+module VD = Symbad_lint.Value_domain
+module Absint = Symbad_lint.Netlist_absint
+module Sarif = Symbad_lint.Sarif
+
+(* qcheck soundness: on random small netlists the abstract fixpoint
+   over-approximates everything 50 simulated cycles can reach — every
+   concrete register value is a member of its abstraction.  This is
+   the one property the whole semantic rule family leans on. *)
+let qcheck_absint_sound =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let* width = int_range 1 4 in
+    let* nregs = int_range 1 3 in
+    let regs = List.init nregs (fun i -> Printf.sprintf "r%d" i) in
+    let m = (1 lsl width) - 1 in
+    let leaf =
+      oneof
+        ([
+           return (Expr.input "a");
+           return (Expr.input "b");
+           map (fun v -> Expr.const ~width v) (int_range 0 m);
+         ]
+        @ List.map (fun r -> return (Expr.reg r)) regs)
+    in
+    let rec expr depth =
+      if depth = 0 then leaf
+      else
+        let sub_ = expr (depth - 1) in
+        oneof
+          [
+            leaf;
+            map2 Expr.add sub_ sub_;
+            map2 Expr.sub sub_ sub_;
+            map2 Expr.mul sub_ sub_;
+            map2 Expr.and_ sub_ sub_;
+            map2 Expr.or_ sub_ sub_;
+            map2 Expr.xor sub_ sub_;
+            map Expr.not_ sub_;
+            map3 (fun c t e -> Expr.mux (Expr.ult c t) t e) leaf sub_ sub_;
+          ]
+    in
+    let* registers =
+      flatten_l
+        (List.map
+           (fun name ->
+             let* init = int_range 0 m in
+             let* next = expr 2 in
+             return
+               { Netlist.name; width; init = Bitvec.make ~width init; next })
+           regs)
+    in
+    let* stimulus =
+      list_repeat 50 (pair (int_range 0 m) (int_range 0 m))
+    in
+    return
+      ( Netlist.make ~name:"rand"
+          ~inputs:[ ("a", width); ("b", width) ]
+          ~registers
+          ~outputs:[ ("o", Expr.reg (List.hd regs)) ],
+        width,
+        stimulus )
+  in
+  QCheck.Test.make ~count:60
+    ~name:"abstract fixpoint over-approximates 50 simulated cycles"
+    (QCheck.make gen)
+    (fun (nl, width, stimulus) ->
+      match Absint.analyze nl with
+      | None -> false (* the generator only builds sound netlists *)
+      | Some a ->
+          let covered sim =
+            List.for_all
+              (fun (name, v) ->
+                match Absint.reg_value a name with
+                | None -> false
+                | Some d -> VD.mem (Bitvec.to_int v) d)
+              (Simulator.state sim)
+          in
+          let sim = Simulator.create nl in
+          covered sim
+          && List.for_all
+               (fun (va, vb) ->
+                 Simulator.step sim
+                   ~inputs:
+                     [
+                       ("a", Bitvec.make ~width va);
+                       ("b", Bitvec.make ~width vb);
+                     ];
+                 covered sim)
+               stimulus)
+
+(* The escalation round-trip on the seeded fixture: one warning is
+   disproved (the accumulator wraps — promoted to error, two-frame
+   counterexample attached), one is proved (d + ~d never carries —
+   demoted to info), nothing is dropped. *)
+let escalation_roundtrip () =
+  let before = Lint.run_netlist Seeded.escalation in
+  check_int "two warnings before" 2 (Lint.warnings before);
+  check_int "no errors before" 0 (Lint.errors before);
+  let after = Lint.escalate Seeded.escalation before in
+  check_int "nothing dropped" 2 (List.length after.Lint.diagnostics);
+  check_int "exactly one promoted error" 1 (Lint.errors after);
+  check_int "no warnings left" 0 (Lint.warnings after);
+  let status s (d : Diagnostic.t) =
+    match d.Diagnostic.discharged with
+    | Some g -> g.Diagnostic.status = s
+    | None -> false
+  in
+  let promoted =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        d.Diagnostic.severity = Diagnostic.Error
+        && status Diagnostic.Disproved d)
+      after.Lint.diagnostics
+  in
+  let proved =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        d.Diagnostic.severity = Diagnostic.Info && status Diagnostic.Proved d)
+      after.Lint.diagnostics
+  in
+  check_int "one disproved" 1 (List.length promoted);
+  check_int "one proved" 1 (List.length proved);
+  match promoted with
+  | [ d ] -> (
+      match d.Diagnostic.discharged with
+      | Some g ->
+          check_bool "counterexample attached" true
+            (g.Diagnostic.counterexample <> None)
+      | None -> Alcotest.fail "discharge missing")
+  | _ -> Alcotest.fail "expected exactly one promoted diagnostic"
+
+(* Escalated reports are byte-identical at any pool width: the JSON
+   digest at jobs 1, 2 and 4 equals the sequential one. *)
+let escalation_jobs_invariant () =
+  let digest pool =
+    let r = Lint.run_netlist ?pool Seeded.escalation in
+    Digest.to_hex
+      (Digest.string
+         (Json.to_string (Lint.to_json (Lint.escalate ?pool Seeded.escalation r))))
+  in
+  let seq = digest None in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun pool ->
+          check_str
+            (Printf.sprintf "identical at jobs %d" jobs)
+            seq
+            (digest (Some pool))))
+    [ 1; 2; 4 ]
+
+(* --- schedule rules over tenant sets ---------------------------------- *)
+
+let sched_conflict () =
+  let r = Lint.run_tenants Seeded.ci Seeded.tenants_conflict in
+  check_bool "context-conflict fires" true (fired "sched.context-conflict" r);
+  check_int "interference is a warning, not an error" 0 (Lint.errors r);
+  (* both directions of the pair are reported *)
+  check_int "both tenant orders reported" 2
+    (List.length
+       (List.filter
+          (fun (d : Diagnostic.t) ->
+            String.equal d.Diagnostic.rule "sched.context-conflict")
+          r.Lint.diagnostics));
+  let r = Lint.run_tenants Seeded.ci Seeded.tenants_clean in
+  check_int "same-configuration tenants are clean" 0
+    (List.length r.Lint.diagnostics)
+
+let sched_wcrt () =
+  let r =
+    Lint.run_tenants ~deadline_ns:1_500_000 Seeded.ci
+      Seeded.tenant_wcrt_unbounded
+  in
+  check_bool "loop-bound reconfiguration is unbounded" true
+    (fired "sched.wcrt" r);
+  check_bool "wcrt violation is an error" true (Lint.errors r >= 1);
+  (* 2 reconfigurations at the 1 ms default cost = 2 ms WCRT *)
+  let r =
+    Lint.run_tenants ~deadline_ns:1_500_000 Seeded.ci
+      Seeded.tenant_wcrt_straight
+  in
+  check_bool "2 ms over a 1.5 ms deadline fires" true (fired "sched.wcrt" r);
+  let r =
+    Lint.run_tenants ~deadline_ns:3_000_000 Seeded.ci
+      Seeded.tenant_wcrt_straight
+  in
+  check_bool "2 ms under a 3 ms deadline is clean" false (fired "sched.wcrt" r);
+  (* without a deadline the rule has nothing to compare against *)
+  let r = Lint.run_tenants Seeded.ci Seeded.tenant_wcrt_unbounded in
+  check_bool "no deadline, no wcrt finding" false (fired "sched.wcrt" r)
+
+(* --- export formats ---------------------------------------------------- *)
+
+(* Diagnostic JSON is versioned: schema_version at the report top level
+   and on every diagnostic, and the severity order is centralised (the
+   report lists errors before warnings before infos). *)
+let schema_version_present () =
+  let r = Lint.run_netlist Seeded.demo in
+  let j = Json.parse_exn (Json.to_string (Lint.to_json r)) in
+  let version node =
+    Option.bind (Json.member "schema_version" node) Json.to_number
+  in
+  check_bool "top-level schema_version" true
+    (version j = Some (float_of_int Diagnostic.schema_version));
+  let diags = Json.member "diagnostics" j |> Option.get |> Json.to_list in
+  List.iter
+    (fun d ->
+      check_bool "per-diagnostic schema_version" true
+        (version d = Some (float_of_int Diagnostic.schema_version)))
+    (Option.get diags);
+  let m = Lint.merge ~target:"m" [ Lint.run_netlist Seeded.range; r ] in
+  let sevs =
+    List.map (fun (d : Diagnostic.t) -> d.Diagnostic.severity)
+      m.Lint.diagnostics
+  in
+  check_bool "merged diagnostics sorted gravest first" true
+    (List.sort compare sevs = sevs)
+
+let sarif_export () =
+  let before = Lint.run_netlist Seeded.escalation in
+  let r = Lint.escalate Seeded.escalation before in
+  let j = Json.parse_exn (Json.to_string (Sarif.of_report r)) in
+  check_bool "version 2.1.0" true
+    (Option.bind (Json.member "version" j) Json.to_str = Some "2.1.0");
+  let run =
+    Json.member "runs" j |> Option.get |> Json.to_list |> Option.get |> List.hd
+  in
+  check_bool "driver named" true
+    (let driver =
+       Option.bind (Json.member "tool" run) (Json.member "driver")
+     in
+     Option.bind driver (fun d -> Option.bind (Json.member "name" d) Json.to_str)
+     = Some "symbad-lint");
+  let results =
+    Json.member "results" run |> Option.get |> Json.to_list |> Option.get
+  in
+  check_int "one result per diagnostic" (List.length r.Lint.diagnostics)
+    (List.length results);
+  let levels =
+    List.filter_map (fun x -> Option.bind (Json.member "level" x) Json.to_str)
+      results
+  in
+  (* Error maps to "error", the proved Info to SARIF's "note" *)
+  check_bool "severities map to SARIF levels" true
+    (List.mem "error" levels && List.mem "note" levels);
+  check_bool "the discharge survives in the properties bag" true
+    (List.exists
+       (fun x ->
+         Option.bind (Json.member "properties" x) (Json.member "counterexample")
+         <> None)
+       results)
 
 let suite =
   [
@@ -355,6 +623,17 @@ let suite =
     Alcotest.test_case "governor skips are recorded" `Quick
       governor_skips_recorded;
     QCheck_alcotest.to_alcotest qcheck_jobs_invariant;
+    QCheck_alcotest.to_alcotest qcheck_absint_sound;
+    Alcotest.test_case "escalation round-trip on the seeded fixture" `Quick
+      escalation_roundtrip;
+    Alcotest.test_case "escalation is jobs-width invariant" `Quick
+      escalation_jobs_invariant;
+    Alcotest.test_case "sched.context-conflict on interleaved tenants" `Quick
+      sched_conflict;
+    Alcotest.test_case "sched.wcrt vs the admission deadline" `Quick sched_wcrt;
+    Alcotest.test_case "diagnostic JSON carries schema_version" `Quick
+      schema_version_present;
+    Alcotest.test_case "SARIF 2.1.0 export" `Quick sarif_export;
     Alcotest.test_case "merge unions reports" `Quick merge_reports;
     Alcotest.test_case "report JSON parses back" `Quick json_roundtrips;
     Alcotest.test_case "Expr.infer_width is total" `Quick infer_width_result;
